@@ -1,0 +1,88 @@
+// Breakdown-utilization *distribution* at representative bandwidths.
+//
+// The average (Figure 1) hides the spread: Lehoczky-Sha-Ding's original
+// methodology also reported how concentrated breakdown utilizations are
+// across random sets. This bench prints quantiles per protocol per
+// bandwidth, showing e.g. that the FDDI breakdown distribution is tight
+// (the criterion is a smooth sum) while the PDP one spreads (scheduling
+// points interact with the period mix).
+
+#include <cstdio>
+#include <iostream>
+
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/table.hpp"
+#include "tokenring/experiments/setup.hpp"
+
+using namespace tokenring;
+
+namespace {
+
+breakdown::BreakdownEstimate estimate_with_samples(
+    const experiments::PaperSetup& setup,
+    const breakdown::SchedulablePredicate& predicate, BitsPerSecond bw,
+    std::size_t sets, std::uint64_t seed) {
+  msg::MessageSetGenerator gen(setup.generator_config());
+  Rng rng(seed);
+  breakdown::MonteCarloOptions options;
+  options.num_sets = sets;
+  options.keep_samples = true;
+  return breakdown::estimate_breakdown_utilization(gen, predicate, bw, rng,
+                                                   options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("sets", "200", "Monte Carlo message sets per cell");
+  flags.declare("seed", "37", "base RNG seed");
+  flags.declare("stations", "100", "stations on the ring");
+  flags.declare("bandwidths-mbps", "5,20,100", "bandwidth list [Mbit/s]");
+  if (!flags.parse(argc, argv)) return 1;
+
+  experiments::PaperSetup setup;
+  setup.num_stations = static_cast<int>(flags.get_int("stations"));
+  const auto sets = static_cast<std::size_t>(flags.get_int("sets"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::printf(
+      "# Breakdown-utilization distribution (n=%d, %zu sets/cell)\n\n",
+      setup.num_stations, sets);
+
+  Table table({"protocol", "BW_Mbps", "p05", "p25", "median", "p75", "p95",
+               "mean", "stddev"});
+
+  struct Proto {
+    const char* name;
+    std::function<breakdown::SchedulablePredicate(BitsPerSecond)> predicate;
+  };
+  const Proto protos[] = {
+      {"ieee8025",
+       [&](BitsPerSecond bw) {
+         return setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw);
+       }},
+      {"modified8025",
+       [&](BitsPerSecond bw) {
+         return setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw);
+       }},
+      {"fddi",
+       [&](BitsPerSecond bw) { return setup.ttp_predicate(bw); }},
+  };
+
+  for (double bw_mbps : parse_double_list(flags.get_string("bandwidths-mbps"))) {
+    const BitsPerSecond bw = mbps(bw_mbps);
+    for (const auto& proto : protos) {
+      const auto est =
+          estimate_with_samples(setup, proto.predicate(bw), bw, sets, seed);
+      table.add_row({proto.name, fmt(bw_mbps, 0), fmt(est.quantile(0.05)),
+                     fmt(est.quantile(0.25)), fmt(est.quantile(0.5)),
+                     fmt(est.quantile(0.75)), fmt(est.quantile(0.95)),
+                     fmt(est.mean()), fmt(est.utilization.stddev())});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nCSV:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fault tolerance under token loss (DESIGN.md experiment Abl. F): miss
+// ratio vs. number of injected token losses for both protocols. The 802.5
+// active monitor restores service within a few Theta; FDDI needs TRT
+// double-expiry plus the claim process (order TTRT) — so at equal loss
+// rates the timed token pays more deadline misses per outage.
+
+#include <cstdio>
+#include <iostream>
+
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/table.hpp"
+#include "tokenring/experiments/fault_study.hpp"
+
+using namespace tokenring;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("sets", "5", "message sets per point");
+  flags.declare("seed", "41", "base RNG seed");
+  flags.declare("stations", "12", "stations on the ring");
+  flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  flags.declare("load-scale", "0.7", "load relative to the boundary");
+  if (!flags.parse(argc, argv)) return 1;
+
+  experiments::FaultStudyConfig config;
+  config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
+  config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
+  config.load_scale = flags.get_double("load-scale");
+  config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::printf(
+      "# Token-loss fault tolerance at %.0f Mbps (n=%d, load %.0f%% of "
+      "boundary)\n\n",
+      config.bandwidth_mbps, config.setup.num_stations,
+      100.0 * config.load_scale);
+
+  const auto rows = experiments::run_fault_study(config);
+
+  Table table({"protocol", "losses", "miss_ratio", "outage_per_loss_us"});
+  for (const auto& r : rows) {
+    table.add_row({r.protocol, fmt(static_cast<long long>(r.losses)),
+                   fmt(r.miss_ratio), fmt(to_microseconds(r.outage), 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nCSV:\n");
+  table.print_csv(std::cout);
+
+  std::printf(
+      "\n# Observations\n"
+      "Zero-loss rows must show ~0 miss ratio (loads sit inside the\n"
+      "boundary); each FDDI loss costs a ~2*TTRT+2*WT outage vs the 802.5\n"
+      "monitor's few-Theta recovery.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Frame-size trade-off for the priority-driven protocol (paper Section
+// 4.2): small frames approximate preemption better but pay the fixed
+// per-frame overhead more often; once the frame time falls below Theta the
+// extra granularity is pure loss.
+
+#include <cstdio>
+#include <iostream>
+
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/table.hpp"
+#include "tokenring/experiments/frame_size_study.hpp"
+
+using namespace tokenring;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("sets", "60", "Monte Carlo message sets per point");
+  flags.declare("seed", "11", "base RNG seed");
+  flags.declare("stations", "100", "stations on the ring");
+  flags.declare("bandwidths-mbps", "4,16,100", "bandwidth list [Mbit/s]");
+  flags.declare("payload-bytes", "16,32,64,128,256,512,1024,4096",
+                "frame payload sizes [bytes]");
+  if (!flags.parse(argc, argv)) return 1;
+
+  experiments::FrameSizeStudyConfig config;
+  config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
+  config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
+  config.payload_bytes = parse_double_list(flags.get_string("payload-bytes"));
+
+  std::printf("# PDP frame-size ablation (n=%d, %zu sets/point)\n\n",
+              config.setup.num_stations, config.sets_per_point);
+
+  const auto rows = experiments::run_frame_size_study(config);
+
+  Table table({"BW_Mbps", "payload_B", "ieee8025", "modified8025"});
+  for (const auto& r : rows) {
+    table.add_row({fmt(r.bandwidth_mbps, 0), fmt(r.payload_bytes, 0),
+                   fmt(r.ieee8025), fmt(r.modified8025)});
+  }
+  table.print(std::cout);
+  std::printf("\nCSV:\n");
+  table.print_csv(std::cout);
+
+  std::printf("\n# Observations\n");
+  for (double bw : config.bandwidths_mbps) {
+    std::printf("best payload at %4.0f Mbps (modified 802.5): %.0f bytes\n", bw,
+                experiments::best_payload_bytes(rows, bw));
+  }
+  std::printf(
+      "(expected: the optimum grows with bandwidth — tiny frames only make\n"
+      " sense while F stays above Theta)\n");
+  return 0;
+}

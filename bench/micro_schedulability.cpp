@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark): cost of the schedulability tests
+// themselves. Relevant because admission control runs these online: the
+// paper's criteria are only useful in practice if a test over n streams is
+// cheap. Compares the exact scheduling-point test (Theorem 4.1 as printed)
+// against the equivalent response-time analysis, the O(n) TTP criterion,
+// and one full breakdown-saturation search.
+
+#include <benchmark/benchmark.h>
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/experiments/setup.hpp"
+#include "tokenring/msg/generator.hpp"
+#include "tokenring/sim/workload.hpp"
+
+namespace {
+
+using namespace tokenring;
+
+msg::MessageSet make_set(int n, std::uint64_t seed, double scale) {
+  msg::GeneratorConfig g;
+  g.num_streams = n;
+  g.mean_period = milliseconds(100);
+  g.period_ratio = 10.0;
+  msg::MessageSetGenerator gen(g);
+  Rng rng(seed);
+  return gen.generate(rng).scaled(scale);
+}
+
+experiments::PaperSetup setup_for(int n) {
+  experiments::PaperSetup s;
+  s.num_stations = n;
+  return s;
+}
+
+void BM_PdpResponseTimeAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto set = make_set(n, 1, 20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::pdp_feasible(set, params, bw));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PdpResponseTimeAnalysis)->Arg(10)->Arg(50)->Arg(100)->Arg(500)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_PdpSchedulingPointTest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto set = make_set(n, 1, 20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::pdp_schedulable_lsd(set, params, bw).schedulable);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PdpSchedulingPointTest)->Arg(10)->Arg(50)->Arg(100)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_TtpCriterion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params = setup_for(n).ttp_params();
+  const BitsPerSecond bw = mbps(100);
+  const auto set = make_set(n, 1, 50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::ttp_feasible(set, params, bw));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TtpCriterion)->Arg(10)->Arg(100)->Arg(1000)
+    ->Complexity(benchmark::oN);
+
+void BM_PdpAugmentedLength(benchmark::State& state) {
+  const auto params =
+      setup_for(100).pdp_params(analysis::PdpVariant::kModified8025);
+  const msg::SyncStream s{milliseconds(100), 5'000.0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::pdp_augmented_length(s, params, mbps(16)));
+  }
+}
+BENCHMARK(BM_PdpAugmentedLength);
+
+void BM_SaturationSearchPdp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const BitsPerSecond bw = mbps(16);
+  const auto predicate =
+      setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw);
+  const auto base = make_set(n, 3, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        breakdown::find_saturation(base, predicate, bw).breakdown_utilization);
+  }
+}
+BENCHMARK(BM_SaturationSearchPdp)->Arg(10)->Arg(100);
+
+void BM_SaturationSearchTtp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const BitsPerSecond bw = mbps(100);
+  const auto predicate = setup.ttp_predicate(bw);
+  const auto base = make_set(n, 3, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        breakdown::find_saturation(base, predicate, bw).breakdown_utilization);
+  }
+}
+BENCHMARK(BM_SaturationSearchTtp)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PdpSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const auto params = setup.pdp_params(analysis::PdpVariant::kModified8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto set = make_set(n, 5, 10.0);
+  sim::PdpSimConfig cfg = sim::make_pdp_sim_config(set, params, bw, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_pdp_simulation(set, cfg));
+  }
+  state.SetLabel("two max-period horizons per iteration");
+}
+BENCHMARK(BM_PdpSimulation)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_TtpSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const auto params = setup.ttp_params();
+  const BitsPerSecond bw = mbps(100);
+  const auto set = make_set(n, 5, 10.0);
+  sim::TtpSimConfig cfg = sim::make_ttp_sim_config(set, params, bw, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_ttp_simulation(set, cfg));
+  }
+  state.SetLabel("two max-period horizons per iteration");
+}
+BENCHMARK(BM_TtpSimulation)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

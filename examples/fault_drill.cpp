@@ -1,0 +1,75 @@
+// Fault drill: inject token losses into both protocols on the same traffic
+// and compare how their recovery mechanisms absorb the outages.
+//
+//   ./fault_drill --bandwidth-mbps=100 --losses=5
+
+#include <cstdio>
+
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/workload.hpp"
+
+using namespace tokenring;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  flags.declare("losses", "5", "token losses to inject");
+  flags.declare("horizon-ms", "500", "simulated time [ms]");
+  flags.declare("seed", "7", "loss-timing seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
+  const Seconds horizon = milliseconds(flags.get_double("horizon-ms"));
+  const auto losses = static_cast<int>(flags.get_int("losses"));
+
+  msg::MessageSet set;
+  set.add({.period = milliseconds(20), .payload_bits = bytes(2'000), .station = 0});
+  set.add({.period = milliseconds(40), .payload_bits = bytes(5'000), .station = 2});
+  set.add({.period = milliseconds(80), .payload_bits = bytes(10'000), .station = 5});
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<Seconds> loss_times;
+  for (int i = 0; i < losses; ++i) {
+    loss_times.push_back(rng.uniform(0.0, 0.9 * horizon));
+  }
+
+  std::printf("Injecting %d token losses over %.0f ms at %.0f Mbps\n\n",
+              losses, to_milliseconds(horizon), to_mbps(bw));
+
+  {
+    analysis::PdpParams p;
+    p.ring = net::ieee8025_ring(8);
+    p.frame = net::paper_frame_format();
+    p.variant = analysis::PdpVariant::kModified8025;
+    auto cfg = sim::make_pdp_sim_config(set, p, bw);
+    cfg.horizon = horizon;
+    cfg.token_loss_times = loss_times;
+    const auto m = sim::run_pdp_simulation(set, cfg);
+    const Seconds outage =
+        std::max(p.frame.frame_time(bw), p.ring.theta(bw)) + p.ring.theta(bw);
+    std::printf("Modified IEEE 802.5 (monitor recovery ~%.1f us/loss):\n%s\n",
+                to_microseconds(outage), m.summary().c_str());
+  }
+  {
+    analysis::TtpParams p;
+    p.ring = net::fddi_ring(8);
+    p.frame = p.async_frame = net::paper_frame_format();
+    auto cfg = sim::make_ttp_sim_config(set, p, bw);
+    cfg.horizon = horizon;
+    cfg.token_loss_times = loss_times;
+    const Seconds outage = 2.0 * cfg.ttrt + 2.0 * p.ring.walk_time(bw) +
+                           p.ring.token_time(bw);
+    const auto m = sim::run_ttp_simulation(set, cfg);
+    std::printf("FDDI timed token (claim recovery ~%.1f us/loss):\n%s",
+                to_microseconds(outage), m.summary().c_str());
+  }
+  std::printf(
+      "\n(The same loss schedule hits both rings; the 802.5 active monitor\n"
+      " restores service orders of magnitude faster than FDDI's TRT-expiry\n"
+      " detection plus claim process.)\n");
+  return 0;
+}

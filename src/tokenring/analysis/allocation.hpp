@@ -1,0 +1,70 @@
+// Baseline synchronous-bandwidth allocation schemes for the timed-token
+// protocol (paper Section 5.2 context; schemes from Agrawal-Chen-Zhao).
+//
+// All schemes share the same feasibility model the paper uses for the local
+// scheme: within any period P_i Johnson's bound guarantees at least
+// q_i - 1 = floor(P_i/TTRT) - 1 usable token visits, each visit carries one
+// synchronous frame of length h_i with F_ovhd overhead, and the ring-wide
+// protocol constraint is sum h_i <= TTRT - Lambda.
+//
+// A scheme is *feasible* for a set iff
+//   (deadline)  (q_i - 1) * (h_i - F_ovhd) >= C_i  for every i, and
+//   (protocol)  sum h_i <= TTRT - Lambda.
+//
+// Under this model the local scheme allocates exactly each station's
+// minimum need, so its feasibility region contains every other scheme's —
+// it stands in for the "optimal" scheme of [4] (see DESIGN.md Section 5).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::analysis {
+
+/// Baseline allocation schemes.
+enum class AllocationScheme {
+  /// h_i = C_i/(q_i - 1) + F_ovhd — the paper's choice (minimum need).
+  kLocal,
+  /// h_i = C_i + F_ovhd — whole message in one visit.
+  kFullLength,
+  /// h_i = U_i * (TTRT - Lambda) — proportional to raw utilization.
+  kProportional,
+  /// h_i = (U_i / U) * (TTRT - Lambda) — utilization-normalized.
+  kNormalizedProportional,
+  /// h_i = (TTRT - Lambda) / n — equal split.
+  kEqualPartition,
+};
+
+/// Display name, e.g. "local", "full-length".
+const char* to_string(AllocationScheme scheme);
+
+/// All schemes, for sweeping in benches/tests.
+std::vector<AllocationScheme> all_allocation_schemes();
+
+/// Result of allocating for one message set.
+struct AllocationResult {
+  AllocationScheme scheme{};
+  Seconds ttrt = 0.0;
+  Seconds lambda = 0.0;
+  /// Per-stream h_i in the input set's order [s].
+  std::vector<Seconds> h;
+  /// Deadline constraint satisfied for every stream.
+  bool deadline_ok = false;
+  /// Protocol constraint sum h_i <= TTRT - Lambda satisfied.
+  bool protocol_ok = false;
+
+  bool feasible() const { return deadline_ok && protocol_ok; }
+};
+
+/// Compute h_i under `scheme` and evaluate both constraints.
+/// Requires a validated set, bw > 0, ttrt > 0.
+AllocationResult allocate(const msg::MessageSet& set, const TtpParams& params,
+                          BitsPerSecond bw, Seconds ttrt,
+                          AllocationScheme scheme);
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,44 @@
+#include "tokenring/analysis/async_capacity.hpp"
+
+#include <algorithm>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::analysis {
+
+double ttp_async_capacity(const msg::MessageSet& set, const TtpParams& params,
+                          BitsPerSecond bw, Seconds ttrt) {
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(ttrt > 0.0);
+  Seconds allocated = 0.0;
+  for (const auto& s : set.streams()) {
+    allocated += ttp_local_bandwidth(s, params, bw, ttrt).value_or(0.0);
+  }
+  const Seconds theta = params.ring.theta(bw);
+  return std::clamp((ttrt - theta - allocated) / ttrt, 0.0, 1.0);
+}
+
+double ttp_async_capacity(const msg::MessageSet& set, const TtpParams& params,
+                          BitsPerSecond bw) {
+  TR_EXPECTS(!set.empty());
+  return ttp_async_capacity(set, params, bw,
+                            select_ttrt(set, params.ring, bw));
+}
+
+Seconds ttp_async_access_bound(Seconds ttrt) {
+  TR_EXPECTS(ttrt > 0.0);
+  return 2.0 * ttrt;
+}
+
+double pdp_async_capacity(const msg::MessageSet& set, const PdpParams& params,
+                          BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  double augmented_utilization = 0.0;
+  for (const auto& s : set.streams()) {
+    augmented_utilization += pdp_augmented_length(s, params, bw) / s.period;
+  }
+  return std::clamp(1.0 - augmented_utilization, 0.0, 1.0);
+}
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,46 @@
+// Asynchronous (non-real-time) capacity analysis.
+//
+// The paper treats asynchronous traffic as best-effort; these helpers
+// quantify how much of the link a guaranteed synchronous load leaves for
+// it — the figure a designer needs to know whether bulk traffic will
+// starve.
+//
+// TTP: in steady state each rotation lasts at most TTRT; of that, Theta is
+// the walk, sum(h_i) is reserved synchronous time, and only the remainder
+// can be spent on asynchronous frames (funded by token earliness). The
+// asynchronous share is therefore (TTRT - Theta - sum h_i) / TTRT.
+//
+// PDP: asynchronous frames are the lowest priority; in the long run they
+// get whatever the augmented synchronous demand does not consume:
+// 1 - sum(C'_i / P_i).
+
+#pragma once
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::analysis {
+
+/// Long-run fraction of time available to asynchronous traffic on a TTP
+/// ring carrying `set` with the local allocation at the given TTRT.
+/// Clamped to [0, 1]; 0 means synchronous traffic plus overheads saturate
+/// the ring.
+double ttp_async_capacity(const msg::MessageSet& set, const TtpParams& params,
+                          BitsPerSecond bw, Seconds ttrt);
+
+/// Same with the paper's TTRT selection rule.
+double ttp_async_capacity(const msg::MessageSet& set, const TtpParams& params,
+                          BitsPerSecond bw);
+
+/// Worst-case wait until an asynchronous-ready TTP station may transmit,
+/// assuming the ring is otherwise in steady state: Johnson's bound, 2*TTRT.
+Seconds ttp_async_access_bound(Seconds ttrt);
+
+/// Long-run fraction of time available to asynchronous traffic on a PDP
+/// ring carrying `set` (augmented demand includes all protocol overheads).
+/// Clamped to [0, 1].
+double pdp_async_capacity(const msg::MessageSet& set, const PdpParams& params,
+                          BitsPerSecond bw);
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,106 @@
+// Generic fixed-priority (rate-monotonic) schedulability machinery.
+//
+// The PDP analysis (paper Theorem 4.1) is the Lehoczky-Sha-Ding exact
+// characterization [RTSS'89] applied to augmented message lengths C'_i with
+// a blocking term B. This file implements that test in two equivalent
+// forms:
+//
+//  * `lsd_point_test`         — the scheduling-point formulation exactly as
+//                               printed in the paper (minimize workload
+//                               ratio over R_i = {l*P_k}), and
+//  * `response_time_analysis` — the fixpoint-iteration formulation
+//                               (Joseph/Pandya/Audsley), which gives the
+//                               same verdict but runs orders of magnitude
+//                               faster inside Monte Carlo loops.
+//
+// A randomized property test asserts the two agree; the Monte Carlo driver
+// uses the fast one.
+//
+// Inputs are plain vectors sorted by increasing period (rate-monotonic
+// priority order, index 0 = highest priority). Deadlines equal periods.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::analysis {
+
+/// One task/stream as seen by the generic tests.
+struct FpTask {
+  /// Period [s].
+  Seconds period = 0.0;
+  /// Worst-case transmission demand per period (the augmented C'_i) [s].
+  Seconds cost = 0.0;
+  /// Relative deadline [s]; 0 means deadline = period (the paper's model).
+  /// Constrained deadlines require tasks sorted deadline-monotonically.
+  Seconds deadline = 0.0;
+
+  /// Effective relative deadline.
+  Seconds effective_deadline() const {
+    return deadline > 0.0 ? deadline : period;
+  }
+};
+
+/// Result for one task.
+struct FpTaskVerdict {
+  bool schedulable = false;
+  /// Worst-case response time if the RTA converged within the period;
+  /// unset when the task is unschedulable (RTA diverged past the deadline).
+  std::optional<Seconds> response_time;
+};
+
+/// Whole-set verdict.
+struct FpSetVerdict {
+  bool schedulable = false;
+  /// Index of the first (highest-priority) task that failed, if any.
+  std::optional<std::size_t> first_failure;
+  /// Per-task verdicts, same order as the input.
+  std::vector<FpTaskVerdict> tasks;
+};
+
+/// Paper Theorem 4.1 / Lehoczky-Sha-Ding scheduling-point test for task `i`
+/// (0-based) in a set sorted by increasing effective deadline: is there a
+/// scheduling point t in { l*P_k : k <= i, l*P_k <= D_i } union { D_i } with
+///   B + C'_i + sum_{j<i} C'_j * ceil(t/P_j)  <=  t ?
+/// (With implicit deadlines this is exactly the paper's R_i.)
+/// `blocking` is the B term (2*max(F, Theta) for PDP).
+/// Preconditions: tasks sorted by effective deadline; costs/periods
+/// positive or zero cost; i < tasks.size().
+bool lsd_point_test(const std::vector<FpTask>& tasks, std::size_t i,
+                    Seconds blocking);
+
+/// Scheduling-point test over the whole set (every task must pass).
+FpSetVerdict lsd_point_test_all(const std::vector<FpTask>& tasks,
+                                Seconds blocking);
+
+/// Response-time analysis for task `i`:
+///   r^{m+1} = B + C'_i + sum_{j<i} ceil(r^m / P_j) * C'_j
+/// starting from r^0 = B + C'_i, until fixpoint or r > D_i.
+/// Returns the response time if schedulable.
+std::optional<Seconds> response_time(const std::vector<FpTask>& tasks,
+                                     std::size_t i, Seconds blocking);
+
+/// RTA over the whole set. Same verdict as `lsd_point_test_all` (both are
+/// exact for this model); this one is the fast path.
+FpSetVerdict response_time_analysis(const std::vector<FpTask>& tasks,
+                                    Seconds blocking);
+
+/// Liu-Layland utilization bound n*(2^{1/n} - 1): a *sufficient* condition
+/// on sum(cost/period) for schedulability with zero blocking. Provided for
+/// context in examples/benches. Requires n >= 1.
+double liu_layland_bound(std::size_t n);
+
+/// Hyperbolic bound (Bini-Buttazzo): prod(U_i + 1) <= 2 is sufficient with
+/// zero blocking. Returns the product for the given tasks.
+double hyperbolic_product(const std::vector<FpTask>& tasks);
+
+/// Throws PreconditionError unless the tasks are sorted by non-decreasing
+/// effective deadline, with positive periods, non-negative costs, and
+/// deadlines within periods.
+void validate_sorted_tasks(const std::vector<FpTask>& tasks);
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,68 @@
+#include "tokenring/analysis/latency.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::analysis {
+
+std::optional<TtpLatencyBound> ttp_response_bound(const msg::SyncStream& stream,
+                                                  const TtpParams& params,
+                                                  BitsPerSecond bw,
+                                                  Seconds ttrt) {
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(ttrt > 0.0);
+  const auto h = ttp_local_bandwidth(stream, params, bw, ttrt);
+  if (!h) return std::nullopt;
+  return ttp_response_bound_with_h(stream, *h, params, bw, ttrt);
+}
+
+std::optional<TtpLatencyBound> ttp_response_bound_with_h(
+    const msg::SyncStream& stream, Seconds h, const TtpParams& params,
+    BitsPerSecond bw, Seconds ttrt) {
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(ttrt > 0.0);
+  TR_EXPECTS(h >= 0.0);
+  const Seconds payload_per_visit = h - params.frame.overhead_time(bw);
+  if (payload_per_visit <= 0.0 && stream.payload_bits > 0.0) {
+    return std::nullopt;
+  }
+
+  TtpLatencyBound bound;
+  bound.stream = stream;
+  bound.h = h;
+  bound.visits =
+      stream.payload_bits <= 0.0
+          ? 0
+          : static_cast<std::int64_t>(
+                std::ceil(stream.payload_time(bw) / payload_per_visit -
+                          1e-12));
+  bound.response_bound = static_cast<double>(bound.visits + 1) * ttrt;
+  bound.slack = stream.deadline() - bound.response_bound;
+  return bound;
+}
+
+std::vector<TtpLatencyBound> ttp_latency_report(const msg::MessageSet& set,
+                                                const TtpParams& params,
+                                                BitsPerSecond bw) {
+  TR_EXPECTS(!set.empty());
+  const Seconds ttrt = select_ttrt(set, params.ring, bw);
+  std::vector<TtpLatencyBound> report;
+  report.reserve(set.size());
+  for (const auto& s : set.streams()) {
+    if (auto b = ttp_response_bound(s, params, bw, ttrt)) {
+      report.push_back(*b);
+    } else {
+      TtpLatencyBound failed;
+      failed.stream = s;
+      failed.response_bound = std::numeric_limits<double>::infinity();
+      failed.slack = -std::numeric_limits<double>::infinity();
+      report.push_back(failed);
+    }
+  }
+  return report;
+}
+
+}  // namespace tokenring::analysis

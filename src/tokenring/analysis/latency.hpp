@@ -1,0 +1,62 @@
+// Worst-case response-time bounds.
+//
+// PDP: the exact response-time analysis already yields per-stream worst
+// responses (see pdp.hpp / PdpStreamReport::response_time).
+//
+// TTP: Johnson's cycle-time property generalizes to "in any interval of
+// length (k+1)*TTRT the token visits a station at least k times". A message
+// needing k synchronous-bandwidth visits is therefore always done within
+// (k+1)*TTRT of its arrival, where
+//     k = ceil( C_i / (h_i - F_ovhd) )
+// (each visit carries one frame of h_i seconds, F_ovhd of which is
+// overhead). These are hard bounds: the TTP simulator's observed responses
+// must never exceed them (tested).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::analysis {
+
+/// Per-stream TTP latency quote.
+struct TtpLatencyBound {
+  msg::SyncStream stream;
+  /// Allocated synchronous bandwidth h_i [s].
+  Seconds h = 0.0;
+  /// Token visits needed to drain one message.
+  std::int64_t visits = 0;
+  /// Hard worst-case response bound (k+1)*TTRT [s].
+  Seconds response_bound = 0.0;
+  /// Deadline slack: period - response_bound (>= 0 iff guaranteed).
+  Seconds slack = 0.0;
+};
+
+/// Worst-case response bound of one stream under the local allocation at
+/// the given TTRT. Returns nullopt when the stream cannot be guaranteed at
+/// this TTRT (q_i < 2) or its allocation carries no payload capacity.
+/// Note the local allocation stretches every message over exactly
+/// q_i - 1 visits (minimum bandwidth), so the bound equals q_i * TTRT; use
+/// the explicit-h overload to quote latency for a more generous allocation.
+std::optional<TtpLatencyBound> ttp_response_bound(const msg::SyncStream& stream,
+                                                  const TtpParams& params,
+                                                  BitsPerSecond bw,
+                                                  Seconds ttrt);
+
+/// Worst-case response bound with an explicitly provisioned synchronous
+/// bandwidth `h` (latency-oriented allocation: a larger h needs fewer
+/// visits). Returns nullopt when h cannot carry any payload.
+std::optional<TtpLatencyBound> ttp_response_bound_with_h(
+    const msg::SyncStream& stream, Seconds h, const TtpParams& params,
+    BitsPerSecond bw, Seconds ttrt);
+
+/// Bounds for every stream in the set (paper TTRT rule). Streams that
+/// cannot be guaranteed come back with visits = 0 and response_bound = inf.
+std::vector<TtpLatencyBound> ttp_latency_report(const msg::MessageSet& set,
+                                                const TtpParams& params,
+                                                BitsPerSecond bw);
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,40 @@
+#include "tokenring/analysis/ttrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::analysis {
+
+Seconds ttrt_bid(Seconds period, Seconds theta) {
+  TR_EXPECTS(period > 0.0);
+  TR_EXPECTS(theta > 0.0);
+  return std::min(std::sqrt(theta * period), period / 2.0);
+}
+
+Seconds select_ttrt(const msg::MessageSet& set, const net::RingParams& ring,
+                    BitsPerSecond bw) {
+  TR_EXPECTS(!set.empty());
+  TR_EXPECTS(bw > 0.0);
+  const Seconds theta = ring.theta(bw);
+  Seconds best = std::numeric_limits<double>::infinity();
+  for (const auto& s : set.streams()) {
+    // Bids use the effective deadline: the guarantee window is D_i, so the
+    // TTRT must fit q_i >= 2 visits inside it (D = P in the paper's model).
+    best = std::min(best, ttrt_bid(s.deadline(), theta));
+  }
+  return best;
+}
+
+Seconds max_valid_ttrt(const msg::MessageSet& set) {
+  TR_EXPECTS(!set.empty());
+  Seconds min_deadline = std::numeric_limits<double>::infinity();
+  for (const auto& s : set.streams()) {
+    min_deadline = std::min(min_deadline, s.deadline());
+  }
+  return min_deadline / 2.0;
+}
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,33 @@
+// TTRT (Target Token Rotation Time) selection — paper Section 5.2.
+//
+// Johnson's bound says the time between two successive token visits to a
+// station is at most 2*TTRT, so guaranteeing at least one useful visit per
+// period needs TTRT <= P_min / 2. The paper goes further: for equal periods
+// P, the breakdown utilization is maximized near sqrt(Theta * P); for
+// unequal periods, each station bids sqrt(Theta * P_i) and the minimum bid
+// wins (i.e. TTRT = sqrt(Theta * P_min)), clamped to P_min / 2.
+//
+// (The published text's radicand glyph is lost to OCR; sqrt(Theta*P) is the
+// dimensionally-consistent reading matching the companion tech report. The
+// bench `bench_ttrt_sensitivity` verifies the maximizer empirically.)
+
+#pragma once
+
+#include "tokenring/common/units.hpp"
+#include "tokenring/msg/message_set.hpp"
+#include "tokenring/net/ring.hpp"
+
+namespace tokenring::analysis {
+
+/// A single station's TTRT bid: min(sqrt(Theta * P_i), P_i / 2).
+Seconds ttrt_bid(Seconds period, Seconds theta);
+
+/// Paper's TTRT selection: minimum bid across stations = TTRT for the ring.
+/// Requires a non-empty set and bw > 0.
+Seconds select_ttrt(const msg::MessageSet& set, const net::RingParams& ring,
+                    BitsPerSecond bw);
+
+/// Johnson's upper bound on a valid TTRT: half the minimum period.
+Seconds max_valid_ttrt(const msg::MessageSet& set);
+
+}  // namespace tokenring::analysis

@@ -1,0 +1,51 @@
+#include "tokenring/breakdown/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::breakdown {
+
+double BreakdownEstimate::quantile(double q) const {
+  TR_EXPECTS(q >= 0.0 && q <= 1.0);
+  TR_EXPECTS_MSG(!samples.empty(),
+                 "quantile needs keep_samples and at least one sample");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BreakdownEstimate estimate_breakdown_utilization(
+    const msg::MessageSetGenerator& generator,
+    const SchedulablePredicate& predicate, BitsPerSecond bw, Rng& rng,
+    const MonteCarloOptions& options) {
+  TR_EXPECTS(options.num_sets >= 1);
+  TR_EXPECTS(bw > 0.0);
+
+  BreakdownEstimate est;
+  for (std::size_t i = 0; i < options.num_sets; ++i) {
+    const msg::MessageSet base = generator.generate(rng);
+    const SaturationResult sat =
+        find_saturation(base, predicate, bw, options.saturation);
+    if (sat.degenerate_zero) {
+      ++est.degenerate_sets;
+      est.utilization.add(0.0);
+      if (options.keep_samples) est.samples.push_back(0.0);
+    } else if (!sat.found) {
+      ++est.unbounded_sets;  // pathological; excluded from the average
+    } else {
+      est.utilization.add(sat.breakdown_utilization);
+      if (options.keep_samples) {
+        est.samples.push_back(sat.breakdown_utilization);
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace tokenring::breakdown

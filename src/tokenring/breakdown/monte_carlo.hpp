@@ -1,0 +1,61 @@
+// Monte Carlo estimation of the average breakdown utilization (paper
+// Section 6.1).
+//
+// Average breakdown utilization = expected utilization of message sets in
+// the saturated schedulable class. Estimated by repeatedly (1) drawing a
+// random set (periods + payload direction) from a generator, (2) scaling
+// payloads to the schedulability boundary, (3) recording the saturated
+// utilization, then averaging. Degenerate draws whose breakdown is exactly
+// zero (fixed overheads alone exceed capacity) count as samples of 0, so
+// low-bandwidth regimes are reported honestly rather than skipped.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/common/stats.hpp"
+#include "tokenring/msg/generator.hpp"
+
+namespace tokenring::breakdown {
+
+/// Estimation settings.
+struct MonteCarloOptions {
+  /// Number of random message sets to saturate.
+  std::size_t num_sets = 100;
+  /// Keep every per-set breakdown sample (for percentile profiles).
+  bool keep_samples = false;
+  /// Boundary-search options shared by all samples.
+  SaturationOptions saturation;
+};
+
+/// Aggregate result.
+struct BreakdownEstimate {
+  /// Statistics over per-set breakdown utilizations.
+  RunningStats utilization;
+  /// How many draws were degenerate (breakdown = 0).
+  std::size_t degenerate_sets = 0;
+  /// How many draws never became unschedulable within the scale bound
+  /// (predicate vacuously true; excluded from `utilization`).
+  std::size_t unbounded_sets = 0;
+  /// Raw per-set samples; populated only with keep_samples.
+  std::vector<double> samples;
+
+  double mean() const { return utilization.mean(); }
+  double ci95() const { return utilization.ci95_half_width(); }
+  /// Empirical quantile (q in [0,1]) of the kept samples; requires
+  /// keep_samples and at least one sample.
+  double quantile(double q) const;
+};
+
+/// Run the estimator: draws sets from `generator` using `rng`, saturates
+/// each against `predicate` (see saturation.hpp for the monotonicity
+/// requirement), and aggregates.
+BreakdownEstimate estimate_breakdown_utilization(
+    const msg::MessageSetGenerator& generator,
+    const SchedulablePredicate& predicate, BitsPerSecond bw, Rng& rng,
+    const MonteCarloOptions& options = {});
+
+}  // namespace tokenring::breakdown

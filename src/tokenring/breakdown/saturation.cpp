@@ -1,0 +1,81 @@
+#include "tokenring/breakdown/saturation.hpp"
+
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::breakdown {
+
+SaturationResult find_saturation(const msg::MessageSet& base,
+                                 const SchedulablePredicate& predicate,
+                                 BitsPerSecond bw,
+                                 const SaturationOptions& options) {
+  TR_EXPECTS(!base.empty());
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(options.relative_tolerance > 0.0);
+  TR_EXPECTS(options.initial_scale > 0.0);
+  bool has_payload = false;
+  for (const auto& s : base.streams()) has_payload |= s.payload_bits > 0.0;
+  TR_EXPECTS_MSG(has_payload, "saturation needs a nonzero payload direction");
+
+  SaturationResult res;
+
+  // Degenerate check: if even (near-)zero payloads are unschedulable, the
+  // breakdown utilization is 0 (fixed per-stream overheads exceed
+  // capacity). Scale 0 keeps the overhead terms that depend on stream
+  // existence (e.g. n * F_ovhd in Theorem 5.1) in place.
+  if (!predicate(base.scaled(0.0))) {
+    res.degenerate_zero = true;
+    res.found = false;
+    return res;
+  }
+
+  // Exponential bracketing: grow/shrink until lo passes and hi fails.
+  double lo;
+  double hi;
+  if (predicate(base.scaled(options.initial_scale))) {
+    lo = options.initial_scale;
+    hi = lo * 2.0;
+    while (predicate(base.scaled(hi))) {
+      lo = hi;
+      hi *= 2.0;
+      if (hi > options.max_scale) {
+        // Predicate never fails within bounds: report the bracket edge.
+        res.found = false;
+        res.critical_scale = lo;
+        res.breakdown_utilization = base.scaled(lo).utilization(bw);
+        return res;
+      }
+    }
+  } else {
+    hi = options.initial_scale;
+    lo = hi / 2.0;
+    while (!predicate(base.scaled(lo))) {
+      hi = lo;
+      lo /= 2.0;
+      if (lo < options.initial_scale * 1e-18) {
+        // Should have been caught by the zero check; be safe anyway.
+        res.degenerate_zero = true;
+        res.found = false;
+        return res;
+      }
+    }
+  }
+
+  // Bisection: invariant predicate(lo) && !predicate(hi).
+  while ((hi - lo) > options.relative_tolerance * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (predicate(base.scaled(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  res.found = true;
+  res.critical_scale = lo;
+  res.breakdown_utilization = base.scaled(lo).utilization(bw);
+  return res;
+}
+
+}  // namespace tokenring::breakdown

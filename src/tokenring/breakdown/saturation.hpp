@@ -1,0 +1,58 @@
+// Saturation scaling: find the schedulability boundary along a payload
+// direction (paper Section 6.1, "saturated schedulable class").
+//
+// Given a base message set M and a monotone schedulability predicate
+// (schedulable at scale a implies schedulable at every a' < a), the
+// critical scale a* = sup { a : predicate(a * M) } is located by
+// exponential bracketing plus bisection. The saturated set a* * M lies on
+// the boundary; its utilization is one breakdown-utilization sample.
+
+#pragma once
+
+#include <functional>
+
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::breakdown {
+
+/// A schedulability predicate over message sets (captures protocol params
+/// and bandwidth). Must be monotone non-increasing in uniform payload
+/// scaling.
+using SchedulablePredicate = std::function<bool(const msg::MessageSet&)>;
+
+/// Options for the boundary search.
+struct SaturationOptions {
+  /// Relative tolerance on the critical scale.
+  double relative_tolerance = 1e-6;
+  /// Initial scale guess for bracketing.
+  double initial_scale = 1.0;
+  /// Abort bracketing above this scale (guards against predicates that
+  /// never fail, e.g. zero-payload sets).
+  double max_scale = 1e12;
+};
+
+/// Result of a saturation search.
+struct SaturationResult {
+  /// True iff a boundary exists: predicate holds somewhere in (0, max_scale]
+  /// and fails at larger scales. False means either the set is
+  /// unschedulable even as payloads vanish (degenerate_zero) or never
+  /// becomes unschedulable below max_scale.
+  bool found = false;
+  /// Predicate fails even for the unscaled-to-zero set (fixed overheads
+  /// alone exceed capacity): breakdown utilization is 0.
+  bool degenerate_zero = false;
+  /// The critical scale a* (lower bracket end; predicate holds here).
+  double critical_scale = 0.0;
+  /// Utilization of the saturated set at the given bandwidth.
+  double breakdown_utilization = 0.0;
+};
+
+/// Locate the critical scale for `base` under `predicate`.
+/// `bw` is used only to report utilization. Requires a non-empty base set
+/// with at least one positive payload.
+SaturationResult find_saturation(const msg::MessageSet& base,
+                                 const SchedulablePredicate& predicate,
+                                 BitsPerSecond bw,
+                                 const SaturationOptions& options = {});
+
+}  // namespace tokenring::breakdown

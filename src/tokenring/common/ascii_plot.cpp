@@ -1,0 +1,105 @@
+#include "tokenring/common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring {
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  TR_EXPECTS(!series.empty());
+  TR_EXPECTS(options.width >= 8);
+  TR_EXPECTS(options.height >= 4);
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_auto_max = -std::numeric_limits<double>::infinity();
+  std::size_t points = 0;
+  for (const auto& s : series) {
+    TR_EXPECTS_MSG(s.x.size() == s.y.size(), "series x/y length mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      TR_EXPECTS_MSG(!options.log_x || s.x[i] > 0.0,
+                     "log-x plot requires positive x");
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_auto_max = std::max(y_auto_max, s.y[i]);
+      ++points;
+    }
+  }
+  TR_EXPECTS_MSG(points > 0, "nothing to plot");
+  if (x_max == x_min) x_max = x_min + 1.0;
+
+  const double y_min = options.y_min;
+  double y_max = options.y_max > options.y_min
+                     ? options.y_max
+                     : std::max(y_auto_max * 1.05, y_min + 1e-12);
+
+  const auto x_coord = [&](double x) {
+    const double t = options.log_x
+                         ? (std::log(x) - std::log(x_min)) /
+                               (std::log(x_max) - std::log(x_min))
+                         : (x - x_min) / (x_max - x_min);
+    return std::clamp(static_cast<int>(std::lround(
+                          t * static_cast<double>(options.width - 1))),
+                      0, options.width - 1);
+  };
+  const auto y_coord = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    return std::clamp(static_cast<int>(std::lround(
+                          t * static_cast<double>(options.height - 1))),
+                      0, options.height - 1);
+  };
+
+  // Grid, row 0 at the top.
+  std::vector<std::string> grid(static_cast<std::size_t>(options.height),
+                                std::string(static_cast<std::size_t>(options.width), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = x_coord(s.x[i]);
+      const int row = options.height - 1 - y_coord(s.y[i]);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  char buf[32];
+  for (int r = 0; r < options.height; ++r) {
+    // y tick labels on the first, middle and last rows.
+    const double y_here =
+        y_max - (y_max - y_min) * static_cast<double>(r) /
+                    static_cast<double>(options.height - 1);
+    if (r == 0 || r == options.height - 1 || r == options.height / 2) {
+      std::snprintf(buf, sizeof buf, "%6.2f |", y_here);
+    } else {
+      std::snprintf(buf, sizeof buf, "       |");
+    }
+    os << buf << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << "       +" << std::string(static_cast<std::size_t>(options.width), '-')
+     << "\n";
+  std::snprintf(buf, sizeof buf, "%-8s%-10.3g", "", x_min);
+  os << buf;
+  const std::string right = [&] {
+    char b[16];
+    std::snprintf(b, sizeof b, "%.3g", x_max);
+    return std::string(b);
+  }();
+  const int pad = options.width - 10 - static_cast<int>(right.size());
+  os << std::string(static_cast<std::size_t>(std::max(0, pad)), ' ') << right;
+  if (!options.x_label.empty()) os << "  " << options.x_label;
+  if (options.log_x) os << " (log)";
+  os << "\n";
+  for (const auto& s : series) {
+    os << "        " << s.marker << " " << s.label << "\n";
+  }
+  if (!options.y_label.empty()) os << "        y: " << options.y_label << "\n";
+  return os.str();
+}
+
+}  // namespace tokenring

@@ -1,0 +1,42 @@
+// Terminal line plots for the benchmark harness.
+//
+// Renders series of (x, y) points on a character grid with a log- or
+// linear-scaled x axis — enough to eyeball the reproduction of the paper's
+// Figure 1 directly in the bench output without leaving the terminal.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tokenring {
+
+/// One plotted series.
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;  // same length as x
+  char marker = '*';
+};
+
+/// Plot appearance and scales.
+struct PlotOptions {
+  int width = 72;    // interior columns
+  int height = 20;   // interior rows
+  bool log_x = false;
+  double y_min = 0.0;
+  /// y maximum; <= y_min means auto (max over series, padded).
+  double y_max = 0.0;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render the series into a multi-line string. Points outside the ranges
+/// clamp to the border. Requires at least one series with at least one
+/// point; series must have matching x/y lengths; with log_x all x must be
+/// positive.
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace tokenring

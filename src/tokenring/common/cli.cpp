@@ -1,0 +1,106 @@
+#include "tokenring/common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring {
+
+void CliFlags::declare(const std::string& name, const std::string& default_value,
+                       const std::string& help) {
+  TR_EXPECTS_MSG(!flags_.count(name), "flag declared twice: " + name);
+  flags_[name] = Flag{default_value, help};
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        print_usage(argv[0]);
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  TR_EXPECTS_MSG(it != flags_.end(), "flag not declared: " + name);
+  return it->second.value;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("flag --" + name + " is not a number: " + v);
+  }
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("flag --" + name + " is not an integer: " + v);
+  }
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw PreconditionError("flag --" + name + " is not a boolean: " + v);
+}
+
+void CliFlags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.value.c_str());
+  }
+}
+
+std::vector<double> parse_double_list(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+}  // namespace tokenring

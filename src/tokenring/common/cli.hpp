@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Flags are `--name=value` or `--name value`. Unknown flags are an error so
+// typos surface immediately. Each binary declares its flags up front, which
+// doubles as `--help` text.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tokenring {
+
+/// Parses `--key=value` style flags with typed accessors and defaults.
+class CliFlags {
+ public:
+  /// Declare a flag before parsing. `help` is shown by `--help`.
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) if `--help` was given
+  /// or an unknown/malformed flag was seen.
+  bool parse(int argc, char** argv);
+
+  /// Typed accessors; flag must have been declared.
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Print usage for all declared flags.
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+/// Split a comma-separated list into values ("1,2,5" -> {1,2,5}).
+std::vector<double> parse_double_list(const std::string& csv);
+
+}  // namespace tokenring

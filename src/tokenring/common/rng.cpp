@@ -1,0 +1,29 @@
+#include "tokenring/common/rng.hpp"
+
+namespace tokenring {
+
+double Rng::uniform(double lo, double hi) {
+  TR_EXPECTS(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TR_EXPECTS(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  TR_EXPECTS(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  TR_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace tokenring

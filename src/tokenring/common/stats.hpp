@@ -1,0 +1,80 @@
+// Running statistics (Welford) and simple histograms.
+//
+// Used by the Monte Carlo breakdown-utilization estimator (mean + 95% CI of
+// saturated-set utilizations) and by the simulator metrics (token rotation
+// times, response times).
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tokenring {
+
+/// Numerically stable single-pass accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  /// Incorporate one sample.
+  void add(double x);
+
+  /// Number of samples seen.
+  std::size_t count() const { return count_; }
+  /// Sample mean; 0 if empty.
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 if fewer than two samples.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Standard error of the mean; 0 if fewer than two samples.
+  double std_error() const;
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean (1.96 * std_error). 0 if fewer than two samples.
+  double ci95_half_width() const;
+  /// Smallest sample; +inf if empty.
+  double min() const { return min_; }
+  /// Largest sample; -inf if empty.
+  double max() const { return max_; }
+  /// Sum of all samples.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket. Used for response-time and rotation-time profiles.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Incorporate one sample.
+  void add(double x);
+
+  /// Bucket counts.
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  /// Total samples.
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of bucket `i`.
+  double bucket_lo(std::size_t i) const;
+  /// Exclusive upper edge of bucket `i`.
+  double bucket_hi(std::size_t i) const;
+  /// Linear-interpolation quantile estimate, q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tokenring

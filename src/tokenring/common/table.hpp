@@ -1,0 +1,46 @@
+// ASCII table and CSV writers for the benchmark harness.
+//
+// Every bench binary prints its series twice: a human-readable aligned
+// table (what you eyeball against the paper's figure) and a machine-
+// readable CSV block (what you plot). Both come from the same Table.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tokenring {
+
+/// A simple column-oriented table: set headers once, append rows of cells.
+/// Numeric cells should be pre-formatted by the caller (see `fmt` helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header row first).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 4);
+/// Format an integer.
+std::string fmt(long long v);
+/// Format a double in engineering style (e.g. "1e+06").
+std::string fmt_sci(double v, int prec = 3);
+
+}  // namespace tokenring

@@ -1,0 +1,64 @@
+// Units and conversion helpers.
+//
+// The library works in SI base units throughout:
+//   * time      -> seconds, as `Seconds` (double)
+//   * data size -> bits, as `Bits` (double; fractional bits never appear in
+//                  protocol state, but payload scaling during breakdown
+//                  search is continuous, so the arithmetic type is double)
+//   * bandwidth -> bits per second, as `BitsPerSecond` (double)
+//
+// Keeping everything in SI avoids the classic ms/us mix-ups in
+// schedulability formulas; the named constructor helpers below are the only
+// sanctioned way to write literal quantities.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tokenring {
+
+/// Time in seconds.
+using Seconds = double;
+/// Data size in bits (continuous: breakdown scaling multiplies payloads
+/// by an arbitrary real factor).
+using Bits = double;
+/// Bandwidth in bits per second.
+using BitsPerSecond = double;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
+// ---- named literal helpers -------------------------------------------------
+
+/// `milliseconds(100)` -> 0.1 s.
+constexpr Seconds milliseconds(double ms) { return ms * 1e-3; }
+/// `microseconds(44.4)` -> 4.44e-5 s.
+constexpr Seconds microseconds(double us) { return us * 1e-6; }
+/// `nanoseconds(10)` -> 1e-8 s.
+constexpr Seconds nanoseconds(double ns) { return ns * 1e-9; }
+
+/// `mbps(100)` -> 1e8 bit/s.
+constexpr BitsPerSecond mbps(double m) { return m * 1e6; }
+/// `kbps(64)` -> 6.4e4 bit/s.
+constexpr BitsPerSecond kbps(double k) { return k * 1e3; }
+/// `gbps(1)` -> 1e9 bit/s.
+constexpr BitsPerSecond gbps(double g) { return g * 1e9; }
+
+/// `bytes(64)` -> 512 bits.
+constexpr Bits bytes(double b) { return b * 8.0; }
+
+// ---- conversions -----------------------------------------------------------
+
+/// Transmission time of `bits` at bandwidth `bw`.
+constexpr Seconds transmission_time(Bits bits, BitsPerSecond bw) {
+  return bits / bw;
+}
+
+/// Seconds -> milliseconds (for reporting).
+constexpr double to_milliseconds(Seconds s) { return s * 1e3; }
+/// Seconds -> microseconds (for reporting).
+constexpr double to_microseconds(Seconds s) { return s * 1e6; }
+/// bit/s -> Mbit/s (for reporting).
+constexpr double to_mbps(BitsPerSecond bw) { return bw / 1e6; }
+
+}  // namespace tokenring

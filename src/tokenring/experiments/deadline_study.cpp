@@ -1,0 +1,44 @@
+#include "tokenring/experiments/deadline_study.hpp"
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::experiments {
+
+std::vector<DeadlineStudyRow> run_deadline_study(
+    const DeadlineStudyConfig& config) {
+  TR_EXPECTS(!config.deadline_fractions.empty());
+  TR_EXPECTS(!config.bandwidths_mbps.empty());
+
+  std::vector<DeadlineStudyRow> rows;
+  for (double bw_mbps : config.bandwidths_mbps) {
+    const BitsPerSecond bw = mbps(bw_mbps);
+    for (double fraction : config.deadline_fractions) {
+      TR_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+      PaperSetup setup = config.setup;
+      setup.deadline_fraction = fraction;
+
+      DeadlineStudyRow row;
+      row.bandwidth_mbps = bw_mbps;
+      row.deadline_fraction = fraction;
+      row.ieee8025 =
+          estimate_point(setup,
+                         setup.pdp_predicate(
+                             analysis::PdpVariant::kStandard8025, bw),
+                         bw, config.sets_per_point, config.seed)
+              .mean();
+      row.modified8025 =
+          estimate_point(setup,
+                         setup.pdp_predicate(
+                             analysis::PdpVariant::kModified8025, bw),
+                         bw, config.sets_per_point, config.seed)
+              .mean();
+      row.fddi = estimate_point(setup, setup.ttp_predicate(bw), bw,
+                                config.sets_per_point, config.seed)
+                     .mean();
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace tokenring::experiments

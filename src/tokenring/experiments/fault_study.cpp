@@ -1,0 +1,114 @@
+#include "tokenring/experiments/fault_study.hpp"
+
+#include <algorithm>
+
+#include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/workload.hpp"
+
+namespace tokenring::experiments {
+
+namespace {
+
+std::vector<Seconds> random_loss_times(Rng& rng, int count, Seconds horizon) {
+  std::vector<Seconds> times;
+  times.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Avoid the last 10%: a loss right at the horizon has no time to show
+    // its consequences and only adds noise.
+    times.push_back(rng.uniform(0.0, 0.9 * horizon));
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace
+
+std::vector<FaultStudyRow> run_fault_study(const FaultStudyConfig& config) {
+  TR_EXPECTS(!config.loss_counts.empty());
+  TR_EXPECTS(config.sets_per_point >= 1);
+  TR_EXPECTS(config.load_scale > 0.0 && config.load_scale < 1.0);
+
+  const BitsPerSecond bw = mbps(config.bandwidth_mbps);
+  const auto pdp_params =
+      config.setup.pdp_params(analysis::PdpVariant::kModified8025);
+  const auto ttp_params = config.setup.ttp_params();
+  msg::MessageSetGenerator gen(config.setup.generator_config());
+
+  std::vector<FaultStudyRow> rows;
+  for (int losses : config.loss_counts) {
+    TR_EXPECTS(losses >= 0);
+    double pdp_missed = 0.0, pdp_released = 0.0;
+    double ttp_missed = 0.0, ttp_released = 0.0;
+    Seconds pdp_outage = 0.0;
+    Seconds ttp_outage = 0.0;
+
+    Rng rng(config.seed);
+    for (std::size_t i = 0; i < config.sets_per_point; ++i) {
+      const auto base = gen.generate(rng);
+
+      // PDP run.
+      {
+        const auto predicate = [&](const msg::MessageSet& m) {
+          return analysis::pdp_feasible(m, pdp_params, bw);
+        };
+        const auto sat = breakdown::find_saturation(base, predicate, bw);
+        if (sat.found) {
+          const auto set = base.scaled(sat.critical_scale * config.load_scale);
+          auto cfg = sim::make_pdp_sim_config(set, pdp_params, bw,
+                                              config.horizon_periods);
+          cfg.seed = config.seed + i;
+          cfg.token_loss_times =
+              random_loss_times(rng, losses, cfg.horizon);
+          const auto m = sim::run_pdp_simulation(set, cfg);
+          pdp_missed += static_cast<double>(m.deadline_misses);
+          pdp_released += static_cast<double>(m.messages_released);
+          const Seconds theta = pdp_params.ring.theta(bw);
+          pdp_outage =
+              std::max(pdp_params.frame.frame_time(bw), theta) + theta;
+        }
+      }
+
+      // TTP run.
+      {
+        const auto predicate = [&](const msg::MessageSet& m) {
+          return analysis::ttp_feasible(m, ttp_params, bw);
+        };
+        const auto sat = breakdown::find_saturation(base, predicate, bw);
+        if (sat.found) {
+          const auto set = base.scaled(sat.critical_scale * config.load_scale);
+          auto cfg = sim::make_ttp_sim_config(set, ttp_params, bw,
+                                              config.horizon_periods);
+          cfg.seed = config.seed + i;
+          cfg.token_loss_times =
+              random_loss_times(rng, losses, cfg.horizon);
+          const auto m = sim::run_ttp_simulation(set, cfg);
+          ttp_missed += static_cast<double>(m.deadline_misses);
+          ttp_released += static_cast<double>(m.messages_released);
+          ttp_outage = 2.0 * cfg.ttrt +
+                       2.0 * ttp_params.ring.walk_time(bw) +
+                       ttp_params.ring.token_time(bw);
+        }
+      }
+    }
+
+    FaultStudyRow pdp_row;
+    pdp_row.protocol = "modified8025";
+    pdp_row.losses = losses;
+    pdp_row.miss_ratio = pdp_released > 0 ? pdp_missed / pdp_released : 0.0;
+    pdp_row.outage = pdp_outage;
+    rows.push_back(pdp_row);
+
+    FaultStudyRow ttp_row;
+    ttp_row.protocol = "fddi";
+    ttp_row.losses = losses;
+    ttp_row.miss_ratio = ttp_released > 0 ? ttp_missed / ttp_released : 0.0;
+    ttp_row.outage = ttp_outage;
+    rows.push_back(ttp_row);
+  }
+  return rows;
+}
+
+}  // namespace tokenring::experiments

@@ -1,0 +1,66 @@
+#include "tokenring/experiments/setup.hpp"
+
+#include "tokenring/analysis/ttrt.hpp"
+
+namespace tokenring::experiments {
+
+msg::GeneratorConfig PaperSetup::generator_config() const {
+  msg::GeneratorConfig g;
+  g.num_streams = num_stations;
+  g.mean_period = mean_period;
+  g.period_ratio = period_ratio;
+  g.period_dist = period_dist;
+  g.payload_dist = payload_dist;
+  g.deadline_fraction = deadline_fraction;
+  return g;
+}
+
+analysis::PdpParams PaperSetup::pdp_params(analysis::PdpVariant variant) const {
+  analysis::PdpParams p;
+  p.ring = net::ieee8025_ring(num_stations, station_spacing_m);
+  p.frame = net::frame_format_with_payload_bytes(frame_payload_bytes);
+  p.variant = variant;
+  return p;
+}
+
+analysis::TtpParams PaperSetup::ttp_params() const {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(num_stations, station_spacing_m);
+  p.frame = net::frame_format_with_payload_bytes(frame_payload_bytes);
+  p.async_frame = net::frame_format_with_payload_bytes(frame_payload_bytes);
+  return p;
+}
+
+breakdown::SchedulablePredicate PaperSetup::pdp_predicate(
+    analysis::PdpVariant variant, BitsPerSecond bw) const {
+  return [params = pdp_params(variant), bw](const msg::MessageSet& set) {
+    return analysis::pdp_feasible(set, params, bw);
+  };
+}
+
+breakdown::SchedulablePredicate PaperSetup::ttp_predicate(
+    BitsPerSecond bw) const {
+  return [params = ttp_params(), bw](const msg::MessageSet& set) {
+    return analysis::ttp_feasible(set, params, bw);
+  };
+}
+
+breakdown::SchedulablePredicate PaperSetup::ttp_predicate_at(
+    BitsPerSecond bw, Seconds ttrt) const {
+  return [params = ttp_params(), bw, ttrt](const msg::MessageSet& set) {
+    return analysis::ttp_feasible_at(set, params, bw, ttrt);
+  };
+}
+
+breakdown::BreakdownEstimate estimate_point(
+    const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
+    BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed) {
+  msg::MessageSetGenerator generator(setup.generator_config());
+  Rng rng(seed);
+  breakdown::MonteCarloOptions options;
+  options.num_sets = num_sets;
+  return breakdown::estimate_breakdown_utilization(generator, predicate, bw,
+                                                   rng, options);
+}
+
+}  // namespace tokenring::experiments

@@ -1,0 +1,145 @@
+#include "tokenring/experiments/sim_validation_study.hpp"
+
+#include <algorithm>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+
+namespace tokenring::experiments {
+
+namespace {
+
+SimValidationRow validate_pdp(const SimValidationConfig& config,
+                              analysis::PdpVariant variant, double bw_mbps) {
+  const BitsPerSecond bw = mbps(bw_mbps);
+  const auto params = config.setup.pdp_params(variant);
+  msg::MessageSetGenerator gen(config.setup.generator_config());
+  Rng rng(config.seed);
+
+  SimValidationRow row;
+  row.protocol = variant == analysis::PdpVariant::kStandard8025
+                     ? "ieee8025"
+                     : "modified8025";
+  row.bandwidth_mbps = bw_mbps;
+
+  for (std::size_t i = 0; i < config.sets_per_point; ++i) {
+    const auto base = gen.generate(rng);
+    const auto predicate = [&](const msg::MessageSet& m) {
+      return analysis::pdp_feasible(m, params, bw);
+    };
+    const auto sat = breakdown::find_saturation(base, predicate, bw);
+    if (!sat.found) {
+      ++row.degenerate_skipped;
+      continue;
+    }
+    ++row.sets_tested;
+
+    sim::PdpSimConfig cfg;
+    cfg.params = params;
+    cfg.bandwidth = bw;
+    cfg.worst_case_phasing = true;
+    cfg.async_model = sim::AsyncModel::kSaturating;
+    cfg.seed = config.seed + i;
+
+    const auto inside =
+        base.scaled(sat.critical_scale * config.inside_scale_pdp);
+    cfg.horizon = config.horizon_periods * inside.max_period();
+    if (sim::run_pdp_simulation(inside, cfg).deadline_misses > 0) {
+      ++row.false_negatives;
+    }
+
+    const auto outside = base.scaled(sat.critical_scale * config.outside_scale);
+    cfg.horizon = config.horizon_periods * outside.max_period();
+    if (sim::run_pdp_simulation(outside, cfg).deadline_misses == 0) {
+      ++row.outside_clean;
+    }
+  }
+  return row;
+}
+
+SimValidationRow validate_ttp(const SimValidationConfig& config,
+                              double bw_mbps) {
+  const BitsPerSecond bw = mbps(bw_mbps);
+  const auto params = config.setup.ttp_params();
+  msg::MessageSetGenerator gen(config.setup.generator_config());
+  Rng rng(config.seed);
+
+  SimValidationRow row;
+  row.protocol = "fddi";
+  row.bandwidth_mbps = bw_mbps;
+
+  for (std::size_t i = 0; i < config.sets_per_point; ++i) {
+    const auto base = gen.generate(rng);
+    const auto predicate = [&](const msg::MessageSet& m) {
+      return analysis::ttp_feasible(m, params, bw);
+    };
+    const auto sat = breakdown::find_saturation(base, predicate, bw);
+    if (!sat.found) {
+      ++row.degenerate_skipped;
+      continue;
+    }
+    ++row.sets_tested;
+
+    const auto inside =
+        base.scaled(sat.critical_scale * config.inside_scale_ttp);
+    sim::TtpSimConfig cfg;
+    cfg.params = params;
+    cfg.bandwidth = bw;
+    cfg.ttrt = analysis::select_ttrt(inside, params.ring, bw);
+    cfg.worst_case_phasing = true;
+    cfg.async_model = sim::AsyncModel::kSaturating;
+    cfg.seed = config.seed + i;
+    cfg.horizon = config.horizon_periods * inside.max_period();
+    for (const auto& s : inside.streams()) {
+      cfg.sync_bandwidth_per_stream.push_back(
+          analysis::ttp_local_bandwidth(s, params, bw, cfg.ttrt).value_or(0.0));
+    }
+    sim::TtpSimulation inside_sim(inside, cfg);
+    const auto inside_metrics = inside_sim.run();
+    if (inside_metrics.deadline_misses > 0) ++row.false_negatives;
+    const double ratio = inside_sim.max_intervisit() / cfg.ttrt;
+    row.max_intervisit_ratio = std::max(row.max_intervisit_ratio, ratio);
+    if (ratio > 2.0 + 1e-9) ++row.johnson_violations;
+
+    const auto outside = base.scaled(sat.critical_scale * config.outside_scale);
+    sim::TtpSimConfig out_cfg = cfg;
+    out_cfg.ttrt = analysis::select_ttrt(outside, params.ring, bw);
+    out_cfg.horizon = config.horizon_periods * outside.max_period();
+    out_cfg.sync_bandwidth_per_stream.clear();
+    for (const auto& s : outside.streams()) {
+      out_cfg.sync_bandwidth_per_stream.push_back(
+          analysis::ttp_local_bandwidth(s, params, bw, out_cfg.ttrt)
+              .value_or(0.0));
+    }
+    if (sim::run_ttp_simulation(outside, out_cfg).deadline_misses == 0) {
+      ++row.outside_clean;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<SimValidationRow> run_sim_validation(
+    const SimValidationConfig& config) {
+  TR_EXPECTS(!config.bandwidths_mbps.empty());
+  TR_EXPECTS(config.sets_per_point >= 1);
+  TR_EXPECTS(config.inside_scale_pdp > 0.0 && config.inside_scale_pdp < 1.0);
+  TR_EXPECTS(config.inside_scale_ttp > 0.0 && config.inside_scale_ttp <= 1.0);
+  TR_EXPECTS(config.outside_scale > 1.0);
+
+  std::vector<SimValidationRow> rows;
+  for (double bw_mbps : config.bandwidths_mbps) {
+    rows.push_back(
+        validate_pdp(config, analysis::PdpVariant::kStandard8025, bw_mbps));
+    rows.push_back(
+        validate_pdp(config, analysis::PdpVariant::kModified8025, bw_mbps));
+    rows.push_back(validate_ttp(config, bw_mbps));
+  }
+  return rows;
+}
+
+}  // namespace tokenring::experiments

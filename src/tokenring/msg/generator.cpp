@@ -1,0 +1,68 @@
+#include "tokenring/msg/generator.hpp"
+
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::msg {
+
+Seconds GeneratorConfig::min_period() const {
+  if (period_dist == PeriodDistribution::kEqual) return mean_period;
+  return 2.0 * mean_period / (1.0 + period_ratio);
+}
+
+Seconds GeneratorConfig::max_period() const {
+  if (period_dist == PeriodDistribution::kEqual) return mean_period;
+  return period_ratio * min_period();
+}
+
+void GeneratorConfig::validate() const {
+  TR_EXPECTS(num_streams >= 1);
+  TR_EXPECTS(mean_period > 0.0);
+  TR_EXPECTS(period_ratio >= 1.0);
+  TR_EXPECTS(deadline_fraction > 0.0 && deadline_fraction <= 1.0);
+}
+
+MessageSetGenerator::MessageSetGenerator(GeneratorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+MessageSet MessageSetGenerator::generate(Rng& rng) const {
+  const Seconds pmin = config_.min_period();
+  const Seconds pmax = config_.max_period();
+
+  MessageSet set;
+  for (int i = 0; i < config_.num_streams; ++i) {
+    SyncStream s;
+    s.station = i;
+    switch (config_.period_dist) {
+      case PeriodDistribution::kUniform:
+        s.period = rng.uniform(pmin, pmax);
+        break;
+      case PeriodDistribution::kLogUniform:
+        s.period = std::exp(rng.uniform(std::log(pmin), std::log(pmax)));
+        break;
+      case PeriodDistribution::kEqual:
+        s.period = config_.mean_period;
+        break;
+    }
+    if (config_.deadline_fraction < 1.0) {
+      s.relative_deadline = config_.deadline_fraction * s.period;
+    }
+    switch (config_.payload_dist) {
+      case PayloadDistribution::kUniform:
+        s.payload_bits = rng.uniform(1'000.0, 10'000.0);
+        break;
+      case PayloadDistribution::kProportionalToPeriod:
+        // Scale-free: proportionality constant is arbitrary because the
+        // saturation search rescales; 1e5 bits/s keeps numbers readable.
+        s.payload_bits = s.period * 1e5 * rng.uniform(0.5, 1.5);
+        break;
+    }
+    set.add(s);
+  }
+  return set;
+}
+
+}  // namespace tokenring::msg

@@ -1,0 +1,76 @@
+// Random message-set generation for the Monte Carlo experiments (paper
+// Section 6.2).
+//
+// The paper draws periods from a uniform distribution parameterized by the
+// *average* period and the max/min *ratio*; with mean m and ratio r the
+// support is [2m/(1+r), 2mr/(1+r)]. Payload lengths are drawn as a random
+// direction and later scaled to the schedulability boundary, so only their
+// relative sizes matter; we provide the distributions used in the
+// Lehoczky-Sha-Ding methodology plus a few for ablations.
+
+#pragma once
+
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::msg {
+
+/// Period distribution choices.
+enum class PeriodDistribution {
+  /// Uniform on [min, max] — the paper's choice.
+  kUniform,
+  /// Log-uniform on [min, max] — spreads priorities across decades.
+  kLogUniform,
+  /// All periods equal to the mean — the paper's special case for which
+  /// TTRT = sqrt(Theta * P) is provably near-optimal.
+  kEqual,
+};
+
+/// Payload (message length) direction distributions. Payloads get rescaled
+/// to the saturation boundary, so these fix only relative magnitudes.
+enum class PayloadDistribution {
+  /// C_i^b uniform on [1, 10] kilobits, independent of the period.
+  kUniform,
+  /// C_i^b proportional to P_i times a uniform [0.5, 1.5] jitter — every
+  /// stream carries a comparable utilization share.
+  kProportionalToPeriod,
+};
+
+/// Parameters for random set generation.
+struct GeneratorConfig {
+  /// Number of streams (= stations; one stream per station).
+  int num_streams = 100;
+  /// Mean period [s]; paper: 100 ms.
+  Seconds mean_period = 0.1;
+  /// Max/min period ratio; paper: 10. Must be >= 1. Ignored for kEqual.
+  double period_ratio = 10.0;
+  PeriodDistribution period_dist = PeriodDistribution::kUniform;
+  PayloadDistribution payload_dist = PayloadDistribution::kUniform;
+  /// Relative deadline as a fraction of the period, in (0, 1]. 1.0 (the
+  /// default) produces implicit deadlines (the paper's D = P model);
+  /// smaller values generate constrained deadlines D = fraction * P.
+  double deadline_fraction = 1.0;
+
+  /// Smallest period in the support: 2*mean/(1+ratio).
+  Seconds min_period() const;
+  /// Largest period in the support: ratio * min_period().
+  Seconds max_period() const;
+
+  void validate() const;
+};
+
+/// Draws random message sets. Stream i is assigned to station i.
+class MessageSetGenerator {
+ public:
+  explicit MessageSetGenerator(GeneratorConfig config);
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Draw one random set (periods + payload direction).
+  MessageSet generate(Rng& rng) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace tokenring::msg

@@ -1,0 +1,42 @@
+// Message-set serialization: a small CSV format so scenarios can live in
+// files, be shared between tools, and be replayed by the examples.
+//
+// Format (header required, '#' comment lines ignored):
+//
+//   station,period_ms,payload_bits
+//   0,20,16000
+//   1,50,32000
+//
+// Parsing is strict: malformed rows raise ParseError with line numbers so
+// broken scenario files fail loudly.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::msg {
+
+/// Thrown on malformed scenario text/files.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Render a set as scenario CSV (header + one row per stream).
+std::string to_csv(const MessageSet& set);
+
+/// Parse scenario CSV. Throws ParseError on malformed input; the returned
+/// set is validated.
+MessageSet message_set_from_csv(const std::string& text);
+
+/// Load a scenario file. Throws ParseError if the file cannot be read or
+/// parsed.
+MessageSet load_message_set(const std::string& path);
+
+/// Save a scenario file. Throws ParseError if the file cannot be written.
+void save_message_set(const std::string& path, const MessageSet& set);
+
+}  // namespace tokenring::msg

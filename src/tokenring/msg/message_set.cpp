@@ -1,0 +1,58 @@
+#include "tokenring/msg/message_set.hpp"
+
+#include <algorithm>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::msg {
+
+MessageSet::MessageSet(std::vector<SyncStream> streams)
+    : streams_(std::move(streams)) {}
+
+void MessageSet::add(SyncStream s) { streams_.push_back(s); }
+
+double MessageSet::utilization(BitsPerSecond bw) const {
+  double u = 0.0;
+  for (const auto& s : streams_) u += s.utilization(bw);
+  return u;
+}
+
+Seconds MessageSet::min_period() const {
+  TR_EXPECTS(!streams_.empty());
+  return std::min_element(streams_.begin(), streams_.end(),
+                          [](const SyncStream& a, const SyncStream& b) {
+                            return a.period < b.period;
+                          })
+      ->period;
+}
+
+Seconds MessageSet::max_period() const {
+  TR_EXPECTS(!streams_.empty());
+  return std::max_element(streams_.begin(), streams_.end(),
+                          [](const SyncStream& a, const SyncStream& b) {
+                            return a.period < b.period;
+                          })
+      ->period;
+}
+
+MessageSet MessageSet::rm_sorted() const {
+  std::vector<SyncStream> copy = streams_;
+  std::stable_sort(copy.begin(), copy.end(),
+                   [](const SyncStream& a, const SyncStream& b) {
+                     return a.deadline() < b.deadline();
+                   });
+  return MessageSet(std::move(copy));
+}
+
+MessageSet MessageSet::scaled(double factor) const {
+  TR_EXPECTS(factor >= 0.0);
+  std::vector<SyncStream> copy = streams_;
+  for (auto& s : copy) s.payload_bits *= factor;
+  return MessageSet(std::move(copy));
+}
+
+void MessageSet::validate() const {
+  for (const auto& s : streams_) s.validate();
+}
+
+}  // namespace tokenring::msg

@@ -1,0 +1,60 @@
+// Synchronous message set M = {S_1 ... S_n} (paper Section 3.2).
+//
+// Most analyses need the streams in rate-monotonic order (shortest period =
+// highest priority); `rm_sorted()` returns a copy in that order without
+// losing the original station assignment. Scaling all payloads by a common
+// factor is the primitive the breakdown-utilization search is built on.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tokenring/msg/stream.hpp"
+
+namespace tokenring::msg {
+
+/// An ordered collection of synchronous streams.
+class MessageSet {
+ public:
+  MessageSet() = default;
+  explicit MessageSet(std::vector<SyncStream> streams);
+
+  /// Number of streams n.
+  std::size_t size() const { return streams_.size(); }
+  bool empty() const { return streams_.empty(); }
+
+  const SyncStream& operator[](std::size_t i) const { return streams_[i]; }
+  const std::vector<SyncStream>& streams() const { return streams_; }
+
+  /// Append one stream.
+  void add(SyncStream s);
+
+  /// Total utilization U(M) = sum C_i / P_i at bandwidth `bw`.
+  double utilization(BitsPerSecond bw) const;
+
+  /// Shortest / longest period in the set. Requires non-empty.
+  Seconds min_period() const;
+  Seconds max_period() const;
+
+  /// Copy with streams sorted by increasing effective deadline — the
+  /// deadline-monotonic priority order, which reduces to rate-monotonic
+  /// when every deadline is implicit (D = P, the paper's model). The sort
+  /// is stable, so streams with equal deadlines keep their relative
+  /// order — analyses treat earlier-indexed ones as higher priority, which
+  /// is the conservative convention.
+  MessageSet rm_sorted() const;
+
+  /// Copy with every payload multiplied by `factor` (>= 0). Periods are
+  /// untouched. This is the direction-preserving scaling of the
+  /// Lehoczky-Sha-Ding saturation procedure.
+  MessageSet scaled(double factor) const;
+
+  /// Validates every stream and that stations are within [0, limit).
+  void validate() const;
+
+ private:
+  std::vector<SyncStream> streams_;
+};
+
+}  // namespace tokenring::msg

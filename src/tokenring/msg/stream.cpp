@@ -1,0 +1,26 @@
+#include "tokenring/msg/stream.hpp"
+
+#include <sstream>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::msg {
+
+void SyncStream::validate() const {
+  TR_EXPECTS_MSG(period > 0.0, "stream period must be positive");
+  TR_EXPECTS_MSG(payload_bits >= 0.0, "payload cannot be negative");
+  TR_EXPECTS_MSG(station >= 0, "station index cannot be negative");
+  TR_EXPECTS_MSG(relative_deadline >= 0.0,
+                 "relative deadline cannot be negative");
+  TR_EXPECTS_MSG(relative_deadline <= period,
+                 "constrained deadlines must satisfy D <= P");
+}
+
+std::string SyncStream::describe(BitsPerSecond bw) const {
+  std::ostringstream os;
+  os << "S(station=" << station << ", P=" << to_milliseconds(period)
+     << "ms, C=" << payload_bits << "b, U=" << utilization(bw) << ")";
+  return os.str();
+}
+
+}  // namespace tokenring::msg

@@ -1,0 +1,50 @@
+// Synchronous message stream model (paper Section 3.2).
+//
+// A stream S_i delivers one message of C_i^b payload bits every P_i
+// seconds; the deadline of each message is the end of its period. In the
+// paper's model exactly one stream originates at each station, so a stream
+// also identifies its source station.
+
+#pragma once
+
+#include <string>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::msg {
+
+/// One periodic synchronous stream.
+struct SyncStream {
+  /// Period P_i [s].
+  Seconds period = 0.0;
+  /// Payload length C_i^b [bits]. Continuous (see units.hpp).
+  Bits payload_bits = 0.0;
+  /// Source station index (0-based position on the ring).
+  int station = 0;
+  /// Relative deadline D_i [s]; 0 (the default) means D_i = P_i — the
+  /// paper's model. Constrained deadlines (0 < D_i <= P_i) are an
+  /// extension: analyses switch to deadline-monotonic ordering, which
+  /// coincides with rate-monotonic when every deadline is implicit.
+  Seconds relative_deadline = 0.0;
+
+  /// Effective relative deadline: explicit value, or the period.
+  Seconds deadline() const {
+    return relative_deadline > 0.0 ? relative_deadline : period;
+  }
+
+  /// Payload transmission time C_i = C_i^b / BW.
+  Seconds payload_time(BitsPerSecond bw) const { return payload_bits / bw; }
+
+  /// Per-stream utilization C_i / P_i at bandwidth `bw`.
+  double utilization(BitsPerSecond bw) const {
+    return payload_time(bw) / period;
+  }
+
+  /// Throws PreconditionError if the stream is malformed.
+  void validate() const;
+
+  /// Human-readable one-liner for diagnostics.
+  std::string describe(BitsPerSecond bw) const;
+};
+
+}  // namespace tokenring::msg

@@ -1,0 +1,44 @@
+#include "tokenring/net/ring.hpp"
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::net {
+
+double RingParams::ring_length_m() const {
+  return static_cast<double>(num_stations) * station_spacing_m;
+}
+
+Seconds RingParams::propagation_delay() const {
+  return ring_length_m() / (signal_speed_fraction * kSpeedOfLightMps);
+}
+
+Seconds RingParams::ring_latency(BitsPerSecond bw) const {
+  return static_cast<double>(num_stations) * per_station_bit_delay / bw;
+}
+
+Seconds RingParams::walk_time(BitsPerSecond bw) const {
+  return propagation_delay() + ring_latency(bw);
+}
+
+Seconds RingParams::token_time(BitsPerSecond bw) const {
+  return token_length_bits / bw;
+}
+
+Seconds RingParams::theta(BitsPerSecond bw) const {
+  return walk_time(bw) + token_time(bw);
+}
+
+Seconds RingParams::hop_latency(BitsPerSecond bw) const {
+  return station_spacing_m / (signal_speed_fraction * kSpeedOfLightMps) +
+         per_station_bit_delay / bw;
+}
+
+void RingParams::validate() const {
+  TR_EXPECTS_MSG(num_stations >= 2, "a ring needs at least two stations");
+  TR_EXPECTS(station_spacing_m > 0.0);
+  TR_EXPECTS(signal_speed_fraction > 0.0 && signal_speed_fraction <= 1.0);
+  TR_EXPECTS(per_station_bit_delay >= 0.0);
+  TR_EXPECTS(token_length_bits > 0.0);
+}
+
+}  // namespace tokenring::net

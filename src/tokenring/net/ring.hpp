@@ -1,0 +1,71 @@
+// Physical ring model: topology, latencies and the token walk time.
+//
+// Paper notation (Section 3.1):
+//   WT     = token walk time around the ring = propagation delay + per-
+//            station ring/buffer latency,
+//   Theta  = WT + token transmission time.
+//
+// Theta is the single most important network constant in the paper: it is
+// the effective frame slot when frames are shorter than the ring latency
+// (PDP), the token-passing overhead per rotation (TTP), and the quantity
+// whose bandwidth-dependence explains the non-monotone PDP curve in
+// Figure 1. Everything here is a pure function of bandwidth so analyses can
+// sweep bandwidth cheaply.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::net {
+
+/// Static description of a token ring. One instance describes both the
+/// physical layout (stations, spacing, signalling speed) and the MAC-level
+/// constants that depend on the standard in use (per-station bit delay,
+/// token length).
+struct RingParams {
+  /// Number of stations on the ring (= number of synchronous streams in the
+  /// paper's model; exactly one stream arrives at each station).
+  int num_stations = 100;
+  /// Distance between neighbouring stations [m].
+  double station_spacing_m = 100.0;
+  /// Signal propagation speed as a fraction of c (paper: 0.75).
+  double signal_speed_fraction = 0.75;
+  /// Station latency in bits (ring + buffer delay contributed by each
+  /// station). Paper: 4 bits for IEEE 802.5, 75 bits for FDDI.
+  double per_station_bit_delay = 4.0;
+  /// Token length in bits (enters Theta through the token transmission
+  /// time). IEEE 802.5 token: 24 bits; FDDI token: 88 bits.
+  double token_length_bits = 24.0;
+
+  /// Total ring circumference [m].
+  double ring_length_m() const;
+
+  /// One-way propagation delay around the whole ring [s]. Independent of
+  /// bandwidth; this is the floor Theta approaches as bandwidth grows.
+  Seconds propagation_delay() const;
+
+  /// Sum of station latencies at bandwidth `bw` [s]
+  /// (num_stations * per_station_bit_delay / bw).
+  Seconds ring_latency(BitsPerSecond bw) const;
+
+  /// Token walk time WT = propagation delay + ring latency.
+  Seconds walk_time(BitsPerSecond bw) const;
+
+  /// Token transmission time = token_length_bits / bw.
+  Seconds token_time(BitsPerSecond bw) const;
+
+  /// Theta = WT + token transmission time (paper Section 3.1).
+  Seconds theta(BitsPerSecond bw) const;
+
+  /// Latency of one hop (station i to its downstream neighbour): spacing
+  /// propagation + one station's bit delay. Used by the simulator; n hops
+  /// sum exactly to walk_time().
+  Seconds hop_latency(BitsPerSecond bw) const;
+
+  /// Throws PreconditionError if any field is out of its documented domain.
+  void validate() const;
+};
+
+}  // namespace tokenring::net

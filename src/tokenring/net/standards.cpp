@@ -1,0 +1,39 @@
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::net {
+
+RingParams ieee8025_ring(int num_stations, double station_spacing_m) {
+  RingParams p;
+  p.num_stations = num_stations;
+  p.station_spacing_m = station_spacing_m;
+  p.signal_speed_fraction = 0.75;
+  p.per_station_bit_delay = 4.0;   // paper Section 6
+  p.token_length_bits = 24.0;      // 802.5 token: SD + AC + ED
+  return p;
+}
+
+RingParams fddi_ring(int num_stations, double station_spacing_m) {
+  RingParams p;
+  p.num_stations = num_stations;
+  p.station_spacing_m = station_spacing_m;
+  p.signal_speed_fraction = 0.75;
+  p.per_station_bit_delay = 75.0;  // paper Section 6
+  p.token_length_bits = 88.0;      // FDDI token incl. preamble
+  return p;
+}
+
+FrameFormat paper_frame_format() {
+  FrameFormat f;
+  f.info_bits = 512.0;      // 64 bytes
+  f.overhead_bits = 112.0;  // paper Section 6
+  return f;
+}
+
+FrameFormat frame_format_with_payload_bytes(double payload_bytes) {
+  FrameFormat f;
+  f.info_bits = payload_bytes * 8.0;
+  f.overhead_bits = 112.0;
+  return f;
+}
+
+}  // namespace tokenring::net

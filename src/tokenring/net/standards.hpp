@@ -1,0 +1,32 @@
+// Canned parameter sets matching the standards (and the paper's Section 6
+// experiment configuration).
+//
+// The paper states: n = 100 stations, d = 100 m spacing, signal speed
+// 0.75c, average per-station bit delay 4 bits (IEEE 802.5) / 75 bits
+// (FDDI), frame payload 64 bytes, frame overhead F_ovhd^b = 112 bits.
+// Token lengths are not given in the paper; we use the standards' values
+// (24-bit 802.5 token; 88-bit FDDI token including preamble) — they only
+// enter through Theta and are dwarfed by the latency terms.
+
+#pragma once
+
+#include "tokenring/net/frame.hpp"
+#include "tokenring/net/ring.hpp"
+
+namespace tokenring::net {
+
+/// IEEE 802.5 ring with the paper's Section 6 physical layout.
+RingParams ieee8025_ring(int num_stations = 100,
+                         double station_spacing_m = 100.0);
+
+/// FDDI ring with the paper's Section 6 physical layout.
+RingParams fddi_ring(int num_stations = 100, double station_spacing_m = 100.0);
+
+/// The paper's frame format: 64-byte payload, 112-bit overhead.
+FrameFormat paper_frame_format();
+
+/// Frame format with a custom payload size in bytes (overhead stays at the
+/// paper's 112 bits); used by the frame-size ablation.
+FrameFormat frame_format_with_payload_bytes(double payload_bytes);
+
+}  // namespace tokenring::net

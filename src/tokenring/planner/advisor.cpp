@@ -1,0 +1,69 @@
+#include "tokenring/planner/advisor.hpp"
+
+#include <algorithm>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::planner {
+
+experiments::PaperSetup TrafficProfile::to_setup() const {
+  experiments::PaperSetup setup;
+  setup.num_stations = num_stations;
+  setup.station_spacing_m = station_spacing_m;
+  setup.mean_period = mean_period;
+  setup.period_ratio = period_ratio;
+  return setup;
+}
+
+double Recommendation::estimate(Protocol protocol) const {
+  switch (protocol) {
+    case Protocol::kIeee8025:
+      return ieee8025;
+    case Protocol::kModified8025:
+      return modified8025;
+    case Protocol::kFddi:
+      return fddi;
+  }
+  return 0.0;
+}
+
+Recommendation recommend_protocol(const TrafficProfile& profile,
+                                  BitsPerSecond bandwidth,
+                                  std::size_t num_sets, std::uint64_t seed) {
+  TR_EXPECTS(bandwidth > 0.0);
+  TR_EXPECTS(num_sets >= 1);
+
+  const auto setup = profile.to_setup();
+  Recommendation rec;
+  rec.ieee8025 =
+      experiments::estimate_point(
+          setup,
+          setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bandwidth),
+          bandwidth, num_sets, seed)
+          .mean();
+  rec.modified8025 =
+      experiments::estimate_point(
+          setup,
+          setup.pdp_predicate(analysis::PdpVariant::kModified8025, bandwidth),
+          bandwidth, num_sets, seed)
+          .mean();
+  rec.fddi = experiments::estimate_point(setup, setup.ttp_predicate(bandwidth),
+                                         bandwidth, num_sets, seed)
+                 .mean();
+
+  struct Entry {
+    Protocol protocol;
+    double value;
+  };
+  Entry entries[] = {{Protocol::kIeee8025, rec.ieee8025},
+                     {Protocol::kModified8025, rec.modified8025},
+                     {Protocol::kFddi, rec.fddi}};
+  std::sort(std::begin(entries), std::end(entries),
+            [](const Entry& a, const Entry& b) { return a.value > b.value; });
+  rec.best = entries[0].protocol;
+  rec.margin = entries[1].value > 0.0 ? entries[0].value / entries[1].value
+                                      : (entries[0].value > 0.0 ? 1e9 : 1.0);
+  return rec;
+}
+
+}  // namespace tokenring::planner

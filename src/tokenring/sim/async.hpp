@@ -1,0 +1,39 @@
+// Asynchronous traffic models for the protocol simulators.
+//
+// The schedulability analyses assume the worst case: every station always
+// has asynchronous frames ready (kSaturating). The simulators additionally
+// support no async traffic (kNone) and a Poisson arrival process
+// (kPoisson) for studying average behaviour under lighter cross-traffic.
+
+#pragma once
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::sim {
+
+/// How asynchronous traffic is generated at each station.
+enum class AsyncModel {
+  /// No asynchronous traffic at all.
+  kNone,
+  /// Every station always has asynchronous frames queued (the analyses'
+  /// worst-case assumption).
+  kSaturating,
+  /// Asynchronous frames arrive at each station as a Poisson process with
+  /// the configured per-station rate.
+  kPoisson,
+};
+
+/// Display name ("none", "saturating", "poisson").
+inline const char* to_string(AsyncModel model) {
+  switch (model) {
+    case AsyncModel::kNone:
+      return "none";
+    case AsyncModel::kSaturating:
+      return "saturating";
+    case AsyncModel::kPoisson:
+      return "poisson";
+  }
+  return "?";
+}
+
+}  // namespace tokenring::sim

@@ -1,0 +1,29 @@
+#include "tokenring/sim/event_queue.hpp"
+
+#include <utility>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::sim {
+
+void EventQueue::push(Seconds at, EventFn fn) {
+  TR_EXPECTS(at >= 0.0);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+Seconds EventQueue::next_time() const {
+  TR_EXPECTS(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<Seconds, EventFn> EventQueue::pop() {
+  TR_EXPECTS(!heap_.empty());
+  // priority_queue::top() is const&; the closure must be moved out, so we
+  // const_cast the known-unique top before popping (standard idiom).
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<Seconds, EventFn> out{top.at, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+}  // namespace tokenring::sim

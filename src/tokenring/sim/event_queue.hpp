@@ -1,0 +1,52 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events are closures keyed by (time, sequence): ties in time fire in
+// insertion order, which keeps simulations deterministic for a fixed seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::sim {
+
+/// An executable simulation event.
+using EventFn = std::function<void()>;
+
+/// Min-heap of (time, seq, fn) with FIFO tie-breaking.
+class EventQueue {
+ public:
+  /// Enqueue `fn` to fire at absolute time `at` (>= 0).
+  void push(Seconds at, EventFn fn);
+
+  /// True iff no events remain.
+  bool empty() const { return heap_.empty(); }
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+  /// Firing time of the earliest event. Requires non-empty.
+  Seconds next_time() const;
+
+  /// Remove and return the earliest event. Requires non-empty.
+  std::pair<Seconds, EventFn> pop();
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tokenring::sim

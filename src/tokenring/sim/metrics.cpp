@@ -1,0 +1,53 @@
+#include "tokenring/sim/metrics.hpp"
+
+#include <sstream>
+
+namespace tokenring::sim {
+
+void SimMetrics::on_release(int station) {
+  ++messages_released;
+  ++per_station[station].released;
+}
+
+void SimMetrics::on_completion(int station, Seconds response, Seconds period,
+                               Seconds deadline, Seconds slack) {
+  ++messages_completed;
+  response_time.add(response);
+  normalized_response.add(response / period);
+  auto& st = per_station[station];
+  ++st.completed;
+  st.response_time.add(response);
+  if (response > deadline + slack) {
+    ++deadline_misses;
+    ++st.misses;
+  }
+}
+
+void SimMetrics::on_abandoned_miss(int station) {
+  ++deadline_misses;
+  ++per_station[station].misses;
+}
+
+std::string SimMetrics::summary() const {
+  std::ostringstream os;
+  os << "released=" << messages_released
+     << " completed=" << messages_completed << " misses=" << deadline_misses
+     << " (ratio " << miss_ratio() << ")\n";
+  if (response_time.count() > 0) {
+    os << "response time [ms]: mean=" << to_milliseconds(response_time.mean())
+       << " max=" << to_milliseconds(response_time.max())
+       << "; normalized (r/P): mean=" << normalized_response.mean()
+       << " max=" << normalized_response.max() << "\n";
+  }
+  if (token_rotation.count() > 0) {
+    os << "token rotation @station0 [ms]: mean="
+       << to_milliseconds(token_rotation.mean())
+       << " max=" << to_milliseconds(token_rotation.max()) << "\n";
+  }
+  os << "async frames sent=" << async_frames_sent;
+  if (token_losses > 0) os << "; token losses recovered=" << token_losses;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace tokenring::sim

@@ -1,0 +1,70 @@
+// Metrics collected by the protocol simulators.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "tokenring/common/stats.hpp"
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::sim {
+
+/// Per-station breakdown of a run (keyed by station index in
+/// SimMetrics::per_station).
+struct StationStats {
+  std::size_t released = 0;
+  std::size_t completed = 0;
+  std::size_t misses = 0;
+  RunningStats response_time;
+};
+
+/// Per-run aggregate results shared by the PDP and TTP simulators.
+struct SimMetrics {
+  /// Synchronous messages whose transmission completed.
+  std::size_t messages_completed = 0;
+  /// Completed messages that finished after their deadline, plus messages
+  /// whose deadline passed while still incomplete at the end of the run.
+  std::size_t deadline_misses = 0;
+  /// Synchronous messages released during the run.
+  std::size_t messages_released = 0;
+
+  /// Response times (arrival -> last bit transmitted) of completed
+  /// messages [s].
+  RunningStats response_time;
+  /// Response time / period of completed messages (1.0 = deadline-exact).
+  RunningStats normalized_response;
+  /// Token inter-arrival times at station 0 [s] (rotation time).
+  RunningStats token_rotation;
+  /// Asynchronous frames transmitted (TTP: earliness-funded; PDP:
+  /// lowest-priority traffic).
+  std::size_t async_frames_sent = 0;
+  /// Token losses injected and recovered from (failure injection).
+  std::size_t token_losses = 0;
+  /// Per-station breakdown (only stations carrying a stream appear).
+  std::map<int, StationStats> per_station;
+
+  /// Record one released message at `station`.
+  void on_release(int station);
+  /// Record one completion; updates both aggregate and per-station stats.
+  /// `deadline` is the effective relative deadline (miss check); `period`
+  /// normalizes the response for reporting.
+  void on_completion(int station, Seconds response, Seconds period,
+                     Seconds deadline, Seconds slack);
+  /// Record a miss of a message that never completed.
+  void on_abandoned_miss(int station);
+
+  /// Misses as a fraction of released messages (0 when none released).
+  double miss_ratio() const {
+    return messages_released == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(messages_released);
+  }
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace tokenring::sim

@@ -1,0 +1,351 @@
+#include "tokenring/sim/pdp_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::sim {
+
+namespace {
+// Completion within this slack of the deadline still counts as met; guards
+// against accumulated floating-point noise in long runs.
+constexpr Seconds kDeadlineSlack = 1e-12;
+}  // namespace
+
+PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
+    : set_(std::move(set)), cfg_(std::move(config)), rng_(cfg_.seed) {
+  cfg_.params.validate();
+  set_.validate();
+  TR_EXPECTS(cfg_.bandwidth > 0.0);
+  TR_EXPECTS(cfg_.horizon > 0.0);
+  if (cfg_.async_model == AsyncModel::kPoisson) {
+    TR_EXPECTS_MSG(cfg_.async_frames_per_second > 0.0,
+                   "Poisson async model needs a positive rate");
+  }
+  TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
+
+  const int n = cfg_.params.ring.num_stations;
+  stations_.resize(static_cast<std::size_t>(n));
+
+  // Deadline-monotonic priorities across all streams (= rate-monotonic
+  // under the paper's implicit deadlines): tighter deadline = higher
+  // priority (smaller rank); ties broken by set order, matching the
+  // analysis' stable-sort convention.
+  std::vector<std::size_t> order(set_.size());
+  for (std::size_t i = 0; i < set_.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return set_[a].deadline() < set_[b].deadline();
+                   });
+  std::vector<int> rank(set_.size());
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    rank[order[r]] = static_cast<int>(r);
+  }
+
+  for (std::size_t i = 0; i < set_.size(); ++i) {
+    const auto& s = set_[i];
+    TR_EXPECTS_MSG(s.station >= 0 && s.station < n,
+                   "stream station out of ring range");
+    LocalStream local;
+    local.spec = s;
+    local.priority = rank[i];
+    stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
+  }
+
+  theta_ = cfg_.params.ring.theta(cfg_.bandwidth);
+  hop_ = cfg_.params.ring.hop_latency(cfg_.bandwidth);
+  token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
+}
+
+void PdpSimulation::emit(TraceEventKind kind, int station,
+                         double detail) const {
+  if (cfg_.trace) cfg_.trace(TraceRecord{sim_.now(), kind, station, detail});
+}
+
+Seconds PdpSimulation::hops_time(int from, int to) const {
+  const int n = cfg_.params.ring.num_stations;
+  const int hops = ((to - from - 1) % n + n) % n + 1;  // 1..n (self = n)
+  return static_cast<double>(hops) * hop_ + token_time_;
+}
+
+void PdpSimulation::schedule_arrival(int station, std::size_t stream_idx,
+                                     Seconds at) {
+  if (at > cfg_.horizon) return;
+  sim_.schedule_at(at,
+                   [this, station, stream_idx] { on_arrival(station, stream_idx); });
+}
+
+void PdpSimulation::schedule_async_arrival(int station) {
+  const Seconds at =
+      sim_.now() + rng_.exponential(1.0 / cfg_.async_frames_per_second);
+  if (at > cfg_.horizon) return;
+  sim_.schedule_at(at, [this, station] {
+    ++stations_[static_cast<std::size_t>(station)].async_pending;
+    schedule_async_arrival(station);
+    maybe_capture_idle(station);
+  });
+}
+
+void PdpSimulation::on_arrival(int station, std::size_t stream_idx) {
+  auto& local =
+      stations_[static_cast<std::size_t>(station)].streams[stream_idx];
+  local.queue.push_back(PendingMessage{sim_.now(), local.spec.payload_bits});
+  metrics_.on_release(station);
+  emit(TraceEventKind::kMessageArrival, station, local.spec.payload_bits);
+  Seconds gap = local.spec.period;
+  if (cfg_.arrival_jitter > 0.0) {
+    gap += rng_.uniform(0.0, cfg_.arrival_jitter) * local.spec.period;
+  }
+  schedule_arrival(station, stream_idx, sim_.now() + gap);
+  maybe_capture_idle(station);
+}
+
+void PdpSimulation::maybe_capture_idle(int station) {
+  // If the medium is idle, the free token is circulating at one hop per
+  // hop-latency (idle stations just repeat it): capture it when it next
+  // passes here, paying one token transmission for the capture/release.
+  if (medium_busy_ || capture_pending_) return;
+  const int n = cfg_.params.ring.num_stations;
+  const Seconds lap = static_cast<double>(n) * hop_;
+  const Seconds elapsed = sim_.now() - idle_since_;
+  const auto hops_done = static_cast<std::int64_t>(std::floor(elapsed / hop_));
+  const int pos = static_cast<int>(
+      (static_cast<std::int64_t>(idle_position_) + hops_done) %
+      static_cast<std::int64_t>(n));
+  const Seconds pos_time = idle_since_ + static_cast<double>(hops_done) * hop_;
+  const int dist = ((station - pos) % n + n) % n;
+  Seconds capture = pos_time + static_cast<double>(dist) * hop_ + token_time_;
+  if (capture < sim_.now()) capture += lap;  // just missed this pass
+  medium_busy_ = true;
+  capture_pending_ = true;
+  sim_.schedule_at(capture, [this, station, gen = token_generation_] {
+    if (gen != token_generation_) return;  // token destroyed mid-walk
+    capture_pending_ = false;
+    // Arbitrate among everything pending now (the walk collected bids).
+    bool is_async = false;
+    const auto winner = pick_winner(station, is_async);
+    if (winner) {
+      start_frame(*winner, is_async);
+    } else {
+      medium_busy_ = false;
+      idle_position_ = station;
+      idle_since_ = sim_.now();
+    }
+  });
+}
+
+void PdpSimulation::on_token_loss() {
+  ++token_generation_;
+  ++metrics_.token_losses;
+  medium_busy_ = true;  // the ring is dead until the monitor recovers it
+  capture_pending_ = false;
+  // Active-monitor recovery: the monitor notices the absence of valid
+  // transmissions within one frame slot, purges the ring (one full walk),
+  // and issues a fresh token.
+  const Seconds timeout =
+      std::max(cfg_.params.frame.frame_time(cfg_.bandwidth), theta_) + theta_;
+  sim_.schedule_in(timeout, [this, gen = token_generation_] {
+    if (gen != token_generation_) return;  // superseded by a newer loss
+    release_medium(0);
+  });
+}
+
+int PdpSimulation::best_local_priority(const Station& st) const {
+  int best = std::numeric_limits<int>::max();
+  for (const auto& local : st.streams) {
+    if (!local.queue.empty()) best = std::min(best, local.priority);
+  }
+  return best == std::numeric_limits<int>::max() ? -1 : best;
+}
+
+std::optional<int> PdpSimulation::pick_winner(int after, bool& is_async) const {
+  // Highest-priority pending synchronous frame wins; the tie-break is
+  // already encoded in the global priority ranks.
+  std::optional<int> best;
+  int best_priority = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    const int p = best_local_priority(stations_[i]);
+    if (p >= 0 && p < best_priority) {
+      best_priority = p;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best) {
+    is_async = false;
+    return best;
+  }
+  const int n = cfg_.params.ring.num_stations;
+  switch (cfg_.async_model) {
+    case AsyncModel::kNone:
+      return std::nullopt;
+    case AsyncModel::kSaturating:
+      // Every station always has async frames: next station downstream.
+      is_async = true;
+      return (after + 1) % n;
+    case AsyncModel::kPoisson:
+      // First downstream station with a queued async frame.
+      for (int d = 1; d <= n; ++d) {
+        const int candidate = (after + d) % n;
+        if (stations_[static_cast<std::size_t>(candidate)].async_pending > 0) {
+          is_async = true;
+          return candidate;
+        }
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void PdpSimulation::release_medium(int station) {
+  bool is_async = false;
+  const auto winner = pick_winner(station, is_async);
+  if (!winner) {
+    medium_busy_ = false;
+    idle_position_ = station;
+    idle_since_ = sim_.now();
+    return;
+  }
+  medium_busy_ = true;
+  sim_.schedule_in(hops_time(station, *winner),
+                   [this, w = *winner, is_async, gen = token_generation_] {
+                     if (gen != token_generation_) return;
+                     start_frame(w, is_async);
+                   });
+}
+
+void PdpSimulation::start_frame(int station, bool is_async) {
+  medium_busy_ = true;
+  const auto& frame = cfg_.params.frame;
+
+  if (is_async) {
+    const Seconds effective =
+        std::max(frame.frame_time(cfg_.bandwidth), theta_);
+    sim_.schedule_in(effective, [this, station, effective,
+                                 gen = token_generation_] {
+      if (gen != token_generation_) return;  // frame destroyed in flight
+      ++metrics_.async_frames_sent;
+      if (cfg_.async_model == AsyncModel::kPoisson) {
+        --stations_[static_cast<std::size_t>(station)].async_pending;
+      }
+      emit(TraceEventKind::kAsyncFrame, station, effective);
+      release_medium(station);
+    });
+    return;
+  }
+
+  // Serve the station's highest-priority pending stream.
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  std::size_t serve_idx = st.streams.size();
+  int best_priority = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < st.streams.size(); ++i) {
+    if (!st.streams[i].queue.empty() &&
+        st.streams[i].priority < best_priority) {
+      best_priority = st.streams[i].priority;
+      serve_idx = i;
+    }
+  }
+  TR_EXPECTS_MSG(serve_idx < st.streams.size(),
+                 "start_frame on a station with nothing pending");
+
+  auto& head = st.streams[serve_idx].queue.front();
+  const Bits chunk = std::min(head.remaining, frame.info_bits);
+  const Seconds frame_time =
+      transmission_time(chunk + frame.overhead_bits, cfg_.bandwidth);
+  const Seconds effective = std::max(frame_time, theta_);
+  emit(TraceEventKind::kSyncFrameStart, station, effective);
+
+  sim_.schedule_in(effective, [this, station, serve_idx, chunk,
+                               gen = token_generation_] {
+    if (gen != token_generation_) return;  // frame destroyed in flight
+    auto& stn = stations_[static_cast<std::size_t>(station)];
+    auto& local = stn.streams[serve_idx];
+    auto& msg = local.queue.front();
+    msg.remaining -= chunk;
+    if (msg.remaining <= 1e-9) {
+      const Seconds response = sim_.now() - msg.arrival;
+      const Seconds deadline = local.spec.deadline();
+      metrics_.on_completion(station, response, local.spec.period, deadline,
+                             kDeadlineSlack);
+      emit(TraceEventKind::kMessageComplete, station, response);
+      if (response > deadline + kDeadlineSlack) {
+        emit(TraceEventKind::kDeadlineMiss, station, response);
+      }
+      local.queue.pop_front();
+    }
+
+    if (cfg_.params.variant == analysis::PdpVariant::kModified8025 &&
+        best_local_priority(stn) >= 0) {
+      // Keep the medium while still the highest-priority active station.
+      bool is_async2 = false;
+      const auto winner = pick_winner(station, is_async2);
+      if (winner && *winner == station && !is_async2) {
+        start_frame(station, false);
+        return;
+      }
+    }
+    release_medium(station);
+  });
+}
+
+SimMetrics PdpSimulation::run() {
+  // Phasing: worst case releases everything at the critical instant t=0;
+  // otherwise phases are uniform in [0, P_i).
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    auto& st = stations_[i];
+    for (std::size_t k = 0; k < st.streams.size(); ++k) {
+      auto& local = st.streams[k];
+      local.phase = cfg_.worst_case_phasing
+                        ? 0.0
+                        : rng_.uniform(0.0, local.spec.period);
+      schedule_arrival(static_cast<int>(i), k, local.phase);
+    }
+  }
+  if (cfg_.async_model == AsyncModel::kPoisson) {
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      schedule_async_arrival(static_cast<int>(i));
+    }
+  }
+
+  for (Seconds loss : cfg_.token_loss_times) {
+    TR_EXPECTS_MSG(loss >= 0.0, "token loss times must be non-negative");
+    sim_.schedule_at(loss, [this] { on_token_loss(); });
+  }
+
+  // Kick off the medium. With saturating async an async frame starts
+  // immediately at the last station — under worst-case phasing this is the
+  // priority-inversion blocking of Lemma 4.1 (sync frames queued at t=0
+  // must wait for a lower-priority frame already committed).
+  const int kickoff = cfg_.params.ring.num_stations - 1;
+  medium_busy_ = true;
+  sim_.schedule_at(0.0, [this, kickoff] {
+    if (cfg_.async_model == AsyncModel::kSaturating) {
+      start_frame(kickoff, /*is_async=*/true);
+    } else {
+      release_medium(kickoff);
+    }
+  });
+
+  sim_.run_until(cfg_.horizon);
+
+  // Messages whose deadline passed while still incomplete count as misses.
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    for (const auto& local : stations_[i].streams) {
+      for (const auto& m : local.queue) {
+        if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
+          metrics_.on_abandoned_miss(static_cast<int>(i));
+        }
+      }
+    }
+  }
+  return metrics_;
+}
+
+SimMetrics run_pdp_simulation(const msg::MessageSet& set,
+                              const PdpSimConfig& config) {
+  PdpSimulation sim(set, config);
+  return sim.run();
+}
+
+}  // namespace tokenring::sim

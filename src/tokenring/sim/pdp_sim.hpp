@@ -1,0 +1,152 @@
+// Discrete-event simulation of the priority-driven protocol (IEEE 802.5
+// with rate-monotonic priorities) — paper Section 4.1/4.2.
+//
+// Model:
+//  * One frame occupies the medium at a time. A frame's effective medium
+//    occupancy is max(frame time, Theta): when the frame is shorter than
+//    the ring latency the sender must wait for its header (carrying the
+//    reservation field) to return before arbitration can conclude.
+//  * Arbitration: when the medium frees, the token goes to the station with
+//    the highest-priority pending frame. Reservation collection is modelled
+//    as instantaneous at release time (the returned header has circulated
+//    the whole ring, so every station has bid); the token then physically
+//    walks hop-by-hop from the releasing station to the winner. A winner
+//    identical to the releaser costs a full ring rotation, so the average
+//    token-circulation cost matches the analysis' Theta/2.
+//  * Standard variant: a free token is issued after every frame. Modified
+//    variant: the sender keeps transmitting back-to-back frames while it is
+//    still the highest-priority active station.
+//  * Asynchronous traffic (optional, saturating or Poisson): lowest
+//    priority; an async frame wins the token only when no synchronous
+//    frame is pending, and once started it blocks later sync arrivals
+//    until it completes — the priority-inversion blocking the analysis
+//    bounds with B = 2*max(F, Theta).
+//  * Deadline-monotonic priorities per *stream* (tighter effective
+//    deadline = higher priority; identical to rate-monotonic in the
+//    paper's implicit-deadline model). The paper hosts one
+//    stream per station; this simulator accepts any number per station —
+//    a station always contends with the highest priority among its pending
+//    messages, exactly as the reservation field does.
+//
+// The simulator is a validation substrate: message sets accepted by
+// Theorem 4.1 must complete every message by its deadline here under
+// worst-case phasing and saturating async load.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/message_set.hpp"
+#include "tokenring/sim/async.hpp"
+#include "tokenring/sim/metrics.hpp"
+#include "tokenring/sim/simulator.hpp"
+#include "tokenring/sim/trace.hpp"
+
+namespace tokenring::sim {
+
+/// Simulation settings for a PDP run.
+struct PdpSimConfig {
+  analysis::PdpParams params;
+  BitsPerSecond bandwidth = mbps(10);
+  /// Simulation horizon [s]. A few multiples of the longest period is
+  /// enough to observe steady state under worst-case phasing.
+  Seconds horizon = 1.0;
+  /// true: all synchronous messages arrive together at t=0 (the critical
+  /// instant) with an async frame already in flight; false: random phases.
+  bool worst_case_phasing = true;
+  /// Asynchronous cross-traffic model. kSaturating matches the analysis'
+  /// worst-case assumption and additionally starts one async frame at t=0
+  /// under worst-case phasing (the Lemma 4.1 blocking pattern).
+  AsyncModel async_model = AsyncModel::kSaturating;
+  /// Per-station Poisson arrival rate [frames/s]; used with kPoisson only.
+  double async_frames_per_second = 0.0;
+  /// Sporadic arrivals: extra uniform delay between releases, as a fraction
+  /// of the period (inter-arrival in [P, (1+jitter)*P]). 0 = strictly
+  /// periodic (the paper's model). The analyses remain valid upper bounds:
+  /// a sporadic stream with minimum inter-arrival P is dominated by the
+  /// periodic worst case.
+  double arrival_jitter = 0.0;
+  /// Seed for random phasing, Poisson arrivals and sporadic jitter.
+  std::uint64_t seed = 1;
+  /// Optional event trace (see trace.hpp); empty = no tracing.
+  TraceHook trace;
+  /// Failure injection: absolute times at which the token (or the frame
+  /// occupying the medium) is destroyed. The active monitor notices the
+  /// lack of valid transmissions, purges the ring, and issues a fresh
+  /// token; a frame aborted mid-transmission is retransmitted (its payload
+  /// is not marked delivered).
+  std::vector<Seconds> token_loss_times;
+};
+
+/// One PDP token-ring simulation run over a message set. Streams may share
+/// stations; station indices must lie in [0, ring.num_stations).
+class PdpSimulation {
+ public:
+  PdpSimulation(msg::MessageSet set, PdpSimConfig config);
+
+  /// Execute the run and return aggregate metrics.
+  SimMetrics run();
+
+ private:
+  struct PendingMessage {
+    Seconds arrival = 0.0;
+    Bits remaining = 0.0;
+  };
+  struct LocalStream {
+    msg::SyncStream spec;
+    int priority = 0;  // global DM rank; smaller = more urgent
+    Seconds phase = 0.0;
+    std::deque<PendingMessage> queue;
+  };
+  struct Station {
+    std::vector<LocalStream> streams;
+    std::int64_t async_pending = 0;  // queued async frames (Poisson model)
+  };
+
+  void schedule_arrival(int station, std::size_t stream_idx, Seconds at);
+  void on_arrival(int station, std::size_t stream_idx);
+  void on_token_loss();
+  void schedule_async_arrival(int station);
+  /// A station gained traffic while the ring may be idle: arrange capture.
+  void maybe_capture_idle(int station);
+  void emit(TraceEventKind kind, int station, double detail) const;
+  /// Best (lowest-rank) pending stream at `station`; -1 if none.
+  int best_local_priority(const Station& st) const;
+  /// Pick the station whose head frame should transmit next; sync first by
+  /// priority, else (per the async model) an async-ready station after
+  /// `after`.
+  std::optional<int> pick_winner(int after, bool& is_async) const;
+  /// Medium became free at `station`; arbitrate and launch the next frame.
+  void release_medium(int station);
+  void start_frame(int station, bool is_async);
+  Seconds hops_time(int from, int to) const;
+
+  msg::MessageSet set_;
+  PdpSimConfig cfg_;
+  Simulator sim_;
+  SimMetrics metrics_;
+  Rng rng_;
+  std::vector<Station> stations_;
+  Seconds theta_ = 0.0;
+  Seconds hop_ = 0.0;
+  Seconds token_time_ = 0.0;
+  bool medium_busy_ = false;
+  // Idle-token bookkeeping (only reachable when async is not saturating).
+  bool capture_pending_ = false;
+  int idle_position_ = 0;
+  Seconds idle_since_ = 0.0;
+  /// Incremented on every token loss; stale medium events (walks, frame
+  /// completions, idle captures) compare their generation and abort.
+  std::uint64_t token_generation_ = 0;
+};
+
+/// Convenience: build, run, and return metrics.
+SimMetrics run_pdp_simulation(const msg::MessageSet& set,
+                              const PdpSimConfig& config);
+
+}  // namespace tokenring::sim

@@ -1,0 +1,32 @@
+#include "tokenring/sim/simulator.hpp"
+
+#include <utility>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::sim {
+
+void Simulator::schedule_in(Seconds delay, EventFn fn) {
+  TR_EXPECTS(delay >= 0.0);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Seconds at, EventFn fn) {
+  TR_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(at, std::move(fn));
+}
+
+std::size_t Simulator::run_until(Seconds horizon) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    fn();
+    ++count;
+    ++executed_;
+  }
+  if (queue_.empty() || now_ < horizon) now_ = horizon;
+  return count;
+}
+
+}  // namespace tokenring::sim

@@ -1,0 +1,41 @@
+// Discrete-event simulation engine.
+//
+// A thin deterministic scheduler: protocol models schedule closures at
+// absolute or relative times and the engine fires them in order. Time never
+// goes backwards; scheduling in the past is a contract violation.
+
+#pragma once
+
+#include <cstddef>
+
+#include "tokenring/sim/event_queue.hpp"
+
+namespace tokenring::sim {
+
+/// The simulation clock + event loop.
+class Simulator {
+ public:
+  /// Current simulation time [s].
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule_in(Seconds delay, EventFn fn);
+
+  /// Schedule `fn` at absolute time `at` (at >= now()).
+  void schedule_at(Seconds at, EventFn fn);
+
+  /// Run events until the queue empties or the next event is past
+  /// `horizon`; events exactly at the horizon still fire. Returns the
+  /// number of events executed.
+  std::size_t run_until(Seconds horizon);
+
+  /// Total events executed so far.
+  std::size_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Seconds now_ = 0.0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace tokenring::sim

@@ -1,0 +1,40 @@
+#include "tokenring/sim/trace.hpp"
+
+#include <cstdio>
+
+namespace tokenring::sim {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kMessageArrival:
+      return "arrival";
+    case TraceEventKind::kSyncFrameStart:
+      return "sync-frame";
+    case TraceEventKind::kMessageComplete:
+      return "complete";
+    case TraceEventKind::kDeadlineMiss:
+      return "DEADLINE-MISS";
+    case TraceEventKind::kAsyncFrame:
+      return "async-frame";
+    case TraceEventKind::kTokenArrival:
+      return "token";
+  }
+  return "?";
+}
+
+std::string format_trace_record(const TraceRecord& record) {
+  char buf[128];
+  if (record.kind == TraceEventKind::kMessageArrival) {
+    // detail = payload bits for arrivals, a duration for everything else.
+    std::snprintf(buf, sizeof buf, "[%10.4f ms] station %3d  %-13s %10.0f bits",
+                  to_milliseconds(record.at), record.station,
+                  to_string(record.kind), record.detail);
+  } else {
+    std::snprintf(buf, sizeof buf, "[%10.4f ms] station %3d  %-13s %10.4f ms",
+                  to_milliseconds(record.at), record.station,
+                  to_string(record.kind), to_milliseconds(record.detail));
+  }
+  return buf;
+}
+
+}  // namespace tokenring::sim

@@ -1,0 +1,54 @@
+// Optional event tracing for the protocol simulators.
+//
+// Install a TraceHook in a simulation config to receive every notable
+// protocol event with its timestamp; the ring_simulation example uses this
+// to print a human-readable timeline. Tracing is off (empty hook) by
+// default and costs nothing when disabled.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::sim {
+
+/// Kinds of traced protocol events.
+enum class TraceEventKind {
+  /// A synchronous message was released at a station.
+  kMessageArrival,
+  /// A station began transmitting a synchronous frame.
+  kSyncFrameStart,
+  /// A synchronous message's last bit was transmitted.
+  kMessageComplete,
+  /// A completed (or abandoned) message violated its deadline.
+  kDeadlineMiss,
+  /// An asynchronous frame was transmitted.
+  kAsyncFrame,
+  /// The token arrived at a station (TTP) / was captured (PDP).
+  kTokenArrival,
+};
+
+/// Display name for a trace event kind.
+const char* to_string(TraceEventKind kind);
+
+/// One traced event.
+struct TraceRecord {
+  Seconds at = 0.0;
+  TraceEventKind kind{};
+  int station = -1;
+  /// Kind-specific quantity: response time for kMessageComplete /
+  /// kDeadlineMiss, frame time for frame events, earliness for
+  /// kTokenArrival (TTP). 0 when not applicable.
+  double detail = 0.0;
+};
+
+/// Callback invoked synchronously for each event; must not re-enter the
+/// simulation.
+using TraceHook = std::function<void(const TraceRecord&)>;
+
+/// Render one record as a fixed-width line ("[  1.234 ms] station  3 ...").
+std::string format_trace_record(const TraceRecord& record);
+
+}  // namespace tokenring::sim

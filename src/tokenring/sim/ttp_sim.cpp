@@ -1,0 +1,276 @@
+#include "tokenring/sim/ttp_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::sim {
+
+namespace {
+constexpr Seconds kDeadlineSlack = 1e-12;
+}  // namespace
+
+TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
+    : set_(std::move(set)), cfg_(std::move(config)), rng_(cfg_.seed) {
+  cfg_.params.validate();
+  set_.validate();
+  TR_EXPECTS(cfg_.bandwidth > 0.0);
+  TR_EXPECTS(cfg_.ttrt > 0.0);
+  TR_EXPECTS(cfg_.horizon > 0.0);
+  if (cfg_.async_model == AsyncModel::kPoisson) {
+    TR_EXPECTS_MSG(cfg_.async_frames_per_second > 0.0,
+                   "Poisson async model needs a positive rate");
+  }
+  TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
+
+  const int n = cfg_.params.ring.num_stations;
+  TR_EXPECTS_MSG(
+      cfg_.sync_bandwidth_per_stream.size() == set_.size(),
+      "sync_bandwidth_per_stream must align with the message set's streams");
+
+  stations_.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < set_.size(); ++i) {
+    const auto& s = set_[i];
+    TR_EXPECTS_MSG(s.station >= 0 && s.station < n,
+                   "stream station out of ring range");
+    TR_EXPECTS(cfg_.sync_bandwidth_per_stream[i] >= 0.0);
+    LocalStream local;
+    local.spec = s;
+    local.h = cfg_.sync_bandwidth_per_stream[i];
+    stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
+  }
+
+  hop_ = cfg_.params.ring.hop_latency(cfg_.bandwidth);
+  token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
+  f_ovhd_ = cfg_.params.frame.overhead_time(cfg_.bandwidth);
+  f_async_ = cfg_.params.async_frame.frame_time(cfg_.bandwidth);
+}
+
+void TtpSimulation::emit(TraceEventKind kind, int station,
+                         double detail) const {
+  if (cfg_.trace) cfg_.trace(TraceRecord{sim_.now(), kind, station, detail});
+}
+
+void TtpSimulation::materialize_arrivals(int station, Station& st,
+                                         Seconds now) {
+  for (auto& local : st.streams) {
+    while (local.next_release <= now && local.next_release <= cfg_.horizon) {
+      local.queue.push_back(
+          PendingMessage{local.next_release, local.spec.payload_bits});
+      metrics_.on_release(station);
+      if (cfg_.trace) {
+        cfg_.trace(TraceRecord{local.next_release,
+                               TraceEventKind::kMessageArrival, station,
+                               local.spec.payload_bits});
+      }
+      local.next_release += local.spec.period;
+      if (cfg_.arrival_jitter > 0.0) {
+        local.next_release +=
+            rng_.uniform(0.0, cfg_.arrival_jitter) * local.spec.period;
+      }
+    }
+  }
+  if (cfg_.async_model == AsyncModel::kPoisson) {
+    while (st.next_async_arrival <= now) {
+      ++st.async_pending;
+      st.next_async_arrival +=
+          rng_.exponential(1.0 / cfg_.async_frames_per_second);
+    }
+  }
+}
+
+Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
+                                    Seconds offset) {
+  const Seconds budget = stream.h;
+  Seconds used = 0.0;
+  // Each chunk of one message sent in this visit is one frame: it pays the
+  // frame overhead and must fit in the stream's remaining budget.
+  while (!stream.queue.empty() && budget - used > f_ovhd_) {
+    auto& head = stream.queue.front();
+    const Seconds payload_budget = budget - used - f_ovhd_;
+    const Seconds payload_needed =
+        transmission_time(head.remaining, cfg_.bandwidth);
+    const Seconds sent = std::min(payload_needed, payload_budget);
+    if (sent <= 0.0) break;
+    used += sent + f_ovhd_;
+    head.remaining -= sent * cfg_.bandwidth;
+    // Completion threshold scales with the message: time<->bits round trips
+    // accumulate relative rounding across hundreds of visits, and a
+    // sub-bit residue must not cost a whole extra token rotation.
+    const Bits completion_slack = 1e-9 + 1e-12 * stream.spec.payload_bits;
+    if (head.remaining <= completion_slack) {
+      const Seconds completion = sim_.now() + offset + used;
+      const Seconds response = completion - head.arrival;
+      const Seconds deadline = stream.spec.deadline();
+      metrics_.on_completion(station, response, stream.spec.period, deadline,
+                             kDeadlineSlack);
+      if (cfg_.trace) {
+        cfg_.trace(TraceRecord{completion, TraceEventKind::kMessageComplete,
+                               station, response});
+        if (response > deadline + kDeadlineSlack) {
+          cfg_.trace(TraceRecord{completion, TraceEventKind::kDeadlineMiss,
+                                 station, response});
+        }
+      }
+      stream.queue.pop_front();
+    } else {
+      break;  // budget exhausted mid-message
+    }
+  }
+  return used;
+}
+
+void TtpSimulation::on_token_loss() {
+  // Destroy the circulating token: stale pass events abort via generation.
+  ++token_generation_;
+  ++metrics_.token_losses;
+  // FDDI recovery: detection when some station's TRT expires with Late_Ct
+  // set (bounded by 2*TTRT after the loss), then the claim process
+  // circulates claim frames (~2 ring walks) and the winner issues a fresh
+  // token; every rotation timer restarts at ring re-initialization.
+  const Seconds detection = 2.0 * cfg_.ttrt;
+  const Seconds claim =
+      2.0 * cfg_.params.ring.walk_time(cfg_.bandwidth) + token_time_;
+  sim_.schedule_in(detection + claim, [this, gen = token_generation_] {
+    if (gen != token_generation_) return;  // another loss superseded us
+    for (auto& st : stations_) st.trt_expiry = sim_.now() + cfg_.ttrt;
+    on_token_arrival(0, token_generation_);
+  });
+}
+
+void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
+  if (generation != token_generation_) return;  // token was destroyed
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  const Seconds now = sim_.now();
+
+  // Rotation metrics.
+  if (st.last_visit >= 0.0) {
+    const Seconds gap = now - st.last_visit;
+    max_intervisit_ = std::max(max_intervisit_, gap);
+    if (station == 0) metrics_.token_rotation.add(gap);
+  }
+  st.last_visit = now;
+
+  materialize_arrivals(station, st, now);
+
+  // Timer rules (see file comment). Expiry is evaluated lazily at token
+  // arrival: an arrival past trt_expiry is exactly the "Late_Ct was set at
+  // expiry and clears now" case of the standard.
+  Seconds async_budget = 0.0;
+  if (now < st.trt_expiry) {
+    // Early token: earliness funds async; TRT restarts.
+    async_budget = st.trt_expiry - now;
+    st.trt_expiry = now + cfg_.ttrt;
+  } else {
+    // Late token: no async this visit; TRT restarted at the expiry instant
+    // (so the next visit's earliness is measured against expiry + TTRT).
+    st.trt_expiry += cfg_.ttrt;
+    // Token so late that a second expiry also passed: in real FDDI the
+    // claim process would recover the ring; model recovery as a restart.
+    if (now >= st.trt_expiry) st.trt_expiry = now + cfg_.ttrt;
+  }
+  emit(TraceEventKind::kTokenArrival, station, async_budget);
+
+  // Synchronous service: every hosted stream may use its own h_i.
+  Seconds sync_used = 0.0;
+  for (auto& local : st.streams) {
+    sync_used += serve_stream(station, local, sync_used);
+  }
+
+  // Asynchronous service: frames start while earliness budget remains; the
+  // last started frame overruns to completion.
+  Seconds async_used = 0.0;
+  if (cfg_.async_model != AsyncModel::kNone && async_budget > 0.0 &&
+      f_async_ > 0.0) {
+    const auto full_frames =
+        static_cast<std::int64_t>(std::floor(async_budget / f_async_));
+    std::int64_t frames = full_frames;
+    if (async_budget - static_cast<double>(full_frames) * f_async_ > 0.0) {
+      ++frames;  // overrun frame
+    }
+    if (cfg_.async_model == AsyncModel::kPoisson) {
+      frames = std::min(frames, st.async_pending);
+      st.async_pending -= frames;
+    }
+    async_used = static_cast<double>(frames) * f_async_;
+    metrics_.async_frames_sent += static_cast<std::size_t>(frames);
+    if (frames > 0) emit(TraceEventKind::kAsyncFrame, station, async_used);
+  }
+
+  // Pass the token downstream. Idle stations just repeat the token (their
+  // latency is part of the hop), so a full rotation costs WT plus one token
+  // transmission: charge token_time once per lap, at the wrap-around hop.
+  // This matches the paper's Theta = WT + token-transmission accounting.
+  const int next = (station + 1) % cfg_.params.ring.num_stations;
+  const Seconds wrap = next == 0 ? token_time_ : 0.0;
+  const Seconds depart = sync_used + async_used + hop_ + wrap;
+  sim_.schedule_in(depart, [this, next, generation] {
+    on_token_arrival(next, generation);
+  });
+}
+
+SimMetrics TtpSimulation::run() {
+  // Phasing. Worst case: each message arrives just after the token's first
+  // departure from its station (it always waits a full rotation).
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    auto& st = stations_[i];
+    for (auto& local : st.streams) {
+      if (cfg_.worst_case_phasing) {
+        local.phase = static_cast<double>(i + 1) * (hop_ + token_time_) + 1e-9;
+      } else {
+        local.phase = rng_.uniform(0.0, local.spec.period);
+      }
+      local.next_release = local.phase;
+    }
+    if (cfg_.async_model == AsyncModel::kPoisson) {
+      st.next_async_arrival =
+          rng_.exponential(1.0 / cfg_.async_frames_per_second);
+    }
+  }
+  // All rotation timers start fresh when the ring initializes.
+  for (auto& st : stations_) st.trt_expiry = cfg_.ttrt;
+
+  for (Seconds loss : cfg_.token_loss_times) {
+    TR_EXPECTS_MSG(loss >= 0.0, "token loss times must be non-negative");
+    sim_.schedule_at(loss, [this] { on_token_loss(); });
+  }
+
+  sim_.schedule_at(0.0, [this] { on_token_arrival(0, token_generation_); });
+  sim_.run_until(cfg_.horizon);
+
+  // Account deadline misses of incomplete or never-served messages.
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    auto& st = stations_[i];
+    materialize_arrivals(static_cast<int>(i), st, cfg_.horizon);
+    for (const auto& local : st.streams) {
+      for (const auto& m : local.queue) {
+        if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
+          metrics_.on_abandoned_miss(static_cast<int>(i));
+        }
+      }
+    }
+  }
+  return metrics_;
+}
+
+SimMetrics run_ttp_simulation(const msg::MessageSet& set,
+                              const TtpSimConfig& config) {
+  TtpSimConfig cfg = config;
+  if (cfg.ttrt <= 0.0) {
+    cfg.ttrt = analysis::select_ttrt(set, cfg.params.ring, cfg.bandwidth);
+  }
+  if (cfg.sync_bandwidth_per_stream.empty()) {
+    cfg.sync_bandwidth_per_stream.reserve(set.size());
+    for (const auto& s : set.streams()) {
+      cfg.sync_bandwidth_per_stream.push_back(
+          analysis::ttp_local_bandwidth(s, cfg.params, cfg.bandwidth, cfg.ttrt)
+              .value_or(0.0));
+    }
+  }
+  TtpSimulation sim(set, cfg);
+  return sim.run();
+}
+
+}  // namespace tokenring::sim

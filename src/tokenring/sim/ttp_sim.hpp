@@ -1,0 +1,147 @@
+// Discrete-event simulation of the timed-token protocol (FDDI MAC) — paper
+// Section 5.1.
+//
+// Faithful to the Grow/Johnson timer rules:
+//  * Every station runs a token-rotation timer TRT initialized to TTRT.
+//  * Token arrives early (TRT not yet expired): the earliness becomes the
+//    asynchronous budget (THT); TRT restarts at TTRT.
+//  * Token arrives late (TRT expired; Late_Ct was set): Late_Ct clears, TRT
+//    keeps running, no asynchronous transmission this visit.
+//  * Synchronous transmission is always allowed; each stream hosted by the
+//    station may use at most its own synchronous bandwidth h_i per visit,
+//    and every distinct message chunk sent in a visit is one frame paying
+//    the frame overhead.
+//  * Asynchronous frames may start while THT budget remains; a started
+//    frame always completes (asynchronous overrun).
+//  * Passing the token to the downstream neighbour costs one hop latency;
+//    one token transmission is charged per lap, so an idle rotation sums
+//    to Theta, matching the analysis.
+//
+// The paper's model hosts exactly one stream per station; this simulator
+// generalizes to any number (including zero) of streams per station — the
+// schedulability analyses never depended on the restriction.
+//
+// Validation role: sets accepted by Theorem 5.1 with the local allocation
+// must meet every deadline here, under adversarial phasing (each message
+// arrives just after the token left its station) and saturating
+// asynchronous load; and Johnson's bound (inter-visit time <= 2*TTRT) must
+// hold station-wise.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/message_set.hpp"
+#include "tokenring/sim/async.hpp"
+#include "tokenring/sim/metrics.hpp"
+#include "tokenring/sim/simulator.hpp"
+#include "tokenring/sim/trace.hpp"
+
+namespace tokenring::sim {
+
+/// Simulation settings for a TTP run.
+struct TtpSimConfig {
+  analysis::TtpParams params;
+  BitsPerSecond bandwidth = mbps(100);
+  /// Negotiated TTRT [s] (use analysis::select_ttrt for the paper's rule).
+  Seconds ttrt = 0.0;
+  /// Per-stream synchronous bandwidths h_i, aligned with the message set's
+  /// stream order (NOT station-indexed: a station hosting several streams
+  /// owns the sum of their allocations). Unguaranteeable streams carry 0.
+  std::vector<Seconds> sync_bandwidth_per_stream;
+  Seconds horizon = 1.0;
+  /// true: each message arrives just after the token leaves its station
+  /// (maximizes waiting); false: random phases.
+  bool worst_case_phasing = true;
+  /// Asynchronous cross-traffic model. kSaturating matches the analysis'
+  /// worst-case assumption (async consumes every earliness budget).
+  AsyncModel async_model = AsyncModel::kSaturating;
+  /// Per-station Poisson arrival rate [frames/s]; used with kPoisson only.
+  double async_frames_per_second = 0.0;
+  /// Sporadic arrivals: extra uniform delay between releases, as a fraction
+  /// of the period (inter-arrival in [P, (1+jitter)*P]). 0 = strictly
+  /// periodic (the paper's model); the analyses stay valid upper bounds.
+  double arrival_jitter = 0.0;
+  std::uint64_t seed = 1;
+  /// Optional event trace (see trace.hpp); empty = no tracing.
+  TraceHook trace;
+  /// Failure injection: absolute times at which the circulating token is
+  /// destroyed. The ring halts until the FDDI recovery completes: loss is
+  /// detected when a rotation timer expires with Late_Ct already set (up to
+  /// 2*TTRT after the loss), then the claim process re-initializes the ring
+  /// (modelled as two ring latencies of claim-frame circulation). All TRT
+  /// timers restart when the new token is issued.
+  std::vector<Seconds> token_loss_times;
+};
+
+/// One FDDI timed-token simulation run.
+class TtpSimulation {
+ public:
+  TtpSimulation(msg::MessageSet set, TtpSimConfig config);
+
+  /// Execute the run and return aggregate metrics. `token_rotation` holds
+  /// station-0 inter-visit times; `max_intervisit()` is tracked across all
+  /// stations for the Johnson-bound check.
+  SimMetrics run();
+
+  /// Largest token inter-visit time observed at any station (valid after
+  /// run()).
+  Seconds max_intervisit() const { return max_intervisit_; }
+
+ private:
+  struct PendingMessage {
+    Seconds arrival = 0.0;
+    Bits remaining = 0.0;
+  };
+  struct LocalStream {
+    msg::SyncStream spec;
+    Seconds h = 0.0;            // synchronous bandwidth per visit
+    Seconds phase = 0.0;        // first release time
+    Seconds next_release = 0.0; // lazily materialized arrivals
+    std::deque<PendingMessage> queue;
+  };
+  struct Station {
+    std::vector<LocalStream> streams;
+    Seconds trt_expiry = 0.0;   // absolute time the rotation timer expires
+    Seconds last_visit = -1.0;
+    std::int64_t async_pending = 0;   // queued async frames (Poisson)
+    Seconds next_async_arrival = 0.0; // next Poisson arrival time
+  };
+
+  void on_token_arrival(int station, std::uint64_t generation);
+  void on_token_loss();
+  /// Release every message due at or before `now` at this station (and,
+  /// under the Poisson model, every async frame arrival up to `now`).
+  void materialize_arrivals(int station, Station& st, Seconds now);
+  /// Serve one stream's queue for at most its per-visit bandwidth, starting
+  /// `offset` seconds into the visit; returns time consumed.
+  Seconds serve_stream(int station, LocalStream& stream, Seconds offset);
+  void emit(TraceEventKind kind, int station, double detail) const;
+
+  msg::MessageSet set_;
+  TtpSimConfig cfg_;
+  Simulator sim_;
+  SimMetrics metrics_;
+  Rng rng_;
+  std::vector<Station> stations_;
+  Seconds hop_ = 0.0;
+  Seconds token_time_ = 0.0;
+  Seconds f_ovhd_ = 0.0;
+  Seconds f_async_ = 0.0;
+  Seconds max_intervisit_ = 0.0;
+  /// Incremented on every token loss; stale in-flight token-pass events
+  /// compare their captured generation and abort.
+  std::uint64_t token_generation_ = 0;
+};
+
+/// Convenience wrapper: selects TTRT by the paper rule and allocates with
+/// the local scheme when the config leaves those fields empty. Streams with
+/// q_i < 2 receive h_i = 0.
+SimMetrics run_ttp_simulation(const msg::MessageSet& set,
+                              const TtpSimConfig& config);
+
+}  // namespace tokenring::sim

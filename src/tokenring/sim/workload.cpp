@@ -1,0 +1,38 @@
+#include "tokenring/sim/workload.hpp"
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::sim {
+
+TtpSimConfig make_ttp_sim_config(const msg::MessageSet& set,
+                                 const analysis::TtpParams& params,
+                                 BitsPerSecond bw, double horizon_periods) {
+  TR_EXPECTS(!set.empty());
+  TR_EXPECTS(horizon_periods > 0.0);
+  TtpSimConfig cfg;
+  cfg.params = params;
+  cfg.bandwidth = bw;
+  cfg.ttrt = analysis::select_ttrt(set, params.ring, bw);
+  cfg.horizon = horizon_periods * set.max_period();
+  cfg.sync_bandwidth_per_stream.reserve(set.size());
+  for (const auto& s : set.streams()) {
+    cfg.sync_bandwidth_per_stream.push_back(
+        analysis::ttp_local_bandwidth(s, params, bw, cfg.ttrt).value_or(0.0));
+  }
+  return cfg;
+}
+
+PdpSimConfig make_pdp_sim_config(const msg::MessageSet& set,
+                                 const analysis::PdpParams& params,
+                                 BitsPerSecond bw, double horizon_periods) {
+  TR_EXPECTS(!set.empty());
+  TR_EXPECTS(horizon_periods > 0.0);
+  PdpSimConfig cfg;
+  cfg.params = params;
+  cfg.bandwidth = bw;
+  cfg.horizon = horizon_periods * set.max_period();
+  return cfg;
+}
+
+}  // namespace tokenring::sim

@@ -1,0 +1,66 @@
+#include "tokenring/planner/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::planner {
+namespace {
+
+TrafficProfile small_profile() {
+  TrafficProfile p;
+  p.num_stations = 20;  // small for test speed
+  p.mean_period = milliseconds(100);
+  p.period_ratio = 10.0;
+  return p;
+}
+
+TEST(Advisor, ProfileConvertsToSetup) {
+  const auto setup = small_profile().to_setup();
+  EXPECT_EQ(setup.num_stations, 20);
+  EXPECT_DOUBLE_EQ(setup.mean_period, milliseconds(100));
+  EXPECT_DOUBLE_EQ(setup.period_ratio, 10.0);
+}
+
+TEST(Advisor, RecommendsPdpAtLowBandwidth) {
+  // The paper's conclusion: priority-driven wins at 1-10 Mbps.
+  const auto rec = recommend_protocol(small_profile(), mbps(4), 25, 1);
+  EXPECT_EQ(rec.best, Protocol::kModified8025);
+  EXPECT_GT(rec.modified8025, rec.fddi);
+  EXPECT_GE(rec.modified8025, rec.ieee8025);
+}
+
+TEST(Advisor, RecommendsTtpAtHighBandwidth) {
+  // ... and the timed token wins at >= 100 Mbps.
+  const auto rec = recommend_protocol(small_profile(), mbps(200), 25, 1);
+  EXPECT_EQ(rec.best, Protocol::kFddi);
+  EXPECT_GT(rec.fddi, rec.modified8025);
+  EXPECT_GT(rec.margin, 1.0);
+}
+
+TEST(Advisor, EstimateAccessorMatchesFields) {
+  const auto rec = recommend_protocol(small_profile(), mbps(50), 10, 2);
+  EXPECT_DOUBLE_EQ(rec.estimate(Protocol::kIeee8025), rec.ieee8025);
+  EXPECT_DOUBLE_EQ(rec.estimate(Protocol::kModified8025), rec.modified8025);
+  EXPECT_DOUBLE_EQ(rec.estimate(Protocol::kFddi), rec.fddi);
+  EXPECT_DOUBLE_EQ(rec.estimate(rec.best),
+                   std::max({rec.ieee8025, rec.modified8025, rec.fddi}));
+}
+
+TEST(Advisor, DeterministicForFixedSeed) {
+  const auto a = recommend_protocol(small_profile(), mbps(50), 10, 7);
+  const auto b = recommend_protocol(small_profile(), mbps(50), 10, 7);
+  EXPECT_DOUBLE_EQ(a.ieee8025, b.ieee8025);
+  EXPECT_DOUBLE_EQ(a.fddi, b.fddi);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(Advisor, Preconditions) {
+  EXPECT_THROW(recommend_protocol(small_profile(), 0.0, 10, 1),
+               PreconditionError);
+  EXPECT_THROW(recommend_protocol(small_profile(), mbps(10), 0, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::planner

@@ -1,0 +1,210 @@
+#include "tokenring/analysis/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/generator.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::analysis {
+namespace {
+
+TtpParams params(int stations) {
+  TtpParams p;
+  p.ring = net::fddi_ring(stations);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+msg::SyncStream stream(Seconds period, Bits payload, int station) {
+  return msg::SyncStream{period, payload, station};
+}
+
+msg::MessageSet two_station_set() {
+  msg::MessageSet set;
+  set.add(stream(milliseconds(100), 50'000.0, 0));
+  set.add(stream(milliseconds(200), 100'000.0, 1));
+  return set;
+}
+
+TEST(Allocation, SchemeNames) {
+  EXPECT_STREQ(to_string(AllocationScheme::kLocal), "local");
+  EXPECT_STREQ(to_string(AllocationScheme::kFullLength), "full-length");
+  EXPECT_STREQ(to_string(AllocationScheme::kProportional), "proportional");
+  EXPECT_STREQ(to_string(AllocationScheme::kNormalizedProportional),
+               "norm-proportional");
+  EXPECT_STREQ(to_string(AllocationScheme::kEqualPartition), "equal-partition");
+  EXPECT_EQ(all_allocation_schemes().size(), 5u);
+}
+
+TEST(Allocation, LocalMatchesTtpModule) {
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto set = two_station_set();
+  const Seconds ttrt = milliseconds(10);
+  const auto res = allocate(set, p, bw, ttrt, AllocationScheme::kLocal);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto h = ttp_local_bandwidth(set[i], p, bw, ttrt);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_NEAR(res.h[i], *h, 1e-15);
+  }
+}
+
+TEST(Allocation, FullLengthByHand) {
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto set = two_station_set();
+  const auto res =
+      allocate(set, p, bw, milliseconds(10), AllocationScheme::kFullLength);
+  EXPECT_NEAR(res.h[0], set[0].payload_time(bw) + p.frame.overhead_time(bw),
+              1e-15);
+  EXPECT_NEAR(res.h[1], set[1].payload_time(bw) + p.frame.overhead_time(bw),
+              1e-15);
+}
+
+TEST(Allocation, EqualPartitionSplitsAvailable) {
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto set = two_station_set();
+  const Seconds ttrt = milliseconds(10);
+  const auto res =
+      allocate(set, p, bw, ttrt, AllocationScheme::kEqualPartition);
+  const Seconds available = ttrt - res.lambda;
+  EXPECT_NEAR(res.h[0], available / 2.0, 1e-15);
+  EXPECT_NEAR(res.h[1], available / 2.0, 1e-15);
+  EXPECT_TRUE(res.protocol_ok);  // equal partition saturates exactly
+}
+
+TEST(Allocation, ProportionalAndNormalized) {
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto set = two_station_set();
+  const Seconds ttrt = milliseconds(10);
+  const Seconds available = ttrt - ttp_lambda(p, bw);
+
+  const auto prop =
+      allocate(set, p, bw, ttrt, AllocationScheme::kProportional);
+  EXPECT_NEAR(prop.h[0], set[0].utilization(bw) * available, 1e-15);
+
+  const auto norm =
+      allocate(set, p, bw, ttrt, AllocationScheme::kNormalizedProportional);
+  const double total_u = set.utilization(bw);
+  EXPECT_NEAR(norm.h[0], set[0].utilization(bw) / total_u * available, 1e-15);
+  // Normalized scheme always saturates the protocol constraint exactly.
+  EXPECT_NEAR(norm.h[0] + norm.h[1], available, 1e-12);
+  EXPECT_TRUE(norm.protocol_ok);
+}
+
+TEST(Allocation, LocalSatisfiesDeadlineExactly) {
+  // Local allocates exactly the minimum need: (q-1)(h - ovhd) == C.
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto set = two_station_set();
+  const Seconds ttrt = milliseconds(10);
+  const auto res = allocate(set, p, bw, ttrt, AllocationScheme::kLocal);
+  EXPECT_TRUE(res.deadline_ok);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto q = static_cast<double>(
+        static_cast<std::int64_t>(std::floor(set[i].period / ttrt)));
+    EXPECT_NEAR((q - 1.0) * (res.h[i] - p.frame.overhead_time(bw)),
+                set[i].payload_time(bw), 1e-12);
+  }
+}
+
+TEST(Allocation, LocalFeasibleWheneverAnySchemeIs) {
+  // Property: the local scheme allocates each station's minimum need, so if
+  // any scheme passes both constraints, local must too.
+  Rng rng(23);
+  msg::GeneratorConfig g;
+  g.num_streams = 20;
+  msg::MessageSetGenerator gen(g);
+  const auto p = params(20);
+  int feasible_cases = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto set = gen.generate(rng).scaled(rng.uniform(1.0, 400.0));
+    const BitsPerSecond bw = mbps(rng.uniform(10.0, 500.0));
+    const Seconds ttrt = select_ttrt(set, p.ring, bw);
+    const auto local = allocate(set, p, bw, ttrt, AllocationScheme::kLocal);
+    for (auto scheme : all_allocation_schemes()) {
+      const auto res = allocate(set, p, bw, ttrt, scheme);
+      if (res.feasible()) {
+        ++feasible_cases;
+        EXPECT_TRUE(local.feasible())
+            << "scheme " << to_string(scheme) << " feasible but local not";
+      }
+    }
+  }
+  EXPECT_GT(feasible_cases, 0);  // the property must not hold vacuously
+}
+
+TEST(Allocation, FullLengthMoreRestrictiveThanLocal) {
+  // A set where a long message fits spread over q-1 visits (local) but not
+  // in a single visit (full-length protocol constraint).
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const Seconds ttrt = milliseconds(10);
+  msg::MessageSet set;
+  // 0.8 ms of payload per message; full-length needs h = 0.8 ms + ovhd each
+  // (sum ~1.6 ms); local needs ~0.8/9 + ovhd each. Available = 10 - ~0.13 ms.
+  set.add(stream(milliseconds(100), 0.0008 * bw, 0));
+  set.add(stream(milliseconds(100), 0.0008 * bw, 1));
+  const auto local = allocate(set, p, bw, ttrt, AllocationScheme::kLocal);
+  const auto full = allocate(set, p, bw, ttrt, AllocationScheme::kFullLength);
+  EXPECT_TRUE(local.feasible());
+  EXPECT_TRUE(full.feasible());
+  EXPECT_LT(local.h[0], full.h[0]);
+
+  // Scale up: local keeps working far beyond full-length's breaking point.
+  const auto big = set.scaled(8.0);
+  EXPECT_TRUE(allocate(big, p, bw, ttrt, AllocationScheme::kLocal).feasible());
+  EXPECT_FALSE(
+      allocate(big, p, bw, ttrt, AllocationScheme::kFullLength).feasible());
+}
+
+TEST(Allocation, EqualPartitionFailsSkewedLoads) {
+  // One heavy station, many light ones: the equal split starves the heavy
+  // station's deadline constraint while local adapts.
+  const auto p = params(10);
+  const BitsPerSecond bw = mbps(100);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 0.008 * bw, 0));  // 8 ms payload
+  for (int i = 1; i < 10; ++i) {
+    set.add(stream(milliseconds(50), 0.00001 * bw, i));
+  }
+  const Seconds ttrt = milliseconds(2);
+  const auto local = allocate(set, p, bw, ttrt, AllocationScheme::kLocal);
+  const auto equal =
+      allocate(set, p, bw, ttrt, AllocationScheme::kEqualPartition);
+  EXPECT_TRUE(local.feasible());
+  EXPECT_TRUE(equal.protocol_ok);
+  EXPECT_FALSE(equal.deadline_ok);
+}
+
+TEST(Allocation, QBelowTwoFailsEveryScheme) {
+  const auto p = params(2);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(100), 1'000.0, 0));
+  set.add(stream(milliseconds(100), 1'000.0, 1));
+  for (auto scheme : all_allocation_schemes()) {
+    const auto res = allocate(set, p, mbps(100), milliseconds(60), scheme);
+    EXPECT_FALSE(res.deadline_ok) << to_string(scheme);
+  }
+}
+
+TEST(Allocation, ResultEchoesInputs) {
+  const auto p = params(2);
+  const BitsPerSecond bw = mbps(100);
+  const auto res = allocate(two_station_set(), p, bw, milliseconds(10),
+                            AllocationScheme::kLocal);
+  EXPECT_EQ(res.scheme, AllocationScheme::kLocal);
+  EXPECT_DOUBLE_EQ(res.ttrt, milliseconds(10));
+  EXPECT_NEAR(res.lambda, ttp_lambda(p, bw), 1e-18);
+  EXPECT_EQ(res.h.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tokenring::analysis

@@ -1,0 +1,134 @@
+#include "tokenring/analysis/async_capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+
+namespace tokenring::analysis {
+namespace {
+
+TtpParams ttp_params(int stations) {
+  TtpParams p;
+  p.ring = net::fddi_ring(stations);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+PdpParams pdp_params(int stations) {
+  PdpParams p;
+  p.ring = net::ieee8025_ring(stations);
+  p.frame = net::paper_frame_format();
+  p.variant = PdpVariant::kModified8025;
+  return p;
+}
+
+msg::SyncStream stream(Seconds period, Bits payload, int station) {
+  return msg::SyncStream{period, payload, station};
+}
+
+TEST(TtpAsyncCapacity, EmptyRingLeavesAlmostEverything) {
+  const auto p = ttp_params(4);
+  const BitsPerSecond bw = mbps(100);
+  const Seconds ttrt = milliseconds(4);
+  const double cap = ttp_async_capacity(msg::MessageSet{}, p, bw, ttrt);
+  // Only the walk time Theta is lost per rotation.
+  EXPECT_NEAR(cap, 1.0 - p.ring.theta(bw) / ttrt, 1e-12);
+  EXPECT_GT(cap, 0.95);
+}
+
+TEST(TtpAsyncCapacity, DecreasesWithSynchronousLoad) {
+  const auto p = ttp_params(4);
+  const BitsPerSecond bw = mbps(100);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 100'000.0, 0));
+  const double light = ttp_async_capacity(set, p, bw);
+  const double heavy = ttp_async_capacity(set.scaled(10.0), p, bw);
+  EXPECT_GT(light, heavy);
+  EXPECT_GE(heavy, 0.0);
+}
+
+TEST(TtpAsyncCapacity, ClampsToZeroUnderOverload) {
+  const auto p = ttp_params(2);
+  const BitsPerSecond bw = mbps(100);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 5e6, 0));  // 50 ms of payload per 50 ms
+  EXPECT_DOUBLE_EQ(ttp_async_capacity(set, p, bw), 0.0);
+}
+
+TEST(TtpAsyncCapacity, AccessBoundIsTwoTtrt) {
+  EXPECT_DOUBLE_EQ(ttp_async_access_bound(milliseconds(4)), milliseconds(8));
+  EXPECT_THROW(ttp_async_access_bound(0.0), PreconditionError);
+}
+
+TEST(TtpAsyncCapacity, MatchesSimulatedThroughput) {
+  // The saturating-async simulator should achieve roughly the analytical
+  // async share (it is a steady-state average, so allow a loose band).
+  const auto p = ttp_params(4);
+  const BitsPerSecond bw = mbps(100);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(20), 100'000.0, 0));
+  set.add(stream(milliseconds(40), 150'000.0, 2));
+  const Seconds ttrt = select_ttrt(set, p.ring, bw);
+  const double predicted = ttp_async_capacity(set, p, bw, ttrt);
+  ASSERT_GT(predicted, 0.1);
+
+  sim::TtpSimConfig cfg;
+  cfg.params = p;
+  cfg.bandwidth = bw;
+  cfg.ttrt = ttrt;
+  cfg.horizon = 2.0;
+  cfg.async_model = sim::AsyncModel::kSaturating;
+  for (const auto& s : set.streams()) {
+    cfg.sync_bandwidth_per_stream.push_back(
+        ttp_local_bandwidth(s, p, bw, ttrt).value());
+  }
+  const auto m = sim::run_ttp_simulation(set, cfg);
+  const double observed = static_cast<double>(m.async_frames_sent) *
+                          p.async_frame.frame_time(bw) / cfg.horizon;
+  EXPECT_NEAR(observed, predicted, 0.15) << "predicted " << predicted
+                                         << " observed " << observed;
+}
+
+TEST(PdpAsyncCapacity, EmptyRingIsFullyAsync) {
+  EXPECT_DOUBLE_EQ(pdp_async_capacity(msg::MessageSet{}, pdp_params(4), mbps(10)),
+                   1.0);
+}
+
+TEST(PdpAsyncCapacity, AccountsForAugmentedDemand) {
+  const auto p = pdp_params(4);
+  const BitsPerSecond bw = mbps(10);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 50'000.0, 0));
+  const double cap = pdp_async_capacity(set, p, bw);
+  // Leftover must be below the raw-payload leftover (overheads count)...
+  EXPECT_LT(cap, 1.0 - set.utilization(bw));
+  // ...and match 1 - augmented utilization exactly.
+  EXPECT_NEAR(cap, 1.0 - pdp_augmented_length(set[0], p, bw) / set[0].period,
+              1e-12);
+}
+
+TEST(PdpAsyncCapacity, ClampsToZero) {
+  const auto p = pdp_params(2);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(10), 200'000.0, 0));  // 20 ms payload / 10 ms
+  EXPECT_DOUBLE_EQ(pdp_async_capacity(set, p, mbps(10)), 0.0);
+}
+
+TEST(PdpAsyncCapacity, StandardVariantLeavesLessThanModified) {
+  auto p_std = pdp_params(4);
+  p_std.variant = PdpVariant::kStandard8025;
+  auto p_mod = pdp_params(4);
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 50'000.0, 0));
+  set.add(stream(milliseconds(80), 50'000.0, 1));
+  const BitsPerSecond bw = mbps(10);
+  EXPECT_LT(pdp_async_capacity(set, p_std, bw),
+            pdp_async_capacity(set, p_mod, bw));
+}
+
+}  // namespace
+}  // namespace tokenring::analysis

@@ -1,0 +1,181 @@
+#include "tokenring/breakdown/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::breakdown {
+namespace {
+
+msg::MessageSetGenerator small_generator() {
+  msg::GeneratorConfig g;
+  g.num_streams = 10;
+  g.mean_period = milliseconds(100);
+  g.period_ratio = 10.0;
+  return msg::MessageSetGenerator(g);
+}
+
+TEST(MonteCarlo, ClosedFormPredicateRecoversThreshold) {
+  // Against "utilization <= 0.8" every saturated sample lands exactly on
+  // 0.8, so the estimator must return 0.8 with ~zero variance.
+  const BitsPerSecond bw = mbps(10);
+  const SchedulablePredicate predicate = [bw](const msg::MessageSet& m) {
+    return m.utilization(bw) <= 0.8;
+  };
+  auto gen = small_generator();
+  Rng rng(1);
+  MonteCarloOptions opts;
+  opts.num_sets = 25;
+  const auto est = estimate_breakdown_utilization(gen, predicate, bw, rng, opts);
+  EXPECT_EQ(est.utilization.count(), 25u);
+  EXPECT_NEAR(est.mean(), 0.8, 1e-4);
+  EXPECT_LT(est.utilization.stddev(), 1e-4);
+  EXPECT_EQ(est.degenerate_sets, 0u);
+  EXPECT_EQ(est.unbounded_sets, 0u);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(10);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const SchedulablePredicate predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  auto gen = small_generator();
+  MonteCarloOptions opts;
+  opts.num_sets = 10;
+
+  Rng r1(42);
+  Rng r2(42);
+  const auto a = estimate_breakdown_utilization(gen, predicate, bw, r1, opts);
+  const auto b = estimate_breakdown_utilization(gen, predicate, bw, r2, opts);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.utilization.stddev(), b.utilization.stddev());
+}
+
+TEST(MonteCarlo, DegenerateSamplesCountAsZero) {
+  const SchedulablePredicate never = [](const msg::MessageSet&) {
+    return false;
+  };
+  auto gen = small_generator();
+  Rng rng(3);
+  MonteCarloOptions opts;
+  opts.num_sets = 5;
+  const auto est =
+      estimate_breakdown_utilization(gen, never, mbps(10), rng, opts);
+  EXPECT_EQ(est.degenerate_sets, 5u);
+  EXPECT_EQ(est.utilization.count(), 5u);
+  EXPECT_DOUBLE_EQ(est.mean(), 0.0);
+}
+
+TEST(MonteCarlo, UnboundedSamplesExcluded) {
+  const SchedulablePredicate always = [](const msg::MessageSet&) {
+    return true;
+  };
+  auto gen = small_generator();
+  Rng rng(4);
+  MonteCarloOptions opts;
+  opts.num_sets = 5;
+  opts.saturation.max_scale = 100.0;
+  const auto est =
+      estimate_breakdown_utilization(gen, always, mbps(10), rng, opts);
+  EXPECT_EQ(est.unbounded_sets, 5u);
+  EXPECT_EQ(est.utilization.count(), 0u);
+}
+
+TEST(MonteCarlo, RealTtpEstimateIsInPlausibleRange) {
+  // FDDI at 100 Mbps with 10 stations: average breakdown utilization should
+  // land comfortably between the 33% worst case and 100%.
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(10);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const SchedulablePredicate predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  auto gen = small_generator();
+  Rng rng(7);
+  MonteCarloOptions opts;
+  opts.num_sets = 30;
+  const auto est = estimate_breakdown_utilization(gen, predicate, bw, rng, opts);
+  EXPECT_GT(est.mean(), 0.5);
+  EXPECT_LT(est.mean(), 1.0);
+  EXPECT_GT(est.ci95(), 0.0);
+}
+
+TEST(MonteCarlo, KeepSamplesRecordsEveryDraw) {
+  const BitsPerSecond bw = mbps(10);
+  const SchedulablePredicate predicate = [bw](const msg::MessageSet& m) {
+    return m.utilization(bw) <= 0.5;
+  };
+  auto gen = small_generator();
+  Rng rng(6);
+  MonteCarloOptions opts;
+  opts.num_sets = 12;
+  opts.keep_samples = true;
+  const auto est = estimate_breakdown_utilization(gen, predicate, bw, rng, opts);
+  ASSERT_EQ(est.samples.size(), 12u);
+  for (double s : est.samples) EXPECT_NEAR(s, 0.5, 1e-4);
+}
+
+TEST(MonteCarlo, SamplesOffByDefault) {
+  const SchedulablePredicate predicate = [](const msg::MessageSet& m) {
+    return m.utilization(mbps(10)) <= 0.5;
+  };
+  auto gen = small_generator();
+  Rng rng(6);
+  MonteCarloOptions opts;
+  opts.num_sets = 3;
+  const auto est =
+      estimate_breakdown_utilization(gen, predicate, mbps(10), rng, opts);
+  EXPECT_TRUE(est.samples.empty());
+  EXPECT_THROW(est.quantile(0.5), PreconditionError);
+}
+
+TEST(MonteCarlo, QuantilesAreOrderedAndBracketed) {
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(10);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const SchedulablePredicate predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  auto gen = small_generator();
+  Rng rng(8);
+  MonteCarloOptions opts;
+  opts.num_sets = 40;
+  opts.keep_samples = true;
+  const auto est = estimate_breakdown_utilization(gen, predicate, bw, rng, opts);
+  const double q10 = est.quantile(0.1);
+  const double q50 = est.quantile(0.5);
+  const double q90 = est.quantile(0.9);
+  EXPECT_LE(q10, q50);
+  EXPECT_LE(q50, q90);
+  EXPECT_DOUBLE_EQ(est.quantile(0.0), est.utilization.min());
+  EXPECT_DOUBLE_EQ(est.quantile(1.0), est.utilization.max());
+  EXPECT_THROW(est.quantile(1.5), PreconditionError);
+}
+
+TEST(MonteCarlo, Preconditions) {
+  auto gen = small_generator();
+  Rng rng(1);
+  MonteCarloOptions opts;
+  opts.num_sets = 0;
+  const SchedulablePredicate always = [](const msg::MessageSet&) {
+    return true;
+  };
+  EXPECT_THROW(estimate_breakdown_utilization(gen, always, mbps(10), rng, opts),
+               PreconditionError);
+  opts.num_sets = 1;
+  EXPECT_THROW(estimate_breakdown_utilization(gen, always, 0.0, rng, opts),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::breakdown

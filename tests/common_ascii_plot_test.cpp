@@ -1,0 +1,106 @@
+#include "tokenring/common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  PlotSeries s{"demo", {1.0, 2.0, 3.0}, {0.1, 0.5, 0.9}, '*'};
+  PlotOptions opt;
+  opt.y_max = 1.0;
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* demo"), std::string::npos);
+  // Axis frame present.
+  EXPECT_NE(out.find("+---"), std::string::npos);
+  EXPECT_NE(out.find("1.00 |"), std::string::npos);
+  EXPECT_NE(out.find("0.00 |"), std::string::npos);
+}
+
+TEST(AsciiPlot, HighYLandsOnTopRowLowYOnBottom) {
+  PlotSeries s{"s", {0.0, 1.0}, {0.0, 1.0}, '*'};
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  opt.y_max = 1.0;
+  const auto ls = lines_of(render_plot({s}, opt));
+  // Row 0 is the top interior row: the y=1 point sits there, far right.
+  EXPECT_NE(ls[0].find('*'), std::string::npos);
+  // Bottom interior row (index height-1) holds the y=0 point at far left.
+  EXPECT_NE(ls[4].find('*'), std::string::npos);
+  EXPECT_LT(ls[4].find('*'), ls[0].find('*'));
+}
+
+TEST(AsciiPlot, LogXSpreadsDecadesEvenly) {
+  PlotSeries s{"s", {1.0, 10.0, 100.0}, {0.5, 0.5, 0.5}, '*'};
+  PlotOptions opt;
+  opt.width = 41;
+  opt.height = 5;
+  opt.log_x = true;
+  opt.y_max = 1.0;
+  const auto out = render_plot({s}, opt);
+  const auto ls = lines_of(out);
+  // All three markers on the middle row; middle point near the center.
+  const auto& row = ls[2];
+  const auto first = row.find('*');
+  const auto last = row.rfind('*');
+  const auto mid = row.find('*', first + 1);
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  const auto center = (first + last) / 2;
+  EXPECT_NEAR(static_cast<double>(mid), static_cast<double>(center), 1.5);
+  EXPECT_NE(out.find("(log)"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepTheirMarkers) {
+  PlotSeries a{"a", {1.0}, {0.2}, 'o'};
+  PlotSeries b{"b", {2.0}, {0.8}, '#'};
+  const std::string out = render_plot({a, b});
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("o a"), std::string::npos);
+  EXPECT_NE(out.find("# b"), std::string::npos);
+}
+
+TEST(AsciiPlot, AutoYMaxCoversData) {
+  PlotSeries s{"s", {0.0, 1.0}, {0.0, 42.0}, '*'};
+  const std::string out = render_plot({s});
+  EXPECT_NE(out.find("44.10 |"), std::string::npos);  // 42 * 1.05
+}
+
+TEST(AsciiPlot, Preconditions) {
+  EXPECT_THROW(render_plot({}), PreconditionError);
+  PlotSeries mismatched{"m", {1.0, 2.0}, {1.0}, '*'};
+  EXPECT_THROW(render_plot({mismatched}), PreconditionError);
+  PlotSeries empty{"e", {}, {}, '*'};
+  EXPECT_THROW(render_plot({empty}), PreconditionError);
+  PlotSeries nonpositive{"n", {0.0}, {1.0}, '*'};
+  PlotOptions log_opt;
+  log_opt.log_x = true;
+  EXPECT_THROW(render_plot({nonpositive}, log_opt), PreconditionError);
+  PlotOptions tiny;
+  tiny.width = 2;
+  PlotSeries ok{"ok", {1.0}, {1.0}, '*'};
+  EXPECT_THROW(render_plot({ok}, tiny), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring

@@ -1,0 +1,145 @@
+#include "tokenring/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/common/rng.hpp"
+
+namespace tokenring {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  const double var = m2 / static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 32.0);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, StdErrorShrinksWithSamples) {
+  Rng rng(4);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.std_error(), large.std_error());
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 * large.std_error(), 1e-15);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(17);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3.0, 9.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, RequiresValidDomain) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bucket 0
+  h.add(5.5);   // bucket 5
+  h.add(9.99);  // bucket 9
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[5], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(2);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantilePreconditions) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(-0.1), PreconditionError);
+  EXPECT_THROW(h.quantile(1.1), PreconditionError);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram -> lo
+}
+
+}  // namespace
+}  // namespace tokenring

@@ -1,0 +1,62 @@
+#include "tokenring/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RowWidthMustMatchHeaders) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), PreconditionError);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "longheader"});
+  t.add_row({"123456", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, one data row.
+  EXPECT_NE(out.find("| 123456 |"), std::string::npos);
+  EXPECT_NE(out.find("longheader"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, PrintCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableFmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(0.75, 0), "1");  // rounds
+  EXPECT_EQ(fmt(0.5, 0), "0");   // exact tie rounds to even
+}
+
+TEST(TableFmt, Integers) {
+  EXPECT_EQ(fmt(42LL), "42");
+  EXPECT_EQ(fmt(-7LL), "-7");
+}
+
+TEST(TableFmt, Scientific) {
+  EXPECT_EQ(fmt_sci(1.0e6, 2), "1.00e+06");
+}
+
+}  // namespace
+}  // namespace tokenring

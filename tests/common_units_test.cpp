@@ -1,0 +1,44 @@
+#include "tokenring/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tokenring {
+namespace {
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(milliseconds(100), 0.1);
+  EXPECT_DOUBLE_EQ(microseconds(250), 0.00025);
+  EXPECT_DOUBLE_EQ(nanoseconds(10), 1e-8);
+}
+
+TEST(Units, BandwidthHelpers) {
+  EXPECT_DOUBLE_EQ(mbps(1), 1e6);
+  EXPECT_DOUBLE_EQ(mbps(100), 1e8);
+  EXPECT_DOUBLE_EQ(kbps(64), 64e3);
+  EXPECT_DOUBLE_EQ(gbps(1), 1e9);
+}
+
+TEST(Units, ByteHelper) {
+  EXPECT_DOUBLE_EQ(bytes(64), 512.0);
+  EXPECT_DOUBLE_EQ(bytes(1), 8.0);
+}
+
+TEST(Units, TransmissionTime) {
+  // 512 bits at 1 Mbps = 512 us.
+  EXPECT_DOUBLE_EQ(transmission_time(512.0, mbps(1)), 512e-6);
+  // 512 bits at 100 Mbps = 5.12 us.
+  EXPECT_NEAR(transmission_time(512.0, mbps(100)), 5.12e-6, 1e-15);
+}
+
+TEST(Units, ReportingConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(155)), 155.0);
+}
+
+TEST(Units, SpeedOfLightConstant) {
+  EXPECT_DOUBLE_EQ(kSpeedOfLightMps, 299'792'458.0);
+}
+
+}  // namespace
+}  // namespace tokenring

@@ -1,0 +1,366 @@
+// Tests for the experiment drivers. Sample counts are kept tiny: these
+// tests pin the drivers' mechanics and the headline qualitative shapes, not
+// publication-grade statistics (the bench binaries do that).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/experiments/allocation_study.hpp"
+#include "tokenring/experiments/crossover_study.hpp"
+#include "tokenring/experiments/fault_study.hpp"
+#include "tokenring/experiments/deadline_study.hpp"
+#include "tokenring/experiments/distribution_study.hpp"
+#include "tokenring/experiments/fig1.hpp"
+#include "tokenring/experiments/frame_size_study.hpp"
+#include "tokenring/experiments/setup.hpp"
+#include "tokenring/experiments/sim_validation_study.hpp"
+#include "tokenring/experiments/station_count_study.hpp"
+#include "tokenring/experiments/ttrt_study.hpp"
+
+namespace tokenring::experiments {
+namespace {
+
+PaperSetup small_setup() {
+  PaperSetup s;
+  s.num_stations = 16;
+  return s;
+}
+
+// ---- setup -----------------------------------------------------------------
+
+TEST(Setup, GeneratorConfigEchoesFields) {
+  const auto g = small_setup().generator_config();
+  EXPECT_EQ(g.num_streams, 16);
+  EXPECT_DOUBLE_EQ(g.mean_period, milliseconds(100));
+}
+
+TEST(Setup, ParamsFollowStandards) {
+  const auto setup = small_setup();
+  EXPECT_DOUBLE_EQ(
+      setup.pdp_params(analysis::PdpVariant::kStandard8025).ring
+          .per_station_bit_delay,
+      4.0);
+  EXPECT_DOUBLE_EQ(setup.ttp_params().ring.per_station_bit_delay, 75.0);
+  EXPECT_DOUBLE_EQ(setup.ttp_params().frame.info_bits, 512.0);
+}
+
+TEST(Setup, PredicatesReactToScale) {
+  const auto setup = small_setup();
+  msg::MessageSetGenerator gen(setup.generator_config());
+  Rng rng(1);
+  const auto base = gen.generate(rng);
+  const auto pdp =
+      setup.pdp_predicate(analysis::PdpVariant::kModified8025, mbps(10));
+  EXPECT_TRUE(pdp(base.scaled(0.01)));
+  EXPECT_FALSE(pdp(base.scaled(1e6)));
+  const auto ttp = setup.ttp_predicate(mbps(100));
+  EXPECT_TRUE(ttp(base.scaled(0.01)));
+  EXPECT_FALSE(ttp(base.scaled(1e6)));
+}
+
+TEST(Setup, EstimatePointDeterministic) {
+  const auto setup = small_setup();
+  const auto p = setup.ttp_predicate(mbps(100));
+  const auto a = estimate_point(setup, p, mbps(100), 5, 3);
+  const auto b = estimate_point(setup, p, mbps(100), 5, 3);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+// ---- Figure 1 ----------------------------------------------------------------
+
+TEST(Fig1, ReproducesHeadlineShape) {
+  Fig1Config config;
+  config.setup = small_setup();
+  config.bandwidths_mbps = {2, 5, 20, 100, 500};
+  config.sets_per_point = 12;
+  const auto rows = run_fig1(config);
+  ASSERT_EQ(rows.size(), 5u);
+
+  const auto obs = analyze_fig1(rows);
+  EXPECT_TRUE(obs.modified_dominates_standard);
+  EXPECT_TRUE(obs.pdp_non_monotone);
+  EXPECT_EQ(obs.low_bandwidth_winner, "pdp");
+  EXPECT_EQ(obs.high_bandwidth_winner, "ttp");
+  EXPECT_GT(obs.ttp_crossover_mbps, 2.0);
+  EXPECT_LE(obs.ttp_crossover_mbps, 100.0);
+  // FDDI ends high; PDP ends low.
+  EXPECT_GT(rows.back().fddi, 0.7);
+  EXPECT_LT(rows.back().modified8025, 0.2);
+}
+
+TEST(Fig1, RowsCarryConfidenceIntervals) {
+  Fig1Config config;
+  config.setup = small_setup();
+  config.bandwidths_mbps = {20};
+  config.sets_per_point = 8;
+  const auto rows = run_fig1(config);
+  EXPECT_GT(rows[0].fddi_ci, 0.0);
+  EXPECT_GT(rows[0].modified8025_ci, 0.0);
+}
+
+TEST(Fig1, Preconditions) {
+  Fig1Config config;
+  config.bandwidths_mbps = {};
+  EXPECT_THROW(run_fig1(config), PreconditionError);
+  EXPECT_THROW(analyze_fig1({Fig1Row{}}), PreconditionError);
+}
+
+// ---- TTRT study ----------------------------------------------------------------
+
+TEST(TtrtStudy, SqrtRuleNearEmpiricalOptimum) {
+  TtrtStudyConfig config;
+  config.setup = small_setup();
+  config.bandwidth_mbps = 100.0;
+  config.sets_per_point = 15;
+  const auto result = run_ttrt_study(config);
+  ASSERT_EQ(result.rows.size(), config.ttrt_fractions.size());
+
+  // The sqrt rule must beat the naive largest-valid-TTRT choice...
+  EXPECT_GT(result.sqrt_rule_breakdown,
+            result.rows.back().breakdown_mean);
+  // ...and come close to the empirical grid optimum.
+  EXPECT_GT(result.sqrt_rule_breakdown,
+            0.9 * result.best_row.breakdown_mean);
+  // The maximizer is an interior point (sensitivity!), not an endpoint.
+  EXPECT_GT(result.best_row.fraction, config.ttrt_fractions.front());
+  EXPECT_LT(result.best_row.fraction, config.ttrt_fractions.back());
+}
+
+TEST(TtrtStudy, RejectsBadFractions) {
+  TtrtStudyConfig config;
+  config.setup = small_setup();
+  config.ttrt_fractions = {1.5};
+  EXPECT_THROW(run_ttrt_study(config), PreconditionError);
+}
+
+// ---- frame size ------------------------------------------------------------------
+
+TEST(FrameSizeStudy, OptimumGrowsWithBandwidth) {
+  FrameSizeStudyConfig config;
+  config.setup = small_setup();
+  config.payload_bytes = {16, 64, 256, 1024};
+  config.bandwidths_mbps = {4, 100};
+  config.sets_per_point = 12;
+  const auto rows = run_frame_size_study(config);
+  ASSERT_EQ(rows.size(), 8u);
+  // Larger frames pay off at higher bandwidth (F must stay above Theta).
+  EXPECT_GE(best_payload_bytes(rows, 100.0), best_payload_bytes(rows, 4.0));
+}
+
+TEST(FrameSizeStudy, UnknownBandwidthThrows) {
+  FrameSizeStudyConfig config;
+  config.setup = small_setup();
+  config.payload_bytes = {64};
+  config.bandwidths_mbps = {4};
+  config.sets_per_point = 2;
+  const auto rows = run_frame_size_study(config);
+  EXPECT_THROW(best_payload_bytes(rows, 999.0), PreconditionError);
+}
+
+// ---- distribution study ------------------------------------------------------------
+
+TEST(DistributionStudy, WinnerStableAcrossParameterizations) {
+  DistributionStudyConfig config;
+  config.setup = small_setup();
+  config.bandwidth_mbps = 200.0;  // deep in TTP territory
+  config.mean_periods_ms = {50, 200};
+  config.period_ratios = {2, 10};
+  config.distributions = {msg::PeriodDistribution::kUniform};
+  config.sets_per_point = 10;
+  const auto rows = run_distribution_study(config);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.fddi, std::max(r.ieee8025, r.modified8025))
+        << "mean=" << r.mean_period_ms << " ratio=" << r.period_ratio;
+  }
+}
+
+TEST(DistributionStudy, DistributionNames) {
+  EXPECT_STREQ(to_string(msg::PeriodDistribution::kUniform), "uniform");
+  EXPECT_STREQ(to_string(msg::PeriodDistribution::kLogUniform), "log-uniform");
+  EXPECT_STREQ(to_string(msg::PeriodDistribution::kEqual), "equal");
+}
+
+// ---- station count ------------------------------------------------------------------
+
+TEST(StationCountStudy, MorStationsHurtPdpMoreThanTtp) {
+  StationCountStudyConfig config;
+  config.setup = small_setup();
+  config.bandwidth_mbps = 100.0;
+  config.station_counts = {8, 64};
+  config.sets_per_point = 10;
+  const auto rows = run_station_count_study(config);
+  ASSERT_EQ(rows.size(), 2u);
+  const double pdp_drop = rows[0].modified8025 - rows[1].modified8025;
+  const double ttp_drop = rows[0].fddi - rows[1].fddi;
+  EXPECT_GT(pdp_drop, 0.0);
+  EXPECT_GT(pdp_drop, ttp_drop);
+}
+
+// ---- allocation study ------------------------------------------------------------------
+
+TEST(AllocationStudy, LocalDominatesEverySchemeAtEveryLevel) {
+  AllocationStudyConfig config;
+  config.setup = small_setup();
+  config.utilization_levels = {0.1, 0.3, 0.5};
+  config.sets_per_point = 30;
+  const auto rows = run_allocation_study(config);
+
+  for (double u : config.utilization_levels) {
+    double local_fraction = -1.0;
+    for (const auto& r : rows) {
+      if (r.scheme == analysis::AllocationScheme::kLocal && r.utilization == u) {
+        local_fraction = r.feasible_fraction;
+      }
+    }
+    ASSERT_GE(local_fraction, 0.0);
+    for (const auto& r : rows) {
+      if (r.utilization == u) {
+        EXPECT_LE(r.feasible_fraction, local_fraction + 1e-12)
+            << to_string(r.scheme) << " at U=" << u;
+      }
+    }
+  }
+}
+
+TEST(AllocationStudy, FractionsAreProbabilities) {
+  AllocationStudyConfig config;
+  config.setup = small_setup();
+  config.utilization_levels = {0.2};
+  config.sets_per_point = 10;
+  for (const auto& r : run_allocation_study(config)) {
+    EXPECT_GE(r.feasible_fraction, 0.0);
+    EXPECT_LE(r.feasible_fraction, 1.0);
+  }
+}
+
+TEST(WorstCaseStudy, BoundHolds) {
+  WorstCaseStudyConfig config;
+  config.setup = small_setup();
+  config.num_sets = 25;
+  const auto result = run_worst_case_study(config);
+  EXPECT_EQ(result.bound_violations, 0u);
+  EXPECT_GT(result.analytical_bound, 0.25);   // near 1/3 at 100 Mbps
+  EXPECT_LE(result.analytical_bound, 1.0 / 3.0 + 1e-12);
+  // Every breakdown sample sits at or above the worst-case bound.
+  EXPECT_GE(result.min_breakdown, result.analytical_bound - 1e-9);
+  EXPECT_GE(result.mean_breakdown, result.min_breakdown);
+}
+
+// ---- deadline study ------------------------------------------------------------------
+
+TEST(DeadlineStudy, TightDeadlinesHurtTtpMoreThanPdp) {
+  DeadlineStudyConfig config;
+  config.setup = small_setup();
+  config.bandwidths_mbps = {100};
+  config.deadline_fractions = {1.0, 0.3};
+  config.sets_per_point = 12;
+  const auto rows = run_deadline_study(config);
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& implicit = rows[0];
+  const auto& tight = rows[1];
+  // Everyone loses capacity under tighter deadlines...
+  EXPECT_LT(tight.modified8025, implicit.modified8025);
+  EXPECT_LT(tight.fddi, implicit.fddi);
+  // ...but the timed token loses a larger fraction (paper Section 7).
+  const double pdp_retained = tight.modified8025 / implicit.modified8025;
+  const double ttp_retained = tight.fddi / implicit.fddi;
+  EXPECT_GT(pdp_retained, ttp_retained);
+}
+
+TEST(DeadlineStudy, ImplicitDeadlineRowMatchesPlainSetup) {
+  DeadlineStudyConfig config;
+  config.setup = small_setup();
+  config.bandwidths_mbps = {100};
+  config.deadline_fractions = {1.0};
+  config.sets_per_point = 8;
+  const auto rows = run_deadline_study(config);
+  const auto plain = estimate_point(config.setup,
+                                    config.setup.ttp_predicate(mbps(100)),
+                                    mbps(100), 8, config.seed)
+                         .mean();
+  EXPECT_DOUBLE_EQ(rows[0].fddi, plain);
+}
+
+// ---- crossover study ------------------------------------------------------------------
+
+TEST(CrossoverStudy, FindsInteriorCrossoverAtPaperishParameters) {
+  CrossoverStudyConfig config;
+  config.station_counts = {16};
+  config.mean_periods_ms = {100};
+  config.sets_per_point = 10;
+  config.iterations = 8;
+  const auto rows = run_crossover_study(config);
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& r = rows[0];
+  // The crossover is interior and in the paper's "1-10 vs 100" gap.
+  EXPECT_GT(r.crossover_mbps, config.bw_low_mbps);
+  EXPECT_LT(r.crossover_mbps, 200.0);
+  // At the crossover the two protocols are within Monte Carlo noise.
+  EXPECT_NEAR(r.pdp_at_crossover, r.ttp_at_crossover,
+              0.15 * std::max(r.pdp_at_crossover, r.ttp_at_crossover));
+}
+
+TEST(CrossoverStudy, Preconditions) {
+  CrossoverStudyConfig config;
+  config.bw_high_mbps = config.bw_low_mbps;
+  EXPECT_THROW(run_crossover_study(config), PreconditionError);
+}
+
+// ---- fault study -----------------------------------------------------------------------
+
+TEST(FaultStudy, ZeroLossRowsAreCleanAndLossesHurtTtpMore) {
+  FaultStudyConfig config;
+  config.setup.num_stations = 8;
+  config.loss_counts = {0, 8};
+  config.sets_per_point = 2;
+  config.horizon_periods = 4.0;
+  const auto rows = run_fault_study(config);
+  ASSERT_EQ(rows.size(), 4u);  // 2 protocols x 2 loss counts
+
+  double ttp_at_loss = -1.0;
+  double pdp_at_loss = -1.0;
+  for (const auto& r : rows) {
+    if (r.losses == 0) {
+      EXPECT_DOUBLE_EQ(r.miss_ratio, 0.0) << r.protocol;
+    } else if (r.protocol == "fddi") {
+      ttp_at_loss = r.miss_ratio;
+      EXPECT_GT(r.outage, milliseconds(0.1));
+    } else {
+      pdp_at_loss = r.miss_ratio;
+    }
+  }
+  // FDDI's claim-process outage costs at least as much as the 802.5
+  // monitor's (usually strictly more).
+  EXPECT_GE(ttp_at_loss, pdp_at_loss);
+}
+
+// ---- simulation validation ------------------------------------------------------------
+
+TEST(SimValidationStudy, SoundOnSmallSample) {
+  SimValidationConfig config;
+  config.setup.num_stations = 8;
+  config.bandwidths_mbps = {100};
+  config.sets_per_point = 3;
+  const auto rows = run_sim_validation(config);
+  ASSERT_EQ(rows.size(), 3u);  // 2 PDP variants + TTP
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.false_negatives, 0u) << r.protocol;
+    EXPECT_EQ(r.johnson_violations, 0u) << r.protocol;
+    if (r.protocol == "fddi" && r.sets_tested > 0) {
+      EXPECT_GT(r.max_intervisit_ratio, 0.0);
+      EXPECT_LE(r.max_intervisit_ratio, 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST(SimValidationStudy, Preconditions) {
+  SimValidationConfig config;
+  config.outside_scale = 0.5;
+  EXPECT_THROW(run_sim_validation(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::experiments

@@ -1,0 +1,161 @@
+#include "tokenring/msg/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::msg {
+namespace {
+
+GeneratorConfig paper_config() {
+  GeneratorConfig g;
+  g.num_streams = 100;
+  g.mean_period = milliseconds(100);
+  g.period_ratio = 10.0;
+  return g;
+}
+
+TEST(GeneratorConfig, PeriodSupportFromMeanAndRatio) {
+  const GeneratorConfig g = paper_config();
+  // P_min = 2*mean/(1+ratio) = 200/11 ms; P_max = 10 * P_min.
+  EXPECT_NEAR(to_milliseconds(g.min_period()), 200.0 / 11.0, 1e-9);
+  EXPECT_NEAR(to_milliseconds(g.max_period()), 2'000.0 / 11.0, 1e-9);
+  EXPECT_NEAR((g.min_period() + g.max_period()) / 2.0, g.mean_period, 1e-15);
+}
+
+TEST(GeneratorConfig, EqualPeriodsCollapseSupport) {
+  GeneratorConfig g = paper_config();
+  g.period_dist = PeriodDistribution::kEqual;
+  EXPECT_DOUBLE_EQ(g.min_period(), g.mean_period);
+  EXPECT_DOUBLE_EQ(g.max_period(), g.mean_period);
+}
+
+TEST(GeneratorConfig, ValidateRejectsBadValues) {
+  GeneratorConfig g = paper_config();
+  g.num_streams = 0;
+  EXPECT_THROW(g.validate(), PreconditionError);
+  g = paper_config();
+  g.mean_period = 0.0;
+  EXPECT_THROW(g.validate(), PreconditionError);
+  g = paper_config();
+  g.period_ratio = 0.5;
+  EXPECT_THROW(g.validate(), PreconditionError);
+}
+
+TEST(Generator, ProducesRequestedStreamCountAndStations) {
+  MessageSetGenerator gen(paper_config());
+  Rng rng(1);
+  const MessageSet set = gen.generate(rng);
+  ASSERT_EQ(set.size(), 100u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set[i].station, static_cast<int>(i));  // one stream per station
+  }
+}
+
+TEST(Generator, PeriodsWithinSupport) {
+  MessageSetGenerator gen(paper_config());
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const MessageSet set = gen.generate(rng);
+    for (const auto& s : set.streams()) {
+      EXPECT_GE(s.period, gen.config().min_period());
+      EXPECT_LE(s.period, gen.config().max_period());
+    }
+  }
+}
+
+TEST(Generator, UniformPeriodsMeanApproximatesConfig) {
+  MessageSetGenerator gen(paper_config());
+  Rng rng(3);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const MessageSet set = gen.generate(rng);
+    for (const auto& s : set.streams()) {
+      sum += s.period;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(count), milliseconds(100),
+              milliseconds(2));
+}
+
+TEST(Generator, LogUniformStaysInSupportAndSkewsLow) {
+  GeneratorConfig g = paper_config();
+  g.period_dist = PeriodDistribution::kLogUniform;
+  MessageSetGenerator gen(g);
+  Rng rng(4);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const MessageSet set = gen.generate(rng);
+    for (const auto& s : set.streams()) {
+      EXPECT_GE(s.period, g.min_period());
+      EXPECT_LE(s.period, g.max_period());
+      sum += s.period;
+      ++count;
+    }
+  }
+  // Log-uniform mean = (max-min)/ln(max/min) < arithmetic midpoint.
+  EXPECT_LT(sum / static_cast<double>(count), milliseconds(100));
+}
+
+TEST(Generator, EqualPeriods) {
+  GeneratorConfig g = paper_config();
+  g.period_dist = PeriodDistribution::kEqual;
+  MessageSetGenerator gen(g);
+  Rng rng(5);
+  const MessageSet set = gen.generate(rng);
+  for (const auto& s : set.streams()) {
+    EXPECT_DOUBLE_EQ(s.period, milliseconds(100));
+  }
+}
+
+TEST(Generator, UniformPayloadRange) {
+  MessageSetGenerator gen(paper_config());
+  Rng rng(6);
+  const MessageSet set = gen.generate(rng);
+  for (const auto& s : set.streams()) {
+    EXPECT_GE(s.payload_bits, 1'000.0);
+    EXPECT_LE(s.payload_bits, 10'000.0);
+  }
+}
+
+TEST(Generator, ProportionalPayloadTracksPeriod) {
+  GeneratorConfig g = paper_config();
+  g.payload_dist = PayloadDistribution::kProportionalToPeriod;
+  MessageSetGenerator gen(g);
+  Rng rng(7);
+  const MessageSet set = gen.generate(rng);
+  for (const auto& s : set.streams()) {
+    const double ratio = s.payload_bits / (s.period * 1e5);
+    EXPECT_GE(ratio, 0.5);
+    EXPECT_LE(ratio, 1.5);
+  }
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  MessageSetGenerator gen(paper_config());
+  Rng r1(99);
+  Rng r2(99);
+  const MessageSet a = gen.generate(r1);
+  const MessageSet b = gen.generate(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].period, b[i].period);
+    EXPECT_DOUBLE_EQ(a[i].payload_bits, b[i].payload_bits);
+  }
+}
+
+TEST(Generator, GeneratedSetsValidate) {
+  MessageSetGenerator gen(paper_config());
+  Rng rng(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(gen.generate(rng).validate());
+  }
+}
+
+}  // namespace
+}  // namespace tokenring::msg

@@ -1,0 +1,105 @@
+#include "tokenring/msg/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace tokenring::msg {
+namespace {
+
+MessageSet sample_set() {
+  MessageSet set;
+  set.add({.period = milliseconds(20), .payload_bits = 16'000.0, .station = 0});
+  set.add({.period = milliseconds(50.5), .payload_bits = 32'768.0, .station = 3});
+  return set;
+}
+
+TEST(MsgIo, CsvRoundTrip) {
+  const auto original = sample_set();
+  const auto parsed = message_set_from_csv(to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].station, original[i].station);
+    EXPECT_DOUBLE_EQ(parsed[i].period, original[i].period);
+    EXPECT_DOUBLE_EQ(parsed[i].payload_bits, original[i].payload_bits);
+  }
+}
+
+TEST(MsgIo, CsvHasHeaderAndRows) {
+  const std::string csv = to_csv(sample_set());
+  EXPECT_EQ(csv.rfind("station,period_ms,payload_bits\n", 0), 0u);
+  EXPECT_NE(csv.find("0,20,16000"), std::string::npos);
+}
+
+TEST(MsgIo, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "# scenario: two sensors\n"
+      "\n"
+      "station,period_ms,payload_bits\n"
+      "# fast one\n"
+      "0, 10, 512\n"
+      "1, 20, 1024\n";
+  const auto set = message_set_from_csv(text);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set[0].period, milliseconds(10));
+  EXPECT_DOUBLE_EQ(set[1].payload_bits, 1'024.0);
+}
+
+TEST(MsgIo, EmptySetRoundTrips) {
+  const auto set = message_set_from_csv(to_csv(MessageSet{}));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(MsgIo, MissingHeaderRejected) {
+  EXPECT_THROW(message_set_from_csv("0,10,512\n"), ParseError);
+  EXPECT_THROW(message_set_from_csv(""), ParseError);
+}
+
+TEST(MsgIo, WrongColumnCountRejected) {
+  EXPECT_THROW(message_set_from_csv(
+                   "station,period_ms,payload_bits\n0,10\n"),
+               ParseError);
+  EXPECT_THROW(message_set_from_csv(
+                   "station,period_ms,payload_bits\n0,10,512,7\n"),
+               ParseError);
+}
+
+TEST(MsgIo, NonNumericRejectedWithLineNumber) {
+  try {
+    message_set_from_csv("station,period_ms,payload_bits\n0,abc,512\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MsgIo, InvalidStreamRejected) {
+  // Zero period violates the stream invariant.
+  EXPECT_THROW(message_set_from_csv(
+                   "station,period_ms,payload_bits\n0,0,512\n"),
+               ParseError);
+  // Negative payload too.
+  EXPECT_THROW(message_set_from_csv(
+                   "station,period_ms,payload_bits\n0,10,-5\n"),
+               ParseError);
+}
+
+TEST(MsgIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "tokenring_io_test.csv")
+          .string();
+  save_message_set(path, sample_set());
+  const auto loaded = load_message_set(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(MsgIo, MissingFileRejected) {
+  EXPECT_THROW(load_message_set("/nonexistent/dir/set.csv"), ParseError);
+  EXPECT_THROW(save_message_set("/nonexistent/dir/set.csv", sample_set()),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace tokenring::msg

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/msg/message_set.hpp"
+#include "tokenring/msg/stream.hpp"
+
+namespace tokenring::msg {
+namespace {
+
+SyncStream make(Seconds period, Bits payload, int station = 0) {
+  return SyncStream{period, payload, station};
+}
+
+TEST(SyncStream, PayloadTimeAndUtilization) {
+  const SyncStream s = make(milliseconds(100), bytes(1'000));  // 8000 bits
+  EXPECT_NEAR(to_milliseconds(s.payload_time(mbps(1))), 8.0, 1e-12);
+  EXPECT_NEAR(s.utilization(mbps(1)), 0.08, 1e-12);
+  EXPECT_NEAR(s.utilization(mbps(8)), 0.01, 1e-12);
+}
+
+TEST(SyncStream, ValidateRejectsBadStreams) {
+  EXPECT_THROW(make(0.0, 100.0).validate(), PreconditionError);
+  EXPECT_THROW(make(-1.0, 100.0).validate(), PreconditionError);
+  EXPECT_THROW(make(1.0, -1.0).validate(), PreconditionError);
+  SyncStream s = make(1.0, 100.0);
+  s.station = -1;
+  EXPECT_THROW(s.validate(), PreconditionError);
+  EXPECT_NO_THROW(make(1.0, 0.0).validate());  // zero payload is legal
+}
+
+TEST(SyncStream, DescribeMentionsKeyNumbers) {
+  const SyncStream s = make(milliseconds(50), 512.0, 7);
+  const std::string d = s.describe(mbps(1));
+  EXPECT_NE(d.find("station=7"), std::string::npos);
+  EXPECT_NE(d.find("P=50"), std::string::npos);
+}
+
+TEST(MessageSet, UtilizationSums) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1'000.0, 0));
+  set.add(make(milliseconds(20), 4'000.0, 1));
+  // At 1 Mbps: 1ms/10ms + 4ms/20ms = 0.1 + 0.2.
+  EXPECT_NEAR(set.utilization(mbps(1)), 0.3, 1e-12);
+}
+
+TEST(MessageSet, EmptySetBasics) {
+  MessageSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.utilization(mbps(1)), 0.0);
+  EXPECT_THROW(set.min_period(), PreconditionError);
+  EXPECT_THROW(set.max_period(), PreconditionError);
+}
+
+TEST(MessageSet, MinMaxPeriod) {
+  MessageSet set;
+  set.add(make(milliseconds(30), 1.0, 0));
+  set.add(make(milliseconds(10), 1.0, 1));
+  set.add(make(milliseconds(20), 1.0, 2));
+  EXPECT_DOUBLE_EQ(set.min_period(), milliseconds(10));
+  EXPECT_DOUBLE_EQ(set.max_period(), milliseconds(30));
+}
+
+TEST(MessageSet, RmSortedOrdersByPeriod) {
+  MessageSet set;
+  set.add(make(milliseconds(30), 1.0, 0));
+  set.add(make(milliseconds(10), 2.0, 1));
+  set.add(make(milliseconds(20), 3.0, 2));
+  const MessageSet sorted = set.rm_sorted();
+  EXPECT_DOUBLE_EQ(sorted[0].period, milliseconds(10));
+  EXPECT_DOUBLE_EQ(sorted[1].period, milliseconds(20));
+  EXPECT_DOUBLE_EQ(sorted[2].period, milliseconds(30));
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(set[0].period, milliseconds(30));
+}
+
+TEST(MessageSet, RmSortStableForEqualPeriods) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1.0, 5));
+  set.add(make(milliseconds(10), 2.0, 3));
+  set.add(make(milliseconds(10), 3.0, 9));
+  const MessageSet sorted = set.rm_sorted();
+  EXPECT_EQ(sorted[0].station, 5);
+  EXPECT_EQ(sorted[1].station, 3);
+  EXPECT_EQ(sorted[2].station, 9);
+}
+
+TEST(MessageSet, ScaledMultipliesPayloadsOnly) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1'000.0, 0));
+  set.add(make(milliseconds(20), 2'000.0, 1));
+  const MessageSet doubled = set.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled[0].payload_bits, 2'000.0);
+  EXPECT_DOUBLE_EQ(doubled[1].payload_bits, 4'000.0);
+  EXPECT_DOUBLE_EQ(doubled[0].period, set[0].period);
+  EXPECT_NEAR(doubled.utilization(mbps(1)), 2.0 * set.utilization(mbps(1)),
+              1e-12);
+}
+
+TEST(MessageSet, ScaledByZeroAndIdentity) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1'000.0, 0));
+  EXPECT_DOUBLE_EQ(set.scaled(0.0)[0].payload_bits, 0.0);
+  EXPECT_DOUBLE_EQ(set.scaled(1.0)[0].payload_bits, 1'000.0);
+  EXPECT_THROW(set.scaled(-0.5), PreconditionError);
+}
+
+TEST(MessageSet, ValidatePropagatesToStreams) {
+  MessageSet set;
+  set.add(make(0.0, 1.0, 0));
+  EXPECT_THROW(set.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::msg

@@ -1,0 +1,84 @@
+#include "tokenring/net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::net {
+namespace {
+
+TEST(FrameFormat, PaperDefaults) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_DOUBLE_EQ(f.info_bits, 512.0);
+  EXPECT_DOUBLE_EQ(f.overhead_bits, 112.0);
+  EXPECT_DOUBLE_EQ(f.total_bits(), 624.0);
+}
+
+TEST(FrameFormat, TimesAtBandwidth) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_NEAR(to_microseconds(f.frame_time(mbps(1))), 624.0, 1e-9);
+  EXPECT_NEAR(to_microseconds(f.info_time(mbps(1))), 512.0, 1e-9);
+  EXPECT_NEAR(to_microseconds(f.overhead_time(mbps(1))), 112.0, 1e-9);
+  EXPECT_NEAR(to_microseconds(f.frame_time(mbps(100))), 6.24, 1e-9);
+}
+
+TEST(FrameFormat, FrameCountsBasic) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_EQ(f.full_frames(0.0), 0);
+  EXPECT_EQ(f.frames_for_payload(0.0), 0);
+  EXPECT_EQ(f.full_frames(1.0), 0);
+  EXPECT_EQ(f.frames_for_payload(1.0), 1);
+  EXPECT_EQ(f.full_frames(511.0), 0);
+  EXPECT_EQ(f.frames_for_payload(511.0), 1);
+}
+
+TEST(FrameFormat, FrameCountsExactMultiple) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_EQ(f.full_frames(512.0), 1);
+  EXPECT_EQ(f.frames_for_payload(512.0), 1);  // K == L
+  EXPECT_EQ(f.full_frames(1024.0), 2);
+  EXPECT_EQ(f.frames_for_payload(1024.0), 2);
+}
+
+TEST(FrameFormat, FrameCountsWithShortLastFrame) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_EQ(f.full_frames(513.0), 1);
+  EXPECT_EQ(f.frames_for_payload(513.0), 2);  // K == L + 1
+  EXPECT_EQ(f.full_frames(5'000.0), 9);
+  EXPECT_EQ(f.frames_for_payload(5'000.0), 10);
+}
+
+TEST(FrameFormat, LastFramePayload) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_DOUBLE_EQ(f.last_frame_payload_bits(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.last_frame_payload_bits(512.0), 512.0);  // exact -> full
+  EXPECT_DOUBLE_EQ(f.last_frame_payload_bits(513.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.last_frame_payload_bits(300.0), 300.0);
+}
+
+TEST(FrameFormat, NegativePayloadRejected) {
+  const FrameFormat f = paper_frame_format();
+  EXPECT_THROW(f.full_frames(-1.0), tokenring::PreconditionError);
+  EXPECT_THROW(f.frames_for_payload(-1.0), tokenring::PreconditionError);
+  EXPECT_THROW(f.last_frame_payload_bits(-1.0), tokenring::PreconditionError);
+}
+
+TEST(FrameFormat, ValidateRejectsBadGeometry) {
+  FrameFormat f;
+  f.info_bits = 0.0;
+  EXPECT_THROW(f.validate(), tokenring::PreconditionError);
+  f = paper_frame_format();
+  f.overhead_bits = -1.0;
+  EXPECT_THROW(f.validate(), tokenring::PreconditionError);
+  EXPECT_NO_THROW(paper_frame_format().validate());
+}
+
+TEST(FrameFormat, CustomPayloadFactory) {
+  const FrameFormat f = frame_format_with_payload_bytes(128);
+  EXPECT_DOUBLE_EQ(f.info_bits, 1'024.0);
+  EXPECT_DOUBLE_EQ(f.overhead_bits, 112.0);
+}
+
+}  // namespace
+}  // namespace tokenring::net

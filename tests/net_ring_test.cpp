@@ -1,0 +1,123 @@
+#include "tokenring/net/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::net {
+namespace {
+
+TEST(RingParams, RingLength) {
+  RingParams p = ieee8025_ring(100, 100.0);
+  EXPECT_DOUBLE_EQ(p.ring_length_m(), 10'000.0);
+}
+
+TEST(RingParams, PropagationDelayAtThreeQuartersC) {
+  RingParams p = ieee8025_ring(100, 100.0);
+  // 10 km at 0.75c = 10e3 / 2.248e8 s ~= 44.47 us.
+  EXPECT_NEAR(to_microseconds(p.propagation_delay()), 44.47, 0.05);
+}
+
+TEST(RingParams, PropagationIndependentOfBandwidth) {
+  RingParams p = fddi_ring();
+  EXPECT_DOUBLE_EQ(p.propagation_delay(), p.propagation_delay());
+  // walk_time difference between bandwidths is exactly the latency part.
+  const Seconds w1 = p.walk_time(mbps(1));
+  const Seconds w2 = p.walk_time(mbps(100));
+  EXPECT_NEAR(w1 - w2, p.ring_latency(mbps(1)) - p.ring_latency(mbps(100)),
+              1e-15);
+}
+
+TEST(RingParams, RingLatencyScalesInverselyWithBandwidth) {
+  RingParams p = ieee8025_ring(100);
+  // 4 bits * 100 stations = 400 bits; at 1 Mbps that is 400 us.
+  EXPECT_NEAR(to_microseconds(p.ring_latency(mbps(1))), 400.0, 1e-9);
+  EXPECT_NEAR(to_microseconds(p.ring_latency(mbps(100))), 4.0, 1e-9);
+}
+
+TEST(RingParams, FddiLatencyUses75BitsPerStation) {
+  RingParams p = fddi_ring(100);
+  // 75 bits * 100 stations = 7500 bits; at 100 Mbps that is 75 us.
+  EXPECT_NEAR(to_microseconds(p.ring_latency(mbps(100))), 75.0, 1e-9);
+}
+
+TEST(RingParams, ThetaDecomposition) {
+  RingParams p = fddi_ring(100);
+  const BitsPerSecond bw = mbps(100);
+  EXPECT_NEAR(p.theta(bw),
+              p.propagation_delay() + p.ring_latency(bw) + p.token_time(bw),
+              1e-18);
+}
+
+TEST(RingParams, ThetaMonotoneDecreasingInBandwidth) {
+  RingParams p = ieee8025_ring();
+  Seconds prev = p.theta(mbps(1));
+  for (double m : {2.0, 5.0, 10.0, 100.0, 1000.0}) {
+    const Seconds cur = p.theta(mbps(m));
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // Theta approaches the propagation-delay floor at high bandwidth.
+  EXPECT_NEAR(p.theta(gbps(100)), p.propagation_delay(),
+              p.propagation_delay() * 0.01);
+}
+
+TEST(RingParams, HopLatencySumsToWalkTime) {
+  RingParams p = fddi_ring(64, 150.0);
+  const BitsPerSecond bw = mbps(100);
+  EXPECT_NEAR(64.0 * p.hop_latency(bw), p.walk_time(bw), 1e-15);
+}
+
+TEST(RingParams, TokenTime) {
+  RingParams p = ieee8025_ring();
+  EXPECT_NEAR(to_microseconds(p.token_time(mbps(1))), 24.0, 1e-9);
+  RingParams f = fddi_ring();
+  EXPECT_NEAR(to_microseconds(f.token_time(mbps(100))), 0.88, 1e-9);
+}
+
+TEST(RingParams, ValidateRejectsBadValues) {
+  RingParams p = ieee8025_ring();
+  p.num_stations = 1;
+  EXPECT_THROW(p.validate(), PreconditionError);
+
+  p = ieee8025_ring();
+  p.station_spacing_m = 0.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+
+  p = ieee8025_ring();
+  p.signal_speed_fraction = 1.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+
+  p = ieee8025_ring();
+  p.per_station_bit_delay = -1.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+
+  p = ieee8025_ring();
+  p.token_length_bits = 0.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+
+  EXPECT_NO_THROW(ieee8025_ring().validate());
+  EXPECT_NO_THROW(fddi_ring().validate());
+}
+
+TEST(Standards, PaperSection6Values) {
+  const RingParams ieee = ieee8025_ring();
+  EXPECT_EQ(ieee.num_stations, 100);
+  EXPECT_DOUBLE_EQ(ieee.station_spacing_m, 100.0);
+  EXPECT_DOUBLE_EQ(ieee.signal_speed_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(ieee.per_station_bit_delay, 4.0);
+
+  const RingParams fddi = fddi_ring();
+  EXPECT_DOUBLE_EQ(fddi.per_station_bit_delay, 75.0);
+  EXPECT_GT(fddi.token_length_bits, ieee.token_length_bits);
+}
+
+TEST(Standards, CustomSizing) {
+  const RingParams p = fddi_ring(16, 200.0);
+  EXPECT_EQ(p.num_stations, 16);
+  EXPECT_DOUBLE_EQ(p.ring_length_m(), 3'200.0);
+}
+
+}  // namespace
+}  // namespace tokenring::net

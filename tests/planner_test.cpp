@@ -1,0 +1,168 @@
+#include "tokenring/planner/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/common/rng.hpp"
+
+namespace tokenring::planner {
+namespace {
+
+msg::SyncStream stream(Seconds period, Bits payload, int station) {
+  return msg::SyncStream{period, payload, station};
+}
+
+TEST(Planner, ProtocolNames) {
+  EXPECT_STREQ(to_string(Protocol::kIeee8025), "IEEE 802.5");
+  EXPECT_STREQ(to_string(Protocol::kModified8025), "Modified IEEE 802.5");
+  EXPECT_STREQ(to_string(Protocol::kFddi), "FDDI timed token");
+}
+
+TEST(Planner, DefaultConfigFollowsStandards) {
+  const auto fddi = default_config(Protocol::kFddi, mbps(100), 32);
+  EXPECT_EQ(fddi.ring.num_stations, 32);
+  EXPECT_DOUBLE_EQ(fddi.ring.per_station_bit_delay, 75.0);
+  const auto ieee = default_config(Protocol::kIeee8025, mbps(16), 32);
+  EXPECT_DOUBLE_EQ(ieee.ring.per_station_bit_delay, 4.0);
+  EXPECT_NO_THROW(fddi.validate());
+  EXPECT_NO_THROW(ieee.validate());
+}
+
+TEST(Planner, ConfigValidation) {
+  auto cfg = default_config(Protocol::kFddi, mbps(100));
+  cfg.bandwidth = 0.0;
+  EXPECT_THROW(AdmissionController{cfg}, PreconditionError);
+}
+
+class AdmissionPerProtocol : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AdmissionPerProtocol, AdmitsLightStreamsRejectsOverload) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+
+  // Light stream: must be admitted.
+  const auto d1 = controller.try_admit(stream(milliseconds(50), bytes(500), 0));
+  EXPECT_TRUE(d1.admitted) << d1.reason;
+  EXPECT_EQ(controller.admitted().size(), 1u);
+  EXPECT_GT(controller.utilization(), 0.0);
+
+  // Monster stream: 200% of the link by itself.
+  const auto d2 =
+      controller.try_admit(stream(milliseconds(10), 320'000.0, 1));
+  EXPECT_FALSE(d2.admitted);
+  EXPECT_EQ(controller.admitted().size(), 1u);  // set unchanged
+  EXPECT_NE(d2.reason.find("criterion"), std::string::npos);
+}
+
+TEST_P(AdmissionPerProtocol, RejectsOccupiedStation) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+  ASSERT_TRUE(
+      controller.try_admit(stream(milliseconds(50), bytes(100), 3)).admitted);
+  const auto d = controller.try_admit(stream(milliseconds(60), bytes(100), 3));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("occupied") != std::string::npos ||
+                d.reason.find("already") != std::string::npos,
+            false);
+}
+
+TEST_P(AdmissionPerProtocol, RejectsStationOutsideRing) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 8));
+  const auto d = controller.try_admit(stream(milliseconds(50), bytes(100), 8));
+  EXPECT_FALSE(d.admitted);
+}
+
+TEST_P(AdmissionPerProtocol, RemoveFreesCapacity) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+  ASSERT_TRUE(
+      controller.try_admit(stream(milliseconds(50), bytes(1000), 0)).admitted);
+  EXPECT_TRUE(controller.remove(0));
+  EXPECT_FALSE(controller.remove(0));  // already gone
+  EXPECT_DOUBLE_EQ(controller.utilization(), 0.0);
+  // Station is free again.
+  EXPECT_TRUE(
+      controller.try_admit(stream(milliseconds(50), bytes(1000), 0)).admitted);
+}
+
+TEST_P(AdmissionPerProtocol, AdmittedSetsStaySchedulable) {
+  // Invariant: whatever sequence of admits/rejects happens, the accepted
+  // set always passes the protocol's criterion.
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    msg::SyncStream s;
+    s.station = static_cast<int>(rng.uniform_int(0, 15));
+    s.period = milliseconds(rng.uniform(10.0, 200.0));
+    s.payload_bits = rng.uniform(1'000.0, 200'000.0);
+    controller.try_admit(s);
+    EXPECT_TRUE(controller.feasible(controller.admitted()));
+  }
+}
+
+TEST_P(AdmissionPerProtocol, HeadroomIsAdmissibleAndTight) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+  ASSERT_TRUE(
+      controller.try_admit(stream(milliseconds(40), bytes(2'000), 0)).admitted);
+
+  const auto headroom = controller.headroom_bits(milliseconds(50), 1, 16.0);
+  ASSERT_TRUE(headroom.has_value());
+  EXPECT_GT(*headroom, 0.0);
+
+  // The quoted payload must be admissible...
+  auto probe = controller;
+  EXPECT_TRUE(
+      probe.try_admit(stream(milliseconds(50), *headroom, 1)).admitted);
+  // ...and only slightly more must not be.
+  auto probe2 = controller;
+  EXPECT_FALSE(
+      probe2.try_admit(stream(milliseconds(50), *headroom * 1.01 + 64.0, 1))
+          .admitted);
+}
+
+TEST_P(AdmissionPerProtocol, HeadroomUnavailableOnOccupiedStation) {
+  auto controller = AdmissionController(
+      default_config(GetParam(), mbps(16), 16));
+  ASSERT_TRUE(
+      controller.try_admit(stream(milliseconds(40), bytes(100), 2)).admitted);
+  EXPECT_FALSE(controller.headroom_bits(milliseconds(50), 2).has_value());
+  EXPECT_FALSE(controller.headroom_bits(milliseconds(50), 99).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AdmissionPerProtocol,
+                         ::testing::Values(Protocol::kIeee8025,
+                                           Protocol::kModified8025,
+                                           Protocol::kFddi));
+
+TEST(Planner, FddiHeadroomZeroPayloadInfeasibleWhenTtrtTooLong) {
+  // A 5 ms period stream forces TTRT <= 2.5 ms; if an admitted 1 s stream
+  // pinned TTRT bidding higher... the bid rule re-selects per set, so this
+  // must still be admissible. Sanity: headroom exists for short periods.
+  auto controller =
+      AdmissionController(default_config(Protocol::kFddi, mbps(100), 8));
+  ASSERT_TRUE(controller
+                  .try_admit(stream(milliseconds(1'000), bytes(10'000), 0))
+                  .admitted);
+  const auto h = controller.headroom_bits(milliseconds(5), 1);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_GT(*h, 0.0);
+}
+
+TEST(Planner, UtilizationAccumulates) {
+  auto controller =
+      AdmissionController(default_config(Protocol::kFddi, mbps(100), 8));
+  double last = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(controller
+                    .try_admit(stream(milliseconds(100), bytes(10'000), i))
+                    .admitted);
+    EXPECT_GT(controller.utilization(), last);
+    last = controller.utilization();
+  }
+}
+
+}  // namespace
+}  // namespace tokenring::planner

@@ -1,0 +1,282 @@
+// Cross-module randomized property tests. Each property here is either an
+// invariant the paper's analysis depends on, or a documented *non*-property
+// (like the bandwidth anomaly) pinned as an executable fact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tokenring/analysis/async_capacity.hpp"
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/generator.hpp"
+#include "tokenring/msg/io.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring {
+namespace {
+
+msg::MessageSetGenerator generator(int streams, Seconds mean = milliseconds(80),
+                                   double ratio = 8.0) {
+  msg::GeneratorConfig g;
+  g.num_streams = streams;
+  g.mean_period = mean;
+  g.period_ratio = ratio;
+  return msg::MessageSetGenerator(g);
+}
+
+analysis::PdpParams pdp_params(int n, analysis::PdpVariant v) {
+  analysis::PdpParams p;
+  p.ring = net::ieee8025_ring(n);
+  p.frame = net::paper_frame_format();
+  p.variant = v;
+  return p;
+}
+
+analysis::TtpParams ttp_params(int n) {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(n);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+// ---- order invariance ----------------------------------------------------------
+
+class OrderInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderInvariance, VerdictsIgnoreStreamOrder) {
+  Rng rng(GetParam());
+  auto gen = generator(12);
+  const auto pdp = pdp_params(12, analysis::PdpVariant::kModified8025);
+  const auto ttp = ttp_params(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto base = gen.generate(rng).scaled(rng.uniform(1.0, 60.0));
+    const BitsPerSecond bw = mbps(rng.uniform(4.0, 200.0));
+
+    std::vector<msg::SyncStream> shuffled = base.streams();
+    std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+    const msg::MessageSet permuted{std::move(shuffled)};
+
+    EXPECT_EQ(analysis::pdp_feasible(base, pdp, bw),
+              analysis::pdp_feasible(permuted, pdp, bw));
+    EXPECT_EQ(analysis::ttp_feasible(base, ttp, bw),
+              analysis::ttp_feasible(permuted, ttp, bw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderInvariance, ::testing::Values(1, 2, 3));
+
+// ---- breakdown utilization bounds ------------------------------------------------
+
+class BreakdownBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BreakdownBounds, SaturatedUtilizationIsAProperFraction) {
+  Rng rng(GetParam());
+  auto gen = generator(10);
+  const auto pdp = pdp_params(10, analysis::PdpVariant::kStandard8025);
+  const auto ttp = ttp_params(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto base = gen.generate(rng);
+    const BitsPerSecond bw = mbps(rng.uniform(2.0, 500.0));
+    for (const auto& predicate :
+         {breakdown::SchedulablePredicate(
+              [&](const msg::MessageSet& m) {
+                return analysis::pdp_feasible(m, pdp, bw);
+              }),
+          breakdown::SchedulablePredicate([&](const msg::MessageSet& m) {
+            return analysis::ttp_feasible(m, ttp, bw);
+          })}) {
+      const auto sat = breakdown::find_saturation(base, predicate, bw);
+      if (sat.found) {
+        EXPECT_GT(sat.breakdown_utilization, 0.0);
+        EXPECT_LE(sat.breakdown_utilization, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BreakdownBounds, ::testing::Values(5, 7));
+
+// ---- the bandwidth anomaly, pinned ------------------------------------------------
+//
+// Two complementary executable facts:
+//  * For a FIXED message set, more bandwidth never hurts: every cost term
+//    of Theorem 4.1 (C'_i, B) decreases with bandwidth, so feasibility is
+//    monotone. The paper's anomaly is NOT about fixed sets.
+//  * What falls with bandwidth is the breakdown *utilization*: at high
+//    speed every frame still occupies a Theta-bound slot, so schedulable
+//    sets carry an ever-smaller payload fraction.
+
+class BandwidthMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthMonotone, FixedSetFeasibilityNeverDegradesWithBandwidth) {
+  Rng rng(GetParam());
+  auto gen = generator(12);
+  const auto p = pdp_params(12, analysis::PdpVariant::kModified8025);
+  int feasible_seen = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto set = gen.generate(rng).scaled(rng.uniform(1.0, 60.0));
+    bool prev = false;
+    for (double bw_mbps : {2.0, 5.0, 20.0, 100.0, 1000.0}) {
+      const bool ok = analysis::pdp_feasible(set, p, mbps(bw_mbps));
+      if (prev) {
+        EXPECT_TRUE(ok) << "feasibility lost at " << bw_mbps << " Mbps";
+      }
+      prev = ok;
+      feasible_seen += ok ? 1 : 0;
+    }
+  }
+  EXPECT_GT(feasible_seen, 0);  // property must not hold vacuously
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthMonotone, ::testing::Values(41, 43));
+
+TEST(BandwidthAnomaly, BreakdownUtilizationFallsWhileTtpRises) {
+  // The paper's Figure 1 mechanism on a single payload direction.
+  Rng rng(3);
+  auto gen = generator(20, milliseconds(100), 10.0);
+  const auto base = gen.generate(rng);
+  const auto pdp = pdp_params(20, analysis::PdpVariant::kModified8025);
+  const auto ttp = ttp_params(20);
+
+  const auto breakdown_at = [&](const auto& params, auto feasible,
+                                double bw_mbps) {
+    const BitsPerSecond bw = mbps(bw_mbps);
+    return breakdown::find_saturation(
+               base,
+               [&](const msg::MessageSet& m) {
+                 return feasible(m, params, bw);
+               },
+               bw)
+        .breakdown_utilization;
+  };
+  const auto pdp_feasible_fn = [](const msg::MessageSet& m, const auto& p,
+                                  BitsPerSecond bw) {
+    return analysis::pdp_feasible(m, p, bw);
+  };
+  const auto ttp_feasible_fn = [](const msg::MessageSet& m, const auto& p,
+                                  BitsPerSecond bw) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+
+  const double pdp_low = breakdown_at(pdp, pdp_feasible_fn, 5.0);
+  const double pdp_high = breakdown_at(pdp, pdp_feasible_fn, 1000.0);
+  const double ttp_low = breakdown_at(ttp, ttp_feasible_fn, 5.0);
+  const double ttp_high = breakdown_at(ttp, ttp_feasible_fn, 1000.0);
+
+  EXPECT_GT(pdp_low, 2.0 * pdp_high)
+      << "PDP breakdown utilization must collapse at high bandwidth";
+  EXPECT_GT(ttp_high, ttp_low)
+      << "TTP breakdown utilization must keep rising";
+}
+
+// ---- augmented length consistency ---------------------------------------------------
+
+class AugmentedLength : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AugmentedLength, HighBandwidthFloorIsThetaPerFrame) {
+  // Once F <= Theta, the augmented length equals K*Theta (+ token
+  // overhead), independent of the payload's exact bit count within a frame.
+  Rng rng(GetParam());
+  const auto p = pdp_params(100, analysis::PdpVariant::kModified8025);
+  const BitsPerSecond bw = mbps(1000);
+  const Seconds theta = p.ring.theta(bw);
+  ASSERT_LE(p.frame.frame_time(bw), theta);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double payload = rng.uniform(1.0, 50'000.0);
+    const msg::SyncStream s{milliseconds(100), payload, 0};
+    const auto k = p.frame.frames_for_payload(payload);
+    EXPECT_NEAR(analysis::pdp_augmented_length(s, p, bw),
+                static_cast<double>(k) * theta + theta / 2.0, 1e-15);
+  }
+}
+
+TEST_P(AugmentedLength, TtpAugmentedMatchesReportField) {
+  Rng rng(GetParam() + 100);
+  auto gen = generator(8);
+  const auto p = ttp_params(8);
+  const auto set = gen.generate(rng).scaled(20.0);
+  const BitsPerSecond bw = mbps(100);
+  const auto v = analysis::ttp_schedulable(set, p, bw);
+  for (const auto& r : v.reports) {
+    // C'_i = C_i + (q_i - 1) * F_ovhd (paper eq. 8).
+    EXPECT_NEAR(r.augmented_length,
+                r.stream.payload_time(bw) +
+                    static_cast<double>(r.q - 1) * p.frame.overhead_time(bw),
+                1e-15);
+    // h_i = C'_i / (q_i - 1) (paper eq. 5).
+    EXPECT_NEAR(r.h, r.augmented_length / static_cast<double>(r.q - 1),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AugmentedLength, ::testing::Values(11, 13));
+
+// ---- async capacity coherence ---------------------------------------------------------
+
+TEST(AsyncCapacityProperty, CapacityPlusDemandNeverExceedsOneWhenFeasible) {
+  Rng rng(31);
+  auto gen = generator(10);
+  const auto p = pdp_params(10, analysis::PdpVariant::kStandard8025);
+  int feasible_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto set = gen.generate(rng).scaled(rng.uniform(0.1, 40.0));
+    const BitsPerSecond bw = mbps(rng.uniform(2.0, 200.0));
+    if (!analysis::pdp_feasible(set, p, bw)) continue;  // capacity undefined
+    ++feasible_seen;
+    const double cap = analysis::pdp_async_capacity(set, p, bw);
+    // For a guaranteed load: raw synchronous utilization + async leftover
+    // can never exceed the link.
+    EXPECT_LE(set.utilization(bw) + cap, 1.0 + 1e-9);
+  }
+  EXPECT_GT(feasible_seen, 0);
+}
+
+// ---- scenario CSV fuzz round trip --------------------------------------------------------
+
+class CsvRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvRoundTrip, RandomSetsSurviveSerialization) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    auto gen = generator(n, milliseconds(rng.uniform(5.0, 500.0)),
+                         rng.uniform(1.0, 50.0));
+    const auto set = gen.generate(rng).scaled(rng.uniform(0.01, 1'000.0));
+    const auto parsed = msg::message_set_from_csv(msg::to_csv(set));
+    ASSERT_EQ(parsed.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      EXPECT_EQ(parsed[i].station, set[i].station);
+      EXPECT_DOUBLE_EQ(parsed[i].period, set[i].period);
+      EXPECT_DOUBLE_EQ(parsed[i].payload_bits, set[i].payload_bits);
+    }
+    // Verdicts survive the round trip bit-exactly.
+    const auto p = ttp_params(40);
+    const BitsPerSecond bw = mbps(100);
+    EXPECT_EQ(analysis::ttp_feasible(set, p, bw),
+              analysis::ttp_feasible(parsed, p, bw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTrip, ::testing::Values(17, 19, 23));
+
+// ---- TTRT scaling ---------------------------------------------------------------------
+
+TEST(TtrtProperty, SelectionScalesWithSqrtTheta) {
+  // For fixed periods, TTRT ~ sqrt(Theta): quadrupling Theta (via ring
+  // size at fixed bandwidth contributions) roughly doubles the bid, as
+  // long as the P_min/2 clamp stays inactive.
+  msg::MessageSet set;
+  set.add({.period = milliseconds(400), .payload_bits = 1.0, .station = 0});
+  const Seconds theta = microseconds(50);
+  const Seconds bid1 = analysis::ttrt_bid(milliseconds(400), theta);
+  const Seconds bid4 = analysis::ttrt_bid(milliseconds(400), 4.0 * theta);
+  EXPECT_NEAR(bid4 / bid1, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tokenring

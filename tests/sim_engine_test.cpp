@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/sim/event_queue.hpp"
+#include "tokenring/sim/simulator.hpp"
+
+namespace tokenring::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeAndSize) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), PreconditionError);
+  EXPECT_THROW(q.pop(), PreconditionError);
+}
+
+TEST(EventQueue, NegativeTimeRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, [] {}), PreconditionError);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(0.5, [&] { times.push_back(sim.now()); });
+  sim.run_until(2.0);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // clock lands on the horizon
+}
+
+TEST(Simulator, RelativeScheduling) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_in(0.25, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 1.25);
+}
+
+TEST(Simulator, HorizonIsInclusive) {
+  Simulator sim;
+  bool at_horizon = false;
+  bool past_horizon = false;
+  sim.schedule_at(2.0, [&] { at_horizon = true; });
+  sim.schedule_at(2.0 + 1e-9, [&] { past_horizon = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+}
+
+TEST(Simulator, EventsPastHorizonSurviveForNextRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(1.0);
+  EXPECT_EQ(fired, 0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, [&] {
+    EXPECT_THROW(sim.schedule_at(0.5, [] {}), PreconditionError);
+    EXPECT_THROW(sim.schedule_in(-0.1, [] {}), PreconditionError);
+  });
+  sim.run_until(2.0);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  const auto ran = sim.run_until(100.0);
+  EXPECT_EQ(ran, 7u);
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, CascadedEventChainsRun) {
+  // A self-perpetuating chain (like token passing) runs to the horizon.
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    ++hops;
+    sim.schedule_in(0.1, hop);
+  };
+  sim.schedule_at(0.0, hop);
+  sim.run_until(1.0);
+  EXPECT_EQ(hops, 11);  // t = 0.0, 0.1, ..., 1.0 inclusive
+}
+
+}  // namespace
+}  // namespace tokenring::sim

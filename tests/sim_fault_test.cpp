@@ -1,0 +1,188 @@
+// Failure-injection tests: token loss and recovery in both simulators.
+
+#include <gtest/gtest.h>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/workload.hpp"
+
+namespace tokenring::sim {
+namespace {
+
+msg::SyncStream stream(Seconds period, Bits payload, int station) {
+  return msg::SyncStream{period, payload, station};
+}
+
+msg::MessageSet light_set() {
+  msg::MessageSet set;
+  set.add(stream(milliseconds(20), 10'000.0, 0));
+  set.add(stream(milliseconds(40), 20'000.0, 2));
+  return set;
+}
+
+analysis::TtpParams ttp_params() {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(4);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+analysis::PdpParams pdp_params() {
+  analysis::PdpParams p;
+  p.ring = net::ieee8025_ring(4);
+  p.frame = net::paper_frame_format();
+  p.variant = analysis::PdpVariant::kModified8025;
+  return p;
+}
+
+// ---- TTP --------------------------------------------------------------------
+
+TEST(TtpFault, LossIsCountedAndRingRecovers) {
+  const BitsPerSecond bw = mbps(100);
+  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  cfg.token_loss_times = {milliseconds(50)};
+  TtpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 1u);
+  // Traffic continues after recovery: completions span the whole horizon.
+  EXPECT_GT(m.messages_completed, 15u);
+  EXPECT_LT(m.miss_ratio(), 0.3);
+}
+
+TEST(TtpFault, NoLossesMeansFieldStaysZero) {
+  const BitsPerSecond bw = mbps(100);
+  const auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 5.0);
+  TtpSimulation sim(light_set(), cfg);
+  EXPECT_EQ(sim.run().token_losses, 0u);
+}
+
+TEST(TtpFault, OutageShowsUpAsInterVisitGap) {
+  const BitsPerSecond bw = mbps(100);
+  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  const Seconds outage = 2.0 * cfg.ttrt +
+                         2.0 * cfg.params.ring.walk_time(bw) +
+                         cfg.params.ring.token_time(bw);
+  cfg.token_loss_times = {milliseconds(50)};
+  TtpSimulation sim(light_set(), cfg);
+  sim.run();
+  // The recovery gap dominates every normal rotation.
+  EXPECT_GE(sim.max_intervisit(), outage - 1e-9);
+}
+
+TEST(TtpFault, RepeatedLossesAllRecovered) {
+  const BitsPerSecond bw = mbps(100);
+  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 15.0);
+  cfg.token_loss_times = {milliseconds(30), milliseconds(120),
+                          milliseconds(250)};
+  TtpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 3u);
+  EXPECT_GT(m.messages_completed, 20u);
+}
+
+TEST(TtpFault, BackToBackLossesSupersedeCleanly) {
+  // A second loss during the first recovery must not spawn two tokens.
+  const BitsPerSecond bw = mbps(100);
+  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  cfg.token_loss_times = {milliseconds(50), milliseconds(50.1)};
+  TtpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 2u);
+  // Ring still alive at the end (steady completions).
+  EXPECT_GT(m.messages_completed, 10u);
+}
+
+TEST(TtpFault, LossBurstCausesMissesForTightStreams) {
+  // A stream using 17 of its 18 token visits per period has ~0.25 ms of
+  // slack; a burst of three token losses (~0.7 ms of outage) must blow it.
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p = ttp_params();
+  msg::MessageSet set;
+  set.add(stream(milliseconds(2), 20'000.0, 0));
+  auto cfg = make_ttp_sim_config(set, p, bw, 40.0);
+  ASSERT_GT(cfg.sync_bandwidth_per_stream[0], 0.0);
+  cfg.token_loss_times = {milliseconds(20), milliseconds(20.3),
+                          milliseconds(20.6)};
+  TtpSimulation with_loss(set, cfg);
+  const auto m = with_loss.run();
+  EXPECT_EQ(m.token_losses, 3u);
+  EXPECT_GT(m.deadline_misses, 0u);
+
+  cfg.token_loss_times.clear();
+  TtpSimulation clean(set, cfg);
+  EXPECT_EQ(clean.run().deadline_misses, 0u);
+}
+
+TEST(TtpFault, NegativeLossTimeRejected) {
+  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), mbps(100), 5.0);
+  cfg.token_loss_times = {-1.0};
+  TtpSimulation sim(light_set(), cfg);
+  EXPECT_THROW(sim.run(), PreconditionError);
+}
+
+// ---- PDP --------------------------------------------------------------------
+
+TEST(PdpFault, LossIsCountedAndRingRecovers) {
+  const BitsPerSecond bw = mbps(16);
+  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 10.0);
+  cfg.token_loss_times = {milliseconds(50)};
+  PdpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 1u);
+  EXPECT_GT(m.messages_completed, 15u);
+}
+
+TEST(PdpFault, AbortedFrameIsRetransmitted) {
+  // Kill the token right in the middle of the only message's transmission:
+  // the payload must still arrive (later), not be silently lost.
+  const BitsPerSecond bw = mbps(1);
+  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 1.0);
+  cfg.async_model = AsyncModel::kNone;
+  msg::MessageSet set;
+  set.add(stream(milliseconds(100), 5'000.0, 0));  // ~10 frames, ~6 ms
+  cfg.horizon = milliseconds(99);
+  cfg.token_loss_times = {milliseconds(3)};  // mid-message
+  PdpSimulation sim(set, cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 1u);
+  ASSERT_EQ(m.messages_completed, 1u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+  // The outage pushed the completion later than the clean run.
+  cfg.token_loss_times.clear();
+  PdpSimulation clean(set, cfg);
+  const auto mc = clean.run();
+  EXPECT_GT(m.response_time.mean(), mc.response_time.mean());
+}
+
+TEST(PdpFault, RecoveryRestartsArbitrationByPriority) {
+  // Two messages pending during the outage: after recovery the
+  // shorter-period one transmits first (no misses for it).
+  const BitsPerSecond bw = mbps(16);
+  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 5.0);
+  cfg.token_loss_times = {milliseconds(1)};
+  PdpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 1u);
+  ASSERT_TRUE(m.per_station.count(0));
+  EXPECT_EQ(m.per_station.at(0).misses, 0u);  // P=20ms stream unharmed
+}
+
+TEST(PdpFault, ManyLossesDegradeButNeverWedge) {
+  const BitsPerSecond bw = mbps(16);
+  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 20.0);
+  for (int i = 1; i <= 20; ++i) {
+    cfg.token_loss_times.push_back(milliseconds(18.0 * i));
+  }
+  PdpSimulation sim(light_set(), cfg);
+  const auto m = sim.run();
+  EXPECT_EQ(m.token_losses, 20u);
+  // Ring keeps making progress between losses.
+  EXPECT_GT(m.messages_completed, 20u);
+}
+
+}  // namespace
+}  // namespace tokenring::sim

@@ -1,0 +1,99 @@
+// Sporadic-arrival extension tests: streams with minimum inter-arrival P
+// and uniform extra jitter. The analyses' guarantees carry over (periodic
+// is the worst case), and the simulators must honour both the guarantee and
+// the slower release rate.
+
+#include <gtest/gtest.h>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/workload.hpp"
+
+namespace tokenring::sim {
+namespace {
+
+msg::MessageSet demo_set() {
+  msg::MessageSet set;
+  set.add({.period = milliseconds(20), .payload_bits = 10'000.0, .station = 0});
+  set.add({.period = milliseconds(40), .payload_bits = 30'000.0, .station = 2});
+  return set;
+}
+
+analysis::TtpParams ttp_params() {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(4);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+analysis::PdpParams pdp_params() {
+  analysis::PdpParams p;
+  p.ring = net::ieee8025_ring(4);
+  p.frame = net::paper_frame_format();
+  p.variant = analysis::PdpVariant::kModified8025;
+  return p;
+}
+
+TEST(Sporadic, JitterSlowsReleases) {
+  const auto set = demo_set();
+  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 20.0);
+  const auto periodic = run_pdp_simulation(set, cfg);
+  cfg.arrival_jitter = 0.5;  // inter-arrival in [P, 1.5P]
+  const auto sporadic = run_pdp_simulation(set, cfg);
+  EXPECT_LT(sporadic.messages_released, periodic.messages_released);
+  // Expected slowdown ~ 1/1.25; allow a wide band.
+  EXPECT_GT(sporadic.messages_released,
+            periodic.messages_released * 6 / 10);
+}
+
+TEST(Sporadic, GuaranteesSurviveJitterPdp) {
+  // Analysis accepts the periodic worst case => the sporadic run (less
+  // demand in every window) must be clean too.
+  const auto set = demo_set();
+  ASSERT_TRUE(analysis::pdp_feasible(set, pdp_params(), mbps(16)));
+  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 20.0);
+  cfg.arrival_jitter = 0.8;
+  cfg.seed = 5;
+  const auto m = run_pdp_simulation(set, cfg);
+  EXPECT_GT(m.messages_completed, 10u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+}
+
+TEST(Sporadic, GuaranteesSurviveJitterTtp) {
+  const auto set = demo_set();
+  const auto p = ttp_params();
+  ASSERT_TRUE(analysis::ttp_feasible(set, p, mbps(100)));
+  auto cfg = make_ttp_sim_config(set, p, mbps(100), 20.0);
+  cfg.arrival_jitter = 0.8;
+  cfg.seed = 5;
+  TtpSimulation sim(set, cfg);
+  const auto m = sim.run();
+  EXPECT_GT(m.messages_completed, 10u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+}
+
+TEST(Sporadic, ZeroJitterIsExactlyPeriodic) {
+  const auto set = demo_set();
+  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 10.0);
+  cfg.arrival_jitter = 0.0;
+  const auto a = run_pdp_simulation(set, cfg);
+  const auto b = run_pdp_simulation(set, cfg);
+  EXPECT_EQ(a.messages_released, b.messages_released);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+}
+
+TEST(Sporadic, NegativeJitterRejected) {
+  const auto set = demo_set();
+  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16));
+  cfg.arrival_jitter = -0.1;
+  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
+  auto tcfg = make_ttp_sim_config(set, ttp_params(), mbps(100));
+  tcfg.arrival_jitter = -0.1;
+  EXPECT_THROW(TtpSimulation(set, tcfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::sim

@@ -1,0 +1,208 @@
+// Tests for simulator tracing, per-station metrics, and the Poisson
+// asynchronous-traffic model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/trace.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+
+namespace tokenring::sim {
+namespace {
+
+msg::SyncStream stream(Seconds period, Bits payload, int station) {
+  return msg::SyncStream{period, payload, station};
+}
+
+PdpSimConfig pdp_config(int stations, BitsPerSecond bw) {
+  PdpSimConfig cfg;
+  cfg.params.ring = net::ieee8025_ring(stations);
+  cfg.params.frame = net::paper_frame_format();
+  cfg.params.variant = analysis::PdpVariant::kModified8025;
+  cfg.bandwidth = bw;
+  cfg.horizon = milliseconds(200);
+  cfg.async_model = AsyncModel::kNone;
+  return cfg;
+}
+
+TtpSimConfig ttp_config(int stations, BitsPerSecond bw, Seconds ttrt) {
+  TtpSimConfig cfg;
+  cfg.params.ring = net::fddi_ring(stations);
+  cfg.params.frame = net::paper_frame_format();
+  cfg.params.async_frame = net::paper_frame_format();
+  cfg.bandwidth = bw;
+  cfg.ttrt = ttrt;
+  cfg.horizon = milliseconds(200);
+  cfg.async_model = AsyncModel::kNone;
+  return cfg;
+}
+
+// ---- tracing ------------------------------------------------------------------
+
+TEST(Trace, PdpEmitsLifecycleEvents) {
+  auto cfg = pdp_config(2, mbps(10));
+  std::vector<TraceRecord> records;
+  cfg.trace = [&](const TraceRecord& r) { records.push_back(r); };
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 1'024.0, 0));
+  run_pdp_simulation(set, cfg);
+
+  const auto count = [&](TraceEventKind kind) {
+    return std::count_if(records.begin(), records.end(),
+                         [kind](const TraceRecord& r) { return r.kind == kind; });
+  };
+  // Arrivals at t = 0, 50, 100, 150, 200 ms (horizon inclusive); the last
+  // message's frames would start past the horizon, so 4 complete.
+  EXPECT_EQ(count(TraceEventKind::kMessageArrival), 5);
+  EXPECT_EQ(count(TraceEventKind::kMessageComplete), 4);
+  EXPECT_EQ(count(TraceEventKind::kSyncFrameStart), 8);   // 2 frames each
+  EXPECT_EQ(count(TraceEventKind::kDeadlineMiss), 0);
+
+  // Timestamps are non-decreasing and within the horizon.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].at + 1e-12, records[i - 1].at);
+  }
+  EXPECT_LE(records.back().at, cfg.horizon + 1e-12);
+}
+
+TEST(Trace, TtpEmitsTokenArrivals) {
+  auto cfg = ttp_config(4, mbps(100), milliseconds(2));
+  std::vector<TraceRecord> records;
+  cfg.trace = [&](const TraceRecord& r) { records.push_back(r); };
+  TtpSimulation sim(msg::MessageSet{}, cfg);
+  sim.run();
+  const auto tokens = std::count_if(
+      records.begin(), records.end(), [](const TraceRecord& r) {
+        return r.kind == TraceEventKind::kTokenArrival;
+      });
+  // Idle ring at Theta per lap, 200 ms horizon: thousands of visits.
+  EXPECT_GT(tokens, 1'000);
+}
+
+TEST(Trace, FormattingIsStable) {
+  TraceRecord r;
+  r.at = milliseconds(1.5);
+  r.kind = TraceEventKind::kMessageComplete;
+  r.station = 3;
+  r.detail = milliseconds(0.25);
+  const std::string line = format_trace_record(r);
+  EXPECT_NE(line.find("1.5000 ms"), std::string::npos);
+  EXPECT_NE(line.find("station   3"), std::string::npos);
+  EXPECT_NE(line.find("complete"), std::string::npos);
+
+  r.kind = TraceEventKind::kMessageArrival;
+  r.detail = 512.0;
+  EXPECT_NE(format_trace_record(r).find("512 bits"), std::string::npos);
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_STREQ(to_string(TraceEventKind::kMessageArrival), "arrival");
+  EXPECT_STREQ(to_string(TraceEventKind::kDeadlineMiss), "DEADLINE-MISS");
+  EXPECT_STREQ(to_string(TraceEventKind::kTokenArrival), "token");
+}
+
+// ---- per-station metrics ---------------------------------------------------------
+
+TEST(PerStation, PdpSplitsByStation) {
+  auto cfg = pdp_config(4, mbps(10));
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 512.0, 1));
+  set.add(stream(milliseconds(100), 1'024.0, 3));
+  const auto m = run_pdp_simulation(set, cfg);
+
+  ASSERT_EQ(m.per_station.size(), 2u);
+  ASSERT_TRUE(m.per_station.count(1));
+  ASSERT_TRUE(m.per_station.count(3));
+  EXPECT_EQ(m.per_station.at(1).released, 5u);  // t = 0..200 ms step 50
+  EXPECT_EQ(m.per_station.at(3).released, 3u);  // t = 0, 100, 200 ms
+  EXPECT_EQ(m.per_station.at(1).completed + m.per_station.at(3).completed,
+            m.messages_completed);
+  EXPECT_EQ(m.per_station.at(1).misses, 0u);
+  // Aggregate response stats cover per-station ones.
+  EXPECT_GE(m.response_time.max() + 1e-15,
+            m.per_station.at(3).response_time.max());
+}
+
+TEST(PerStation, TtpAttributesMissesToStarvedStation) {
+  auto cfg = ttp_config(4, mbps(100), milliseconds(2));
+  msg::MessageSet set;
+  set.add(stream(milliseconds(20), 10'000.0, 0));
+  cfg.sync_bandwidth_per_stream.push_back(0.0);  // h = 0: starved
+  TtpSimulation sim(set, cfg);
+  const auto m = sim.run();
+  ASSERT_TRUE(m.per_station.count(0));
+  EXPECT_GT(m.per_station.at(0).misses, 0u);
+  EXPECT_EQ(m.per_station.at(0).completed, 0u);
+}
+
+// ---- Poisson asynchronous traffic ---------------------------------------------------
+
+TEST(PoissonAsync, PdpSendsRoughlyRateTimesHorizon) {
+  auto cfg = pdp_config(4, mbps(100));
+  cfg.async_model = AsyncModel::kPoisson;
+  cfg.async_frames_per_second = 500.0;  // per station
+  cfg.horizon = 1.0;
+  cfg.seed = 9;
+  const auto m = run_pdp_simulation(msg::MessageSet{}, cfg);
+  // 4 stations * 500 fps * 1 s = 2000 expected; allow generous slack.
+  EXPECT_GT(m.async_frames_sent, 1'600u);
+  EXPECT_LT(m.async_frames_sent, 2'400u);
+}
+
+TEST(PoissonAsync, PdpPoissonLighterThanSaturating) {
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 10'240.0, 0));
+  auto cfg = pdp_config(4, mbps(10));
+  cfg.horizon = milliseconds(500);
+
+  cfg.async_model = AsyncModel::kSaturating;
+  const auto sat = run_pdp_simulation(set, cfg);
+  cfg.async_model = AsyncModel::kPoisson;
+  cfg.async_frames_per_second = 100.0;
+  const auto poi = run_pdp_simulation(set, cfg);
+
+  EXPECT_GT(sat.async_frames_sent, poi.async_frames_sent);
+  // Lighter cross-traffic => no worse sync response.
+  EXPECT_LE(poi.response_time.mean(), sat.response_time.mean() + 1e-9);
+}
+
+TEST(PoissonAsync, TtpConsumesOnlyQueuedFrames) {
+  auto cfg = ttp_config(4, mbps(100), milliseconds(2));
+  cfg.async_model = AsyncModel::kPoisson;
+  cfg.async_frames_per_second = 200.0;
+  cfg.horizon = 1.0;
+  cfg.seed = 4;
+  TtpSimulation sim(msg::MessageSet{}, cfg);
+  const auto m = sim.run();
+  // Expected arrivals: 4 * 200 = 800. All should eventually be served
+  // (plenty of earliness on an idle ring), never more than arrived.
+  EXPECT_GT(m.async_frames_sent, 600u);
+  EXPECT_LT(m.async_frames_sent, 1'000u);
+}
+
+TEST(PoissonAsync, RateRequiredWhenModelIsPoisson) {
+  auto cfg = pdp_config(2, mbps(10));
+  cfg.async_model = AsyncModel::kPoisson;
+  cfg.async_frames_per_second = 0.0;
+  msg::MessageSet set;
+  set.add(stream(milliseconds(50), 512.0, 0));
+  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
+
+  auto tcfg = ttp_config(2, mbps(100), milliseconds(2));
+  tcfg.async_model = AsyncModel::kPoisson;
+  EXPECT_THROW(TtpSimulation(set, tcfg), PreconditionError);
+}
+
+TEST(PoissonAsync, ModelNames) {
+  EXPECT_STREQ(to_string(AsyncModel::kNone), "none");
+  EXPECT_STREQ(to_string(AsyncModel::kSaturating), "saturating");
+  EXPECT_STREQ(to_string(AsyncModel::kPoisson), "poisson");
+}
+
+}  // namespace
+}  // namespace tokenring::sim

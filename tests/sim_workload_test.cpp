@@ -1,0 +1,101 @@
+#include "tokenring/sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/net/standards.hpp"
+
+namespace tokenring::sim {
+namespace {
+
+msg::MessageSet demo_set() {
+  msg::MessageSet set;
+  set.add({.period = milliseconds(20), .payload_bits = 10'000.0, .station = 1});
+  set.add({.period = milliseconds(50), .payload_bits = 40'000.0, .station = 3});
+  return set;
+}
+
+analysis::TtpParams ttp_params() {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(6);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  return p;
+}
+
+TEST(Workload, TtpConfigUsesPaperTtrtRule) {
+  const auto set = demo_set();
+  const auto p = ttp_params();
+  const BitsPerSecond bw = mbps(100);
+  const auto cfg = make_ttp_sim_config(set, p, bw);
+  EXPECT_DOUBLE_EQ(cfg.ttrt, analysis::select_ttrt(set, p.ring, bw));
+  EXPECT_DOUBLE_EQ(cfg.bandwidth, bw);
+}
+
+TEST(Workload, TtpConfigAllocatesPerStreamWithLocalScheme) {
+  const auto set = demo_set();
+  const auto p = ttp_params();
+  const BitsPerSecond bw = mbps(100);
+  const auto cfg = make_ttp_sim_config(set, p, bw);
+  ASSERT_EQ(cfg.sync_bandwidth_per_stream.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        cfg.sync_bandwidth_per_stream[i],
+        analysis::ttp_local_bandwidth(set[i], p, bw, cfg.ttrt).value());
+  }
+}
+
+TEST(Workload, TtpConfigZeroesUnguaranteeableStreams) {
+  // A stream whose deadline window is too short for the selected TTRT
+  // (q < 2) gets h = 0 rather than crashing the builder.
+  msg::MessageSet set = demo_set();
+  msg::SyncStream tight{milliseconds(20), 1'000.0, 0};
+  tight.relative_deadline = milliseconds(1);  // far below 2 * TTRT
+  set.add(tight);
+  const auto p = ttp_params();
+  const BitsPerSecond bw = mbps(10);
+  const auto cfg = make_ttp_sim_config(set, p, bw);
+  // TTRT is re-selected from the tight deadline, so check via q directly.
+  const auto q = static_cast<int>(tight.deadline() / cfg.ttrt);
+  if (q < 2) {
+    EXPECT_DOUBLE_EQ(cfg.sync_bandwidth_per_stream[2], 0.0);
+  }
+}
+
+TEST(Workload, HorizonScalesWithMaxPeriod) {
+  const auto set = demo_set();
+  const auto cfg = make_ttp_sim_config(set, ttp_params(), mbps(100), 6.0);
+  EXPECT_DOUBLE_EQ(cfg.horizon, 6.0 * milliseconds(50));
+
+  analysis::PdpParams pdp;
+  pdp.ring = net::ieee8025_ring(6);
+  pdp.frame = net::paper_frame_format();
+  const auto pcfg = make_pdp_sim_config(set, pdp, mbps(16), 3.0);
+  EXPECT_DOUBLE_EQ(pcfg.horizon, 3.0 * milliseconds(50));
+  EXPECT_DOUBLE_EQ(pcfg.bandwidth, mbps(16));
+}
+
+TEST(Workload, BuiltConfigsRunImmediately) {
+  const auto set = demo_set();
+  const auto tcfg = make_ttp_sim_config(set, ttp_params(), mbps(100));
+  EXPECT_EQ(run_ttp_simulation(set, tcfg).deadline_misses, 0u);
+
+  analysis::PdpParams pdp;
+  pdp.ring = net::ieee8025_ring(6);
+  pdp.frame = net::paper_frame_format();
+  pdp.variant = analysis::PdpVariant::kModified8025;
+  const auto pcfg = make_pdp_sim_config(set, pdp, mbps(16));
+  EXPECT_EQ(run_pdp_simulation(set, pcfg).deadline_misses, 0u);
+}
+
+TEST(Workload, Preconditions) {
+  msg::MessageSet empty;
+  EXPECT_THROW(make_ttp_sim_config(empty, ttp_params(), mbps(100)),
+               PreconditionError);
+  EXPECT_THROW(make_ttp_sim_config(demo_set(), ttp_params(), mbps(100), 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace tokenring::sim

@@ -1,0 +1,162 @@
+// End-to-end tests of the tokenring_tool CLI binary: exercises argument
+// parsing, exit codes, and the scenario-file round trip through the real
+// executable (path injected by CMake as TOKENRING_TOOL_PATH).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef TOKENRING_TOOL_PATH
+#error "TOKENRING_TOOL_PATH must be defined by the build"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(TOKENRING_TOOL_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe)) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_scenario(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << "station,period_ms,payload_bits\n" << body;
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    light_ = temp_path("tool_test_light.csv");
+    heavy_ = temp_path("tool_test_heavy.csv");
+    write_scenario(light_, "0,50,10000\n1,100,20000\n");
+    write_scenario(heavy_, "0,10,2000000\n1,10,2000000\n");  // 40x overload
+  }
+  void TearDown() override {
+    std::remove(light_.c_str());
+    std::remove(heavy_.c_str());
+  }
+  std::string light_;
+  std::string heavy_;
+};
+
+TEST_F(ToolTest, NoArgsPrintsUsage) {
+  const auto r = run_tool("");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(ToolTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(run_tool("frobnicate").exit_code, 1);
+}
+
+TEST_F(ToolTest, CheckSchedulableExitsZero) {
+  const auto r =
+      run_tool("check --file=" + light_ + " --protocol=fddi --bandwidth-mbps=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("SCHEDULABLE"), std::string::npos);
+}
+
+TEST_F(ToolTest, CheckOverloadedExitsTwo) {
+  const auto r =
+      run_tool("check --file=" + heavy_ + " --protocol=fddi --bandwidth-mbps=100");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("NOT SCHEDULABLE"), std::string::npos);
+}
+
+TEST_F(ToolTest, CheckAllProtocols) {
+  for (const char* proto : {"ieee8025", "modified8025", "fddi"}) {
+    const auto r = run_tool("check --file=" + light_ + " --protocol=" + proto +
+                            " --bandwidth-mbps=100");
+    EXPECT_EQ(r.exit_code, 0) << proto << ": " << r.output;
+  }
+}
+
+TEST_F(ToolTest, CheckBadProtocolFails) {
+  const auto r = run_tool("check --file=" + light_ + " --protocol=wifi");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown protocol"), std::string::npos);
+}
+
+TEST_F(ToolTest, CheckMissingFileFails) {
+  const auto r = run_tool("check --file=/does/not/exist.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST_F(ToolTest, CheckRequiresFileFlag) {
+  EXPECT_EQ(run_tool("check").exit_code, 1);
+}
+
+TEST_F(ToolTest, PlanPrintsAllocationTable) {
+  const auto r = run_tool("plan --file=" + light_ + " --bandwidth-mbps=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("TTRT"), std::string::npos);
+  EXPECT_NE(r.output.find("resp_bound_ms"), std::string::npos);
+  EXPECT_NE(r.output.find("async capacity left"), std::string::npos);
+}
+
+TEST_F(ToolTest, SimulateCleanRunExitsZero) {
+  const auto r = run_tool("simulate --file=" + light_ +
+                          " --protocol=modified8025 --bandwidth-mbps=16 "
+                          "--horizon-ms=300");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("misses=0"), std::string::npos);
+}
+
+TEST_F(ToolTest, SimulateOverloadExitsTwo) {
+  const auto r = run_tool("simulate --file=" + heavy_ +
+                          " --protocol=fddi --bandwidth-mbps=100 "
+                          "--horizon-ms=100");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST_F(ToolTest, AdviseShowsRecommendations) {
+  const auto r = run_tool(
+      "advise --stations=16 --bandwidths-mbps=4,200 --sets=10");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("recommend"), std::string::npos);
+  // Low bandwidth -> PDP family; high -> FDDI (the paper's conclusion).
+  EXPECT_NE(r.output.find("Modified IEEE 802.5"), std::string::npos);
+  EXPECT_NE(r.output.find("FDDI timed token"), std::string::npos);
+}
+
+TEST_F(ToolTest, GenerateRoundTripsThroughCheck) {
+  const std::string path = temp_path("tool_test_generated.csv");
+  const auto gen = run_tool("generate --stations=8 --utilization=0.2 "
+                            "--bandwidth-mbps=100 --out=" + path);
+  EXPECT_EQ(gen.exit_code, 0) << gen.output;
+  const auto check = run_tool("check --file=" + path +
+                              " --protocol=fddi --bandwidth-mbps=100");
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, GenerateToStdoutIsValidCsv) {
+  const auto r = run_tool("generate --stations=4 --utilization=0.1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.rfind("station,period_ms,payload_bits", 0), 0u);
+}
+
+}  // namespace

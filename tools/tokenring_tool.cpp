@@ -1,0 +1,322 @@
+// tokenring_tool — command-line front end for the library.
+//
+//   tokenring_tool check    --file=set.csv --protocol=fddi --bandwidth-mbps=100
+//   tokenring_tool plan     --file=set.csv --bandwidth-mbps=100
+//   tokenring_tool simulate --file=set.csv --protocol=modified8025
+//                                       --bandwidth-mbps=16 --horizon-ms=500
+//   tokenring_tool advise   --stations=100 --mean-period-ms=100
+//                                       --bandwidths-mbps=4,16,100
+//   tokenring_tool generate --stations=32 --utilization=0.4
+//                                       --bandwidth-mbps=100 --out=set.csv
+//
+// Exit codes: 0 = success / schedulable, 2 = not schedulable (check),
+// 1 = usage or input error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tokenring/analysis/async_capacity.hpp"
+#include "tokenring/analysis/latency.hpp"
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/table.hpp"
+#include "tokenring/msg/generator.hpp"
+#include "tokenring/msg/io.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/planner/advisor.hpp"
+#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/workload.hpp"
+
+using namespace tokenring;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tokenring_tool <check|plan|simulate|advise|generate> "
+               "[--flag=value ...]\n"
+               "run a command with --help for its flags\n");
+  return 1;
+}
+
+struct ParsedProtocol {
+  bool is_ttp = false;
+  analysis::PdpVariant variant = analysis::PdpVariant::kStandard8025;
+};
+
+bool parse_protocol(const std::string& name, ParsedProtocol& out) {
+  if (name == "fddi") {
+    out.is_ttp = true;
+    return true;
+  }
+  if (name == "ieee8025") {
+    out.variant = analysis::PdpVariant::kStandard8025;
+    return true;
+  }
+  if (name == "modified8025") {
+    out.variant = analysis::PdpVariant::kModified8025;
+    return true;
+  }
+  std::fprintf(stderr,
+               "unknown protocol '%s' (ieee8025|modified8025|fddi)\n",
+               name.c_str());
+  return false;
+}
+
+int ring_size_for(const msg::MessageSet& set) {
+  int n = std::max<int>(2, static_cast<int>(set.size()));
+  for (const auto& s : set.streams()) n = std::max(n, s.station + 1);
+  return n;
+}
+
+msg::MessageSet load_or_die(const std::string& path) {
+  if (path.empty()) {
+    throw msg::ParseError("--file is required for this command");
+  }
+  return msg::load_message_set(path);
+}
+
+// ---- check -------------------------------------------------------------------
+
+int cmd_check(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("file", "", "scenario CSV (station,period_ms,payload_bits)");
+  flags.declare("protocol", "fddi", "ieee8025 | modified8025 | fddi");
+  flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  if (!flags.parse(argc, argv)) return 1;
+
+  ParsedProtocol proto;
+  if (!parse_protocol(flags.get_string("protocol"), proto)) return 1;
+  const auto set = load_or_die(flags.get_string("file"));
+  const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
+  const int n = ring_size_for(set);
+
+  bool ok;
+  if (proto.is_ttp) {
+    analysis::TtpParams p;
+    p.ring = net::fddi_ring(n);
+    p.frame = p.async_frame = net::paper_frame_format();
+    const auto v = analysis::ttp_schedulable(set, p, bw);
+    ok = v.schedulable;
+    std::printf("%s: %s (TTRT %.3f ms, allocated %.3f / available %.3f ms)\n",
+                flags.get_string("protocol").c_str(),
+                ok ? "SCHEDULABLE" : "NOT SCHEDULABLE",
+                to_milliseconds(v.ttrt), to_milliseconds(v.allocated),
+                to_milliseconds(v.available));
+  } else {
+    analysis::PdpParams p;
+    p.ring = net::ieee8025_ring(n);
+    p.frame = net::paper_frame_format();
+    p.variant = proto.variant;
+    const auto v = analysis::pdp_schedulable(set, p, bw);
+    ok = v.schedulable;
+    std::printf("%s: %s (blocking %.1f us)\n",
+                flags.get_string("protocol").c_str(),
+                ok ? "SCHEDULABLE" : "NOT SCHEDULABLE",
+                to_microseconds(v.blocking));
+    for (const auto& r : v.reports) {
+      if (!r.schedulable) {
+        std::printf("  station %d misses: C'=%.3f ms in P=%.1f ms\n",
+                    r.stream.station, to_milliseconds(r.augmented_length),
+                    to_milliseconds(r.stream.period));
+      }
+    }
+  }
+  return ok ? 0 : 2;
+}
+
+// ---- plan --------------------------------------------------------------------
+
+int cmd_plan(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("file", "", "scenario CSV");
+  flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto set = load_or_die(flags.get_string("file"));
+  const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
+  const int n = ring_size_for(set);
+
+  analysis::TtpParams ttp;
+  ttp.ring = net::fddi_ring(n);
+  ttp.frame = ttp.async_frame = net::paper_frame_format();
+  const auto v = analysis::ttp_schedulable(set, ttp, bw);
+  std::printf("FDDI plan at %.0f Mbps: TTRT %.3f ms (%s)\n", to_mbps(bw),
+              to_milliseconds(v.ttrt),
+              v.schedulable ? "schedulable" : "NOT schedulable");
+
+  Table table({"station", "P_ms", "q", "h_us", "visits", "resp_bound_ms",
+               "slack_ms"});
+  const auto latency = analysis::ttp_latency_report(set, ttp, bw);
+  for (std::size_t i = 0; i < v.reports.size(); ++i) {
+    const auto& r = v.reports[i];
+    const auto& b = latency[i];
+    table.add_row({fmt(static_cast<long long>(r.stream.station)),
+                   fmt(to_milliseconds(r.stream.period), 1),
+                   fmt(static_cast<long long>(r.q)),
+                   fmt(to_microseconds(r.h), 2),
+                   fmt(static_cast<long long>(b.visits)),
+                   fmt(to_milliseconds(b.response_bound), 2),
+                   fmt(to_milliseconds(b.slack), 2)});
+  }
+  table.print(std::cout);
+  std::printf("async capacity left: %.1f%%\n",
+              100.0 * analysis::ttp_async_capacity(set, ttp, bw));
+  return v.schedulable ? 0 : 2;
+}
+
+// ---- simulate ------------------------------------------------------------------
+
+int cmd_simulate(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("file", "", "scenario CSV");
+  flags.declare("protocol", "fddi", "ieee8025 | modified8025 | fddi");
+  flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  flags.declare("horizon-ms", "500", "simulated time [ms]");
+  flags.declare("async", "saturating", "none|saturating|poisson");
+  flags.declare("async-fps", "1000", "Poisson async frames/s per station");
+  flags.declare("seed", "1", "simulation seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  ParsedProtocol proto;
+  if (!parse_protocol(flags.get_string("protocol"), proto)) return 1;
+  const auto set = load_or_die(flags.get_string("file"));
+  const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
+  const int n = ring_size_for(set);
+
+  sim::AsyncModel async_model;
+  const std::string async_name = flags.get_string("async");
+  if (async_name == "none") {
+    async_model = sim::AsyncModel::kNone;
+  } else if (async_name == "saturating") {
+    async_model = sim::AsyncModel::kSaturating;
+  } else if (async_name == "poisson") {
+    async_model = sim::AsyncModel::kPoisson;
+  } else {
+    std::fprintf(stderr, "unknown async model: %s\n", async_name.c_str());
+    return 1;
+  }
+
+  sim::SimMetrics m;
+  if (proto.is_ttp) {
+    analysis::TtpParams p;
+    p.ring = net::fddi_ring(n);
+    p.frame = p.async_frame = net::paper_frame_format();
+    auto cfg = sim::make_ttp_sim_config(set, p, bw);
+    cfg.horizon = milliseconds(flags.get_double("horizon-ms"));
+    cfg.async_model = async_model;
+    cfg.async_frames_per_second = flags.get_double("async-fps");
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    m = sim::run_ttp_simulation(set, cfg);
+  } else {
+    analysis::PdpParams p;
+    p.ring = net::ieee8025_ring(n);
+    p.frame = net::paper_frame_format();
+    p.variant = proto.variant;
+    auto cfg = sim::make_pdp_sim_config(set, p, bw);
+    cfg.horizon = milliseconds(flags.get_double("horizon-ms"));
+    cfg.async_model = async_model;
+    cfg.async_frames_per_second = flags.get_double("async-fps");
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    m = sim::run_pdp_simulation(set, cfg);
+  }
+  std::printf("%s", m.summary().c_str());
+  return m.deadline_misses == 0 ? 0 : 2;
+}
+
+// ---- advise --------------------------------------------------------------------
+
+int cmd_advise(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("stations", "100", "stations on the ring");
+  flags.declare("mean-period-ms", "100", "average period [ms]");
+  flags.declare("period-ratio", "10", "max/min period ratio");
+  flags.declare("bandwidths-mbps", "4,16,100,622", "candidate speeds");
+  flags.declare("sets", "50", "Monte Carlo sets per estimate");
+  flags.declare("seed", "1", "RNG seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  planner::TrafficProfile profile;
+  profile.num_stations = static_cast<int>(flags.get_int("stations"));
+  profile.mean_period = milliseconds(flags.get_double("mean-period-ms"));
+  profile.period_ratio = flags.get_double("period-ratio");
+
+  Table table({"BW_Mbps", "ieee8025", "modified8025", "fddi", "recommend"});
+  for (double bw : parse_double_list(flags.get_string("bandwidths-mbps"))) {
+    const auto rec = planner::recommend_protocol(
+        profile, mbps(bw), static_cast<std::size_t>(flags.get_int("sets")),
+        static_cast<std::uint64_t>(flags.get_int("seed")));
+    table.add_row({fmt(bw, 0), fmt(rec.ieee8025, 3), fmt(rec.modified8025, 3),
+                   fmt(rec.fddi, 3), planner::to_string(rec.best)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+// ---- generate ------------------------------------------------------------------
+
+int cmd_generate(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("stations", "32", "stations / streams");
+  flags.declare("mean-period-ms", "100", "average period [ms]");
+  flags.declare("period-ratio", "10", "max/min period ratio");
+  flags.declare("utilization", "0.3", "target utilization at --bandwidth-mbps");
+  flags.declare("bandwidth-mbps", "100", "bandwidth the utilization refers to");
+  flags.declare("deadline-fraction", "1.0",
+                "relative deadline as a fraction of the period (1 = paper model)");
+  flags.declare("seed", "1", "RNG seed");
+  flags.declare("out", "", "output file (empty = stdout)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  msg::GeneratorConfig g;
+  g.num_streams = static_cast<int>(flags.get_int("stations"));
+  g.mean_period = milliseconds(flags.get_double("mean-period-ms"));
+  g.period_ratio = flags.get_double("period-ratio");
+  g.deadline_fraction = flags.get_double("deadline-fraction");
+  msg::MessageSetGenerator gen(g);
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  auto set = gen.generate(rng);
+
+  const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
+  const double target = flags.get_double("utilization");
+  set = set.scaled(target / set.utilization(bw));
+
+  const std::string out = flags.get_string("out");
+  if (out.empty()) {
+    std::printf("%s", msg::to_csv(set).c_str());
+  } else {
+    msg::save_message_set(out, set);
+    std::printf("wrote %zu streams (U=%.3f at %.0f Mbps) to %s\n", set.size(),
+                set.utilization(bw), to_mbps(bw), out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  // Shift argv so each command's CliFlags sees its own flags.
+  argv[1] = argv[0];
+  try {
+    if (cmd == "check") return cmd_check(argc - 1, argv + 1);
+    if (cmd == "plan") return cmd_plan(argc - 1, argv + 1);
+    if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "advise") return cmd_advise(argc - 1, argv + 1);
+    if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+  } catch (const msg::ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
