@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_schemes.dir/allocation_schemes.cpp.o"
+  "CMakeFiles/allocation_schemes.dir/allocation_schemes.cpp.o.d"
+  "allocation_schemes"
+  "allocation_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

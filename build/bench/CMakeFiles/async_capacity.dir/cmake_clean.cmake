@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_capacity.dir/async_capacity.cpp.o"
+  "CMakeFiles/async_capacity.dir/async_capacity.cpp.o.d"
+  "async_capacity"
+  "async_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

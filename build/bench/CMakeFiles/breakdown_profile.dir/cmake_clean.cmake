@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_profile.dir/breakdown_profile.cpp.o"
+  "CMakeFiles/breakdown_profile.dir/breakdown_profile.cpp.o.d"
+  "breakdown_profile"
+  "breakdown_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover.dir/crossover.cpp.o"
+  "CMakeFiles/crossover.dir/crossover.cpp.o.d"
+  "crossover"
+  "crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_breakdown_vs_bandwidth.dir/fig1_breakdown_vs_bandwidth.cpp.o"
+  "CMakeFiles/fig1_breakdown_vs_bandwidth.dir/fig1_breakdown_vs_bandwidth.cpp.o.d"
+  "fig1_breakdown_vs_bandwidth"
+  "fig1_breakdown_vs_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_breakdown_vs_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

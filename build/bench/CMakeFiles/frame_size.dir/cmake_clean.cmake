@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_size.dir/frame_size.cpp.o"
+  "CMakeFiles/frame_size.dir/frame_size.cpp.o.d"
+  "frame_size"
+  "frame_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_schedulability.dir/micro_schedulability.cpp.o"
+  "CMakeFiles/micro_schedulability.dir/micro_schedulability.cpp.o.d"
+  "micro_schedulability"
+  "micro_schedulability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schedulability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

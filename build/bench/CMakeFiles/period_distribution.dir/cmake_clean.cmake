@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/period_distribution.dir/period_distribution.cpp.o"
+  "CMakeFiles/period_distribution.dir/period_distribution.cpp.o.d"
+  "period_distribution"
+  "period_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/period_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

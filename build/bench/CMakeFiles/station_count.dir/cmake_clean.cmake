@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/station_count.dir/station_count.cpp.o"
+  "CMakeFiles/station_count.dir/station_count.cpp.o.d"
+  "station_count"
+  "station_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/station_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

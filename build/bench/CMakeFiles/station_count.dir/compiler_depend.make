@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for station_count.
+# This may be replaced when dependencies are built.

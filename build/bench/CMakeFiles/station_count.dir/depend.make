@@ -1,0 +1,2 @@
+# Empty dependencies file for station_count.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrt_sensitivity.dir/ttrt_sensitivity.cpp.o"
+  "CMakeFiles/ttrt_sensitivity.dir/ttrt_sensitivity.cpp.o.d"
+  "ttrt_sensitivity"
+  "ttrt_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrt_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

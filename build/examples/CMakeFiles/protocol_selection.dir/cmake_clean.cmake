@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_selection.dir/protocol_selection.cpp.o"
+  "CMakeFiles/protocol_selection.dir/protocol_selection.cpp.o.d"
+  "protocol_selection"
+  "protocol_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_simulation.dir/ring_simulation.cpp.o"
+  "CMakeFiles/ring_simulation.dir/ring_simulation.cpp.o.d"
+  "ring_simulation"
+  "ring_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

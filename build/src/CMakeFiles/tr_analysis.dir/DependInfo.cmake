@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/analysis/allocation.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/allocation.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/allocation.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/async_capacity.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/async_capacity.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/async_capacity.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/fixed_priority.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/fixed_priority.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/fixed_priority.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/latency.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/latency.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/latency.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/pdp.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/pdp.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/pdp.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/ttp.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/ttp.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/ttp.cpp.o.d"
+  "/root/repo/src/tokenring/analysis/ttrt.cpp" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/ttrt.cpp.o" "gcc" "src/CMakeFiles/tr_analysis.dir/tokenring/analysis/ttrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

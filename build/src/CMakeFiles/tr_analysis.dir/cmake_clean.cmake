@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/allocation.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/allocation.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/async_capacity.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/async_capacity.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/fixed_priority.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/fixed_priority.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/latency.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/latency.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/pdp.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/pdp.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/ttp.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/ttp.cpp.o.d"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/ttrt.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tokenring/analysis/ttrt.cpp.o.d"
+  "libtr_analysis.a"
+  "libtr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/breakdown/monte_carlo.cpp" "src/CMakeFiles/tr_breakdown.dir/tokenring/breakdown/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/tr_breakdown.dir/tokenring/breakdown/monte_carlo.cpp.o.d"
+  "/root/repo/src/tokenring/breakdown/saturation.cpp" "src/CMakeFiles/tr_breakdown.dir/tokenring/breakdown/saturation.cpp.o" "gcc" "src/CMakeFiles/tr_breakdown.dir/tokenring/breakdown/saturation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

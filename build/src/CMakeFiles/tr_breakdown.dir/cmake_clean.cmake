@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_breakdown.dir/tokenring/breakdown/monte_carlo.cpp.o"
+  "CMakeFiles/tr_breakdown.dir/tokenring/breakdown/monte_carlo.cpp.o.d"
+  "CMakeFiles/tr_breakdown.dir/tokenring/breakdown/saturation.cpp.o"
+  "CMakeFiles/tr_breakdown.dir/tokenring/breakdown/saturation.cpp.o.d"
+  "libtr_breakdown.a"
+  "libtr_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

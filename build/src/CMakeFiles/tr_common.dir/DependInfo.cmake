@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/common/ascii_plot.cpp" "src/CMakeFiles/tr_common.dir/tokenring/common/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/tr_common.dir/tokenring/common/ascii_plot.cpp.o.d"
+  "/root/repo/src/tokenring/common/cli.cpp" "src/CMakeFiles/tr_common.dir/tokenring/common/cli.cpp.o" "gcc" "src/CMakeFiles/tr_common.dir/tokenring/common/cli.cpp.o.d"
+  "/root/repo/src/tokenring/common/rng.cpp" "src/CMakeFiles/tr_common.dir/tokenring/common/rng.cpp.o" "gcc" "src/CMakeFiles/tr_common.dir/tokenring/common/rng.cpp.o.d"
+  "/root/repo/src/tokenring/common/stats.cpp" "src/CMakeFiles/tr_common.dir/tokenring/common/stats.cpp.o" "gcc" "src/CMakeFiles/tr_common.dir/tokenring/common/stats.cpp.o.d"
+  "/root/repo/src/tokenring/common/table.cpp" "src/CMakeFiles/tr_common.dir/tokenring/common/table.cpp.o" "gcc" "src/CMakeFiles/tr_common.dir/tokenring/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

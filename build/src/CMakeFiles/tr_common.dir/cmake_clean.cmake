@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_common.dir/tokenring/common/ascii_plot.cpp.o"
+  "CMakeFiles/tr_common.dir/tokenring/common/ascii_plot.cpp.o.d"
+  "CMakeFiles/tr_common.dir/tokenring/common/cli.cpp.o"
+  "CMakeFiles/tr_common.dir/tokenring/common/cli.cpp.o.d"
+  "CMakeFiles/tr_common.dir/tokenring/common/rng.cpp.o"
+  "CMakeFiles/tr_common.dir/tokenring/common/rng.cpp.o.d"
+  "CMakeFiles/tr_common.dir/tokenring/common/stats.cpp.o"
+  "CMakeFiles/tr_common.dir/tokenring/common/stats.cpp.o.d"
+  "CMakeFiles/tr_common.dir/tokenring/common/table.cpp.o"
+  "CMakeFiles/tr_common.dir/tokenring/common/table.cpp.o.d"
+  "libtr_common.a"
+  "libtr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/experiments/allocation_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/allocation_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/allocation_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/crossover_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/crossover_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/crossover_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/deadline_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/deadline_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/deadline_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/distribution_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/distribution_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/distribution_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/fault_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/fault_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/fault_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/fig1.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/fig1.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/fig1.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/frame_size_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/frame_size_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/frame_size_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/setup.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/setup.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/setup.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/sim_validation_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/sim_validation_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/sim_validation_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/station_count_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/station_count_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/station_count_study.cpp.o.d"
+  "/root/repo/src/tokenring/experiments/ttrt_study.cpp" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/ttrt_study.cpp.o" "gcc" "src/CMakeFiles/tr_experiments.dir/tokenring/experiments/ttrt_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_breakdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

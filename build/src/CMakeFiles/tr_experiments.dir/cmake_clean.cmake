@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/allocation_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/allocation_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/crossover_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/crossover_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/deadline_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/deadline_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/distribution_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/distribution_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/fault_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/fault_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/fig1.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/fig1.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/frame_size_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/frame_size_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/setup.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/setup.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/sim_validation_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/sim_validation_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/station_count_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/station_count_study.cpp.o.d"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/ttrt_study.cpp.o"
+  "CMakeFiles/tr_experiments.dir/tokenring/experiments/ttrt_study.cpp.o.d"
+  "libtr_experiments.a"
+  "libtr_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

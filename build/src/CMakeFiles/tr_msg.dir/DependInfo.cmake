@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/msg/generator.cpp" "src/CMakeFiles/tr_msg.dir/tokenring/msg/generator.cpp.o" "gcc" "src/CMakeFiles/tr_msg.dir/tokenring/msg/generator.cpp.o.d"
+  "/root/repo/src/tokenring/msg/io.cpp" "src/CMakeFiles/tr_msg.dir/tokenring/msg/io.cpp.o" "gcc" "src/CMakeFiles/tr_msg.dir/tokenring/msg/io.cpp.o.d"
+  "/root/repo/src/tokenring/msg/message_set.cpp" "src/CMakeFiles/tr_msg.dir/tokenring/msg/message_set.cpp.o" "gcc" "src/CMakeFiles/tr_msg.dir/tokenring/msg/message_set.cpp.o.d"
+  "/root/repo/src/tokenring/msg/stream.cpp" "src/CMakeFiles/tr_msg.dir/tokenring/msg/stream.cpp.o" "gcc" "src/CMakeFiles/tr_msg.dir/tokenring/msg/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_msg.dir/tokenring/msg/generator.cpp.o"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/generator.cpp.o.d"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/io.cpp.o"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/io.cpp.o.d"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/message_set.cpp.o"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/message_set.cpp.o.d"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/stream.cpp.o"
+  "CMakeFiles/tr_msg.dir/tokenring/msg/stream.cpp.o.d"
+  "libtr_msg.a"
+  "libtr_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/net/frame.cpp" "src/CMakeFiles/tr_net.dir/tokenring/net/frame.cpp.o" "gcc" "src/CMakeFiles/tr_net.dir/tokenring/net/frame.cpp.o.d"
+  "/root/repo/src/tokenring/net/ring.cpp" "src/CMakeFiles/tr_net.dir/tokenring/net/ring.cpp.o" "gcc" "src/CMakeFiles/tr_net.dir/tokenring/net/ring.cpp.o.d"
+  "/root/repo/src/tokenring/net/standards.cpp" "src/CMakeFiles/tr_net.dir/tokenring/net/standards.cpp.o" "gcc" "src/CMakeFiles/tr_net.dir/tokenring/net/standards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_net.dir/tokenring/net/frame.cpp.o"
+  "CMakeFiles/tr_net.dir/tokenring/net/frame.cpp.o.d"
+  "CMakeFiles/tr_net.dir/tokenring/net/ring.cpp.o"
+  "CMakeFiles/tr_net.dir/tokenring/net/ring.cpp.o.d"
+  "CMakeFiles/tr_net.dir/tokenring/net/standards.cpp.o"
+  "CMakeFiles/tr_net.dir/tokenring/net/standards.cpp.o.d"
+  "libtr_net.a"
+  "libtr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

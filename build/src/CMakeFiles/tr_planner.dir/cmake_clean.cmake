@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_planner.dir/tokenring/planner/advisor.cpp.o"
+  "CMakeFiles/tr_planner.dir/tokenring/planner/advisor.cpp.o.d"
+  "CMakeFiles/tr_planner.dir/tokenring/planner/planner.cpp.o"
+  "CMakeFiles/tr_planner.dir/tokenring/planner/planner.cpp.o.d"
+  "libtr_planner.a"
+  "libtr_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

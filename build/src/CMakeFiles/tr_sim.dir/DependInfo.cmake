@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenring/sim/event_queue.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/event_queue.cpp.o.d"
+  "/root/repo/src/tokenring/sim/metrics.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/metrics.cpp.o.d"
+  "/root/repo/src/tokenring/sim/pdp_sim.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/pdp_sim.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/pdp_sim.cpp.o.d"
+  "/root/repo/src/tokenring/sim/simulator.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/simulator.cpp.o.d"
+  "/root/repo/src/tokenring/sim/trace.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/trace.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/trace.cpp.o.d"
+  "/root/repo/src/tokenring/sim/ttp_sim.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/ttp_sim.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/ttp_sim.cpp.o.d"
+  "/root/repo/src/tokenring/sim/workload.cpp" "src/CMakeFiles/tr_sim.dir/tokenring/sim/workload.cpp.o" "gcc" "src/CMakeFiles/tr_sim.dir/tokenring/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_sim.dir/tokenring/sim/event_queue.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/event_queue.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/metrics.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/metrics.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/pdp_sim.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/pdp_sim.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/simulator.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/simulator.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/trace.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/trace.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/ttp_sim.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/ttp_sim.cpp.o.d"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/workload.cpp.o"
+  "CMakeFiles/tr_sim.dir/tokenring/sim/workload.cpp.o.d"
+  "libtr_sim.a"
+  "libtr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

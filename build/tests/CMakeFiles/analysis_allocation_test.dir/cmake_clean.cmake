@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_allocation_test.dir/analysis_allocation_test.cpp.o"
+  "CMakeFiles/analysis_allocation_test.dir/analysis_allocation_test.cpp.o.d"
+  "analysis_allocation_test"
+  "analysis_allocation_test.pdb"
+  "analysis_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_async_capacity_test.dir/analysis_async_capacity_test.cpp.o"
+  "CMakeFiles/analysis_async_capacity_test.dir/analysis_async_capacity_test.cpp.o.d"
+  "analysis_async_capacity_test"
+  "analysis_async_capacity_test.pdb"
+  "analysis_async_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_async_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

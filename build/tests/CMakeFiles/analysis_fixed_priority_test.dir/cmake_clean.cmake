@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_fixed_priority_test.dir/analysis_fixed_priority_test.cpp.o"
+  "CMakeFiles/analysis_fixed_priority_test.dir/analysis_fixed_priority_test.cpp.o.d"
+  "analysis_fixed_priority_test"
+  "analysis_fixed_priority_test.pdb"
+  "analysis_fixed_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_fixed_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_pdp_test.dir/analysis_pdp_test.cpp.o"
+  "CMakeFiles/analysis_pdp_test.dir/analysis_pdp_test.cpp.o.d"
+  "analysis_pdp_test"
+  "analysis_pdp_test.pdb"
+  "analysis_pdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_pdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_ttp_test.cpp" "tests/CMakeFiles/analysis_ttp_test.dir/analysis_ttp_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_ttp_test.dir/analysis_ttp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tr_breakdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_ttp_test.dir/analysis_ttp_test.cpp.o"
+  "CMakeFiles/analysis_ttp_test.dir/analysis_ttp_test.cpp.o.d"
+  "analysis_ttp_test"
+  "analysis_ttp_test.pdb"
+  "analysis_ttp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_ttp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_monte_carlo_test.dir/breakdown_monte_carlo_test.cpp.o"
+  "CMakeFiles/breakdown_monte_carlo_test.dir/breakdown_monte_carlo_test.cpp.o.d"
+  "breakdown_monte_carlo_test"
+  "breakdown_monte_carlo_test.pdb"
+  "breakdown_monte_carlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_saturation_test.dir/breakdown_saturation_test.cpp.o"
+  "CMakeFiles/breakdown_saturation_test.dir/breakdown_saturation_test.cpp.o.d"
+  "breakdown_saturation_test"
+  "breakdown_saturation_test.pdb"
+  "breakdown_saturation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_saturation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

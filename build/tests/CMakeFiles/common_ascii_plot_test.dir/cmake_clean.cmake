@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_ascii_plot_test.dir/common_ascii_plot_test.cpp.o"
+  "CMakeFiles/common_ascii_plot_test.dir/common_ascii_plot_test.cpp.o.d"
+  "common_ascii_plot_test"
+  "common_ascii_plot_test.pdb"
+  "common_ascii_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_ascii_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

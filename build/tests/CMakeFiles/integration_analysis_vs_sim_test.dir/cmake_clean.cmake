@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_analysis_vs_sim_test.dir/integration_analysis_vs_sim_test.cpp.o"
+  "CMakeFiles/integration_analysis_vs_sim_test.dir/integration_analysis_vs_sim_test.cpp.o.d"
+  "integration_analysis_vs_sim_test"
+  "integration_analysis_vs_sim_test.pdb"
+  "integration_analysis_vs_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_analysis_vs_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

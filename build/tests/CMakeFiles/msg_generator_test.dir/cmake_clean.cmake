@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_generator_test.dir/msg_generator_test.cpp.o"
+  "CMakeFiles/msg_generator_test.dir/msg_generator_test.cpp.o.d"
+  "msg_generator_test"
+  "msg_generator_test.pdb"
+  "msg_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_io_test.dir/msg_io_test.cpp.o"
+  "CMakeFiles/msg_io_test.dir/msg_io_test.cpp.o.d"
+  "msg_io_test"
+  "msg_io_test.pdb"
+  "msg_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

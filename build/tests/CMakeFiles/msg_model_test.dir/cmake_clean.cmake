@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_model_test.dir/msg_model_test.cpp.o"
+  "CMakeFiles/msg_model_test.dir/msg_model_test.cpp.o.d"
+  "msg_model_test"
+  "msg_model_test.pdb"
+  "msg_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

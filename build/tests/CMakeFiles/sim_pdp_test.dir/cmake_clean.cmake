@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pdp_test.dir/sim_pdp_test.cpp.o"
+  "CMakeFiles/sim_pdp_test.dir/sim_pdp_test.cpp.o.d"
+  "sim_pdp_test"
+  "sim_pdp_test.pdb"
+  "sim_pdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

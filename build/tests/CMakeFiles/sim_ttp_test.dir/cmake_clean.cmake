@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ttp_test.dir/sim_ttp_test.cpp.o"
+  "CMakeFiles/sim_ttp_test.dir/sim_ttp_test.cpp.o.d"
+  "sim_ttp_test"
+  "sim_ttp_test.pdb"
+  "sim_ttp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ttp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

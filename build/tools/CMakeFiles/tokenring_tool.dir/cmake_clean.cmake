@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenring_tool.dir/tokenring_tool.cpp.o"
+  "CMakeFiles/tokenring_tool.dir/tokenring_tool.cpp.o.d"
+  "tokenring_tool"
+  "tokenring_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenring_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
