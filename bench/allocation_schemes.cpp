@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("seed", "19", "base RNG seed");
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::AllocationStudyConfig config;
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
 
   std::printf(
       "# TTP allocation schemes at %.0f Mbps (n=%d, %zu sets/level)\n"
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   wc.bandwidth_mbps = config.bandwidth_mbps;
   wc.num_sets = config.sets_per_point;
   wc.seed = config.seed;
+  wc.jobs = config.jobs;
   const auto worst = experiments::run_worst_case_study(wc);
 
   std::printf("\n# Worst-case guarantee (local scheme)\n");

@@ -21,14 +21,13 @@ namespace {
 breakdown::BreakdownEstimate estimate_with_samples(
     const experiments::PaperSetup& setup,
     const breakdown::SchedulablePredicate& predicate, BitsPerSecond bw,
-    std::size_t sets, std::uint64_t seed) {
+    std::size_t sets, std::uint64_t seed, const exec::Executor& executor) {
   msg::MessageSetGenerator gen(setup.generator_config());
-  Rng rng(seed);
   breakdown::MonteCarloOptions options;
   options.num_sets = sets;
   options.keep_samples = true;
-  return breakdown::estimate_breakdown_utilization(gen, predicate, bw, rng,
-                                                   options);
+  return breakdown::estimate_breakdown_utilization(gen, predicate, bw, seed,
+                                                   executor, options);
 }
 
 }  // namespace
@@ -39,12 +38,14 @@ int main(int argc, char** argv) {
   flags.declare("seed", "37", "base RNG seed");
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidths-mbps", "5,20,100", "bandwidth list [Mbit/s]");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));
   const auto sets = static_cast<std::size_t>(flags.get_int("sets"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const exec::Executor executor(get_jobs(flags));
 
   std::printf(
       "# Breakdown-utilization distribution (n=%d, %zu sets/cell)\n\n",
@@ -73,8 +74,8 @@ int main(int argc, char** argv) {
   for (double bw_mbps : parse_double_list(flags.get_string("bandwidths-mbps"))) {
     const BitsPerSecond bw = mbps(bw_mbps);
     for (const auto& proto : protos) {
-      const auto est =
-          estimate_with_samples(setup, proto.predicate(bw), bw, sets, seed);
+      const auto est = estimate_with_samples(setup, proto.predicate(bw), bw,
+                                             sets, seed, executor);
       table.add_row({proto.name, fmt(bw_mbps, 0), fmt(est.quantile(0.05)),
                      fmt(est.quantile(0.25)), fmt(est.quantile(0.5)),
                      fmt(est.quantile(0.75)), fmt(est.quantile(0.95)),

@@ -21,12 +21,14 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "10,100", "bandwidth list [Mbit/s]");
   flags.declare("fractions", "1.0,0.8,0.6,0.4,0.2",
                 "deadline fractions D/P to sweep");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::DeadlineStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.deadline_fractions = parse_double_list(flags.get_string("fractions"));
 

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   flags.declare("period-ratio", "10", "max/min period ratio");
   flags.declare("bandwidths-mbps", "1,2,5,10,20,50,100,200,500,1000",
                 "bandwidth sweep [Mbit/s]");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::Fig1Config config;
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   config.setup.period_ratio = flags.get_double("period-ratio");
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
 
   std::printf(

@@ -20,12 +20,14 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "4,16,100", "bandwidth list [Mbit/s]");
   flags.declare("payload-bytes", "16,32,64,128,256,512,1024,4096",
                 "frame payload sizes [bytes]");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::FrameSizeStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.payload_bytes = parse_double_list(flags.get_string("payload-bytes"));
 

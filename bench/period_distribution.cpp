@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   flags.declare("seed", "13", "base RNG seed");
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "10", "link bandwidth [Mbit/s]");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::DistributionStudyConfig config;
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
 
   std::printf("# Period-distribution ablation at %.0f Mbps (n=%d)\n\n",
               config.bandwidth_mbps, config.setup.num_stations);

@@ -18,12 +18,14 @@ int main(int argc, char** argv) {
   flags.declare("seed", "17", "base RNG seed");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("stations", "10,25,50,100,150,200", "station counts");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::StationCountStudyConfig config;
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
   config.station_counts.clear();
   for (double v : parse_double_list(flags.get_string("stations"))) {
     config.station_counts.push_back(static_cast<int>(v));

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("equal-periods", "false",
                 "use equal periods (the paper's analytical special case)");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   experiments::TtrtStudyConfig config;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = get_jobs(flags);
   if (flags.get_bool("equal-periods")) {
     config.setup.period_dist = msg::PeriodDistribution::kEqual;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tokenring/common/checks.hpp"
+#include "tokenring/exec/seed_stream.hpp"
 
 namespace tokenring::breakdown {
 
@@ -20,6 +21,33 @@ double BreakdownEstimate::quantile(double q) const {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+void BreakdownEstimate::merge(const BreakdownEstimate& other) {
+  utilization.merge(other.utilization);
+  degenerate_sets += other.degenerate_sets;
+  unbounded_sets += other.unbounded_sets;
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+}
+
+namespace {
+
+// Classify one saturated draw into the estimate. Shared by both entry
+// points so their per-trial semantics cannot drift apart.
+void accumulate_trial(const SaturationResult& sat, bool keep_samples,
+                      BreakdownEstimate& est) {
+  if (sat.degenerate_zero) {
+    ++est.degenerate_sets;
+    est.utilization.add(0.0);
+    if (keep_samples) est.samples.push_back(0.0);
+  } else if (!sat.found) {
+    ++est.unbounded_sets;  // pathological; excluded from the average
+  } else {
+    est.utilization.add(sat.breakdown_utilization);
+    if (keep_samples) est.samples.push_back(sat.breakdown_utilization);
+  }
+}
+
+}  // namespace
+
 BreakdownEstimate estimate_breakdown_utilization(
     const msg::MessageSetGenerator& generator,
     const SchedulablePredicate& predicate, BitsPerSecond bw, Rng& rng,
@@ -32,20 +60,60 @@ BreakdownEstimate estimate_breakdown_utilization(
     const msg::MessageSet base = generator.generate(rng);
     const SaturationResult sat =
         find_saturation(base, predicate, bw, options.saturation);
-    if (sat.degenerate_zero) {
-      ++est.degenerate_sets;
-      est.utilization.add(0.0);
-      if (options.keep_samples) est.samples.push_back(0.0);
-    } else if (!sat.found) {
-      ++est.unbounded_sets;  // pathological; excluded from the average
-    } else {
-      est.utilization.add(sat.breakdown_utilization);
-      if (options.keep_samples) {
-        est.samples.push_back(sat.breakdown_utilization);
-      }
-    }
+    accumulate_trial(sat, options.keep_samples, est);
   }
   return est;
+}
+
+BreakdownEstimate estimate_breakdown_utilization(
+    const msg::MessageSetGenerator& generator,
+    const SchedulablePredicate& predicate, BitsPerSecond bw,
+    std::uint64_t master_seed, const exec::Executor& executor,
+    const MonteCarloOptions& options) {
+  TR_EXPECTS(options.num_sets >= 1);
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(options.shard_size >= 1);
+
+  const std::size_t n = options.num_sets;
+  const std::size_t shard = options.shard_size;
+  const std::size_t num_shards = (n + shard - 1) / shard;
+
+  // Trial i is fully determined by (master_seed, i): its own Rng, its own
+  // draw, its own saturation search. Threads only decide *who* computes a
+  // shard, never *what* it computes, so the result cannot depend on the
+  // executor's jobs count or on scheduling order.
+  const auto run_shard = [&](std::size_t s) {
+    BreakdownEstimate part;
+    const std::size_t lo = s * shard;
+    const std::size_t hi = std::min(n, lo + shard);
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng rng = exec::make_trial_rng(master_seed, i);
+      const msg::MessageSet base = generator.generate(rng);
+      const SaturationResult sat =
+          find_saturation(base, predicate, bw, options.saturation);
+      accumulate_trial(sat, options.keep_samples, part);
+    }
+    return part;
+  };
+
+  exec::ParallelForOptions pf;
+  pf.cancel = options.cancel;
+  if (options.progress) {
+    pf.progress = [&options, n, shard](std::size_t done_shards, std::size_t) {
+      options.progress(std::min(n, done_shards * shard), n);
+    };
+  }
+
+  // Shards merge left-to-right in trial order; because the shard grid is
+  // fixed by shard_size alone, the floating-point merge tree — and hence
+  // every output bit — is the same for any jobs count.
+  return exec::map_reduce(
+      executor, num_shards, BreakdownEstimate{}, run_shard,
+      [](BreakdownEstimate acc, BreakdownEstimate part) {
+        acc.merge(part);
+        return acc;
+      },
+      pf);
 }
 
 }  // namespace tokenring::breakdown

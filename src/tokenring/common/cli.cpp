@@ -92,6 +92,18 @@ void CliFlags::print_usage(const std::string& program) const {
   }
 }
 
+void declare_jobs_flag(CliFlags& flags) {
+  flags.declare("jobs", "0",
+                "worker threads (0 = hardware concurrency, 1 = sequential); "
+                "results are identical for every value");
+}
+
+std::size_t get_jobs(const CliFlags& flags) {
+  const std::int64_t jobs = flags.get_int("jobs");
+  if (jobs < 0) throw PreconditionError("flag --jobs must be >= 0");
+  return static_cast<std::size_t>(jobs);
+}
+
 std::vector<double> parse_double_list(const std::string& csv) {
   std::vector<double> out;
   std::stringstream ss(csv);

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -43,5 +44,15 @@ class CliFlags {
 
 /// Split a comma-separated list into values ("1,2,5" -> {1,2,5}).
 std::vector<double> parse_double_list(const std::string& csv);
+
+/// Declare the standard `--jobs` flag (worker threads for parallel Monte
+/// Carlo; 0 = hardware concurrency, 1 = sequential). Every binary that
+/// sweeps Monte Carlo points declares it through here so the wording and
+/// default stay uniform.
+void declare_jobs_flag(CliFlags& flags);
+
+/// Read the `--jobs` flag declared by `declare_jobs_flag`. Rejects
+/// negative values; returns 0 for "use hardware concurrency".
+std::size_t get_jobs(const CliFlags& flags);
 
 }  // namespace tokenring

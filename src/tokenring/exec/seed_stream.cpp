@@ -1,0 +1,28 @@
+#include "tokenring/exec/seed_stream.hpp"
+
+namespace tokenring::exec {
+
+namespace {
+// 2^64 / phi, the "golden gamma" stream increment from the SplitMix64
+// reference implementation.
+constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += kGoldenGamma;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  // Walk the SplitMix64 stream keyed by `master` to position `index`, then
+  // mix once more so that streams of nearby masters also decorrelate.
+  return splitmix64(splitmix64(master + index * kGoldenGamma));
+}
+
+Rng make_trial_rng(std::uint64_t master, std::uint64_t index) {
+  return Rng(derive_seed(master, index));
+}
+
+}  // namespace tokenring::exec

@@ -1,0 +1,33 @@
+// Deterministic seed streams for parallel Monte Carlo (SplitMix64).
+//
+// Trial i of a sweep must see the same random draws no matter which worker
+// thread runs it or in what order trials are scheduled. We therefore never
+// share one engine stream across trials; instead each trial gets its own
+// `Rng` seeded from (master seed, trial index) through SplitMix64, the
+// avalanche-quality mixer introduced as the seeding generator for
+// splittable PRNGs (Steele, Lea & Flood, OOPSLA 2014). Derived seeds for
+// consecutive indices are statistically independent even though the inputs
+// differ by one bit, which a plain `master + i` seeding of mt19937_64 does
+// not guarantee.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tokenring/common/rng.hpp"
+
+namespace tokenring::exec {
+
+/// One SplitMix64 output step: mixes `state + i * GOLDEN_GAMMA` through the
+/// finalizer. Exposed for tests; `derive_seed` is the intended entry point.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Seed for sub-stream `index` of the stream family keyed by `master`.
+/// Equal (master, index) pairs always yield the same seed; distinct indices
+/// yield decorrelated seeds.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index);
+
+/// Independent per-trial engine: `Rng(derive_seed(master, index))`.
+Rng make_trial_rng(std::uint64_t master, std::uint64_t index);
+
+}  // namespace tokenring::exec

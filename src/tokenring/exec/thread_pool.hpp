@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// Workers are started in the constructor and joined in the destructor.
+// `submit` blocks while the queue is at capacity, so a producer enqueueing
+// a long sweep cannot outrun the workers and balloon memory. Shutdown is
+// clean: the destructor lets workers drain every task that was already
+// accepted before joining, so no submitted work is silently dropped.
+//
+// Tasks must not throw — higher-level drivers (Executor::parallel_for)
+// wrap user callables and route exceptions back to the caller; a throwing
+// task at this layer terminates, like an escaping exception on any thread.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tokenring::exec {
+
+class ThreadPool {
+ public:
+  /// Start `num_threads` workers (>= 1). `queue_capacity` bounds the number
+  /// of accepted-but-unstarted tasks; 0 picks 4 * num_threads.
+  explicit ThreadPool(std::size_t num_threads, std::size_t queue_capacity = 0);
+
+  /// Drains all accepted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Enqueue one task; blocks while the queue is full. Must not be called
+  /// during/after destruction (precondition, checked).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tokenring::exec

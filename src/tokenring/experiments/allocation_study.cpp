@@ -6,6 +6,7 @@
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/exec/seed_stream.hpp"
 
 namespace tokenring::experiments {
 
@@ -17,27 +18,34 @@ std::vector<AllocationStudyRow> run_allocation_study(
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
   const auto params = config.setup.ttp_params();
   msg::MessageSetGenerator gen(config.setup.generator_config());
+  const exec::Executor executor(config.jobs);
 
   std::vector<AllocationStudyRow> rows;
   for (double target_u : config.utilization_levels) {
     TR_EXPECTS(target_u > 0.0);
-    // Common random numbers: the same sets are scored by every scheme.
-    std::vector<msg::MessageSet> sets;
-    Rng rng(config.seed);
-    for (std::size_t i = 0; i < config.sets_per_point; ++i) {
+    // Common random numbers: the same sets are scored by every scheme (and,
+    // because set i comes from the seed stream (seed, i), by every level
+    // and every jobs count).
+    std::vector<msg::MessageSet> sets(config.sets_per_point);
+    executor.parallel_for(config.sets_per_point, [&](std::size_t i) {
+      Rng rng = exec::make_trial_rng(config.seed, i);
       auto base = gen.generate(rng);
       const double u0 = base.utilization(bw);
-      sets.push_back(base.scaled(target_u / u0));
-    }
+      sets[i] = base.scaled(target_u / u0);
+    });
 
     for (auto scheme : analysis::all_allocation_schemes()) {
-      std::size_t feasible = 0;
-      for (const auto& set : sets) {
-        const Seconds ttrt = analysis::select_ttrt(set, params.ring, bw);
-        if (analysis::allocate(set, params, bw, ttrt, scheme).feasible()) {
-          ++feasible;
-        }
-      }
+      const std::size_t feasible = exec::map_reduce(
+          executor, sets.size(), std::size_t{0},
+          [&](std::size_t i) -> std::size_t {
+            const Seconds ttrt =
+                analysis::select_ttrt(sets[i], params.ring, bw);
+            return analysis::allocate(sets[i], params, bw, ttrt, scheme)
+                           .feasible()
+                       ? 1
+                       : 0;
+          },
+          [](std::size_t acc, std::size_t one) { return acc + one; });
       AllocationStudyRow row;
       row.scheme = scheme;
       row.utilization = target_u;
@@ -55,19 +63,23 @@ WorstCaseStudyResult run_worst_case_study(const WorstCaseStudyConfig& config) {
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
   const auto params = config.setup.ttp_params();
   msg::MessageSetGenerator gen(config.setup.generator_config());
-  Rng rng(config.seed);
+  const exec::Executor executor(config.jobs);
 
-  WorstCaseStudyResult result;
-  result.analytical_bound = std::numeric_limits<double>::infinity();
-  result.min_breakdown = std::numeric_limits<double>::infinity();
-  RunningStats breakdowns;
-
-  for (std::size_t i = 0; i < config.num_sets; ++i) {
+  // Per-set outcomes are computed in parallel (independent seed streams),
+  // then folded in set order so the aggregates are jobs-invariant.
+  struct SetOutcome {
+    double bound = 0.0;
+    bool violation = false;
+    bool found = false;
+    double breakdown = 0.0;
+  };
+  std::vector<SetOutcome> outcomes(config.num_sets);
+  executor.parallel_for(config.num_sets, [&](std::size_t i) {
+    SetOutcome& out = outcomes[i];
+    Rng rng = exec::make_trial_rng(config.seed, i);
     const auto base = gen.generate(rng);
     const Seconds ttrt = analysis::select_ttrt(base, params.ring, bw);
-    const double bound =
-        analysis::ttp_worst_case_utilization_bound(params, bw, ttrt);
-    result.analytical_bound = std::min(result.analytical_bound, bound);
+    out.bound = analysis::ttp_worst_case_utilization_bound(params, bw, ttrt);
 
     // Soundness at the bound: normalize this set's utilization to 99.9% of
     // the bound; Theorem 5.1 must accept it.
@@ -77,12 +89,13 @@ WorstCaseStudyResult run_worst_case_study(const WorstCaseStudyConfig& config) {
     const double overhead_share =
         static_cast<double>(base.size()) * params.frame.overhead_time(bw) /
         ttrt;
-    const double usable_bound = std::max(0.0, bound - overhead_share / 3.0);
+    const double usable_bound =
+        std::max(0.0, out.bound - overhead_share / 3.0);
     const double u0 = base.utilization(bw);
     if (usable_bound > 0.0) {
       const auto at_bound = base.scaled(0.999 * usable_bound / u0);
       if (!analysis::ttp_feasible_at(at_bound, params, bw, ttrt)) {
-        ++result.bound_violations;
+        out.violation = true;
       }
     }
 
@@ -94,9 +107,21 @@ WorstCaseStudyResult run_worst_case_study(const WorstCaseStudyConfig& config) {
         },
         bw);
     if (sat.found) {
-      breakdowns.add(sat.breakdown_utilization);
-      result.min_breakdown =
-          std::min(result.min_breakdown, sat.breakdown_utilization);
+      out.found = true;
+      out.breakdown = sat.breakdown_utilization;
+    }
+  });
+
+  WorstCaseStudyResult result;
+  result.analytical_bound = std::numeric_limits<double>::infinity();
+  result.min_breakdown = std::numeric_limits<double>::infinity();
+  RunningStats breakdowns;
+  for (const SetOutcome& out : outcomes) {
+    result.analytical_bound = std::min(result.analytical_bound, out.bound);
+    if (out.violation) ++result.bound_violations;
+    if (out.found) {
+      breakdowns.add(out.breakdown);
+      result.min_breakdown = std::min(result.min_breakdown, out.breakdown);
     }
   }
   result.mean_breakdown = breakdowns.mean();

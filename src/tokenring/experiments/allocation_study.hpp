@@ -28,6 +28,9 @@ struct AllocationStudyConfig {
   std::vector<double> utilization_levels = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
   std::size_t sets_per_point = 200;
   std::uint64_t seed = 19;
+  /// Worker threads for the per-set feasibility checks; 0 = hardware
+  /// concurrency.
+  std::size_t jobs = 0;
 };
 
 struct AllocationStudyRow {
@@ -45,6 +48,9 @@ struct WorstCaseStudyConfig {
   double bandwidth_mbps = 100.0;
   std::size_t num_sets = 200;
   std::uint64_t seed = 23;
+  /// Worker threads for the per-set saturation searches; 0 = hardware
+  /// concurrency.
+  std::size_t jobs = 0;
 };
 
 struct WorstCaseStudyResult {

@@ -13,14 +13,15 @@ namespace {
 // ~zero (the degenerate low-bandwidth regime where neither protocol can
 // schedule anything) does not count as a win.
 bool ttp_wins(const PaperSetup& setup, BitsPerSecond bw, std::size_t sets,
-              std::uint64_t seed) {
+              std::uint64_t seed, const exec::Executor& executor) {
   const double ttp =
-      estimate_point(setup, setup.ttp_predicate(bw), bw, sets, seed).mean();
+      estimate_point(setup, setup.ttp_predicate(bw), bw, sets, seed, executor)
+          .mean();
   const double pdp =
       estimate_point(setup,
                      setup.pdp_predicate(analysis::PdpVariant::kModified8025,
                                          bw),
-                     bw, sets, seed)
+                     bw, sets, seed, executor)
           .mean();
   return ttp >= pdp && ttp > 0.01;
 }
@@ -35,6 +36,7 @@ std::vector<CrossoverStudyRow> run_crossover_study(
   TR_EXPECTS(config.bw_high_mbps > config.bw_low_mbps);
   TR_EXPECTS(config.iterations >= 1);
 
+  const exec::Executor executor(config.jobs);
   std::vector<CrossoverStudyRow> rows;
   for (int n : config.station_counts) {
     for (double mean_ms : config.mean_periods_ms) {
@@ -48,7 +50,7 @@ std::vector<CrossoverStudyRow> run_crossover_study(
 
       const auto wins = [&](double bw_mbps) {
         return ttp_wins(setup, mbps(bw_mbps), config.sets_per_point,
-                        config.seed);
+                        config.seed, executor);
       };
 
       if (wins(config.bw_low_mbps)) {
@@ -71,13 +73,13 @@ std::vector<CrossoverStudyRow> run_crossover_study(
         const BitsPerSecond bw = mbps(row.crossover_mbps);
         row.ttp_at_crossover =
             estimate_point(setup, setup.ttp_predicate(bw), bw,
-                           config.sets_per_point, config.seed)
+                           config.sets_per_point, config.seed, executor)
                 .mean();
         row.pdp_at_crossover =
             estimate_point(setup,
                            setup.pdp_predicate(
                                analysis::PdpVariant::kModified8025, bw),
-                           bw, config.sets_per_point, config.seed)
+                           bw, config.sets_per_point, config.seed, executor)
                 .mean();
       }
       rows.push_back(row);

@@ -30,6 +30,8 @@ struct CrossoverStudyConfig {
   int iterations = 12;
   std::size_t sets_per_point = 40;
   std::uint64_t seed = 43;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct CrossoverStudyRow {

@@ -9,6 +9,7 @@ std::vector<DeadlineStudyRow> run_deadline_study(
   TR_EXPECTS(!config.deadline_fractions.empty());
   TR_EXPECTS(!config.bandwidths_mbps.empty());
 
+  const exec::Executor executor(config.jobs);
   std::vector<DeadlineStudyRow> rows;
   for (double bw_mbps : config.bandwidths_mbps) {
     const BitsPerSecond bw = mbps(bw_mbps);
@@ -24,16 +25,16 @@ std::vector<DeadlineStudyRow> run_deadline_study(
           estimate_point(setup,
                          setup.pdp_predicate(
                              analysis::PdpVariant::kStandard8025, bw),
-                         bw, config.sets_per_point, config.seed)
+                         bw, config.sets_per_point, config.seed, executor)
               .mean();
       row.modified8025 =
           estimate_point(setup,
                          setup.pdp_predicate(
                              analysis::PdpVariant::kModified8025, bw),
-                         bw, config.sets_per_point, config.seed)
+                         bw, config.sets_per_point, config.seed, executor)
               .mean();
       row.fddi = estimate_point(setup, setup.ttp_predicate(bw), bw,
-                                config.sets_per_point, config.seed)
+                                config.sets_per_point, config.seed, executor)
                      .mean();
       rows.push_back(row);
     }

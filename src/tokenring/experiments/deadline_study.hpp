@@ -25,6 +25,8 @@ struct DeadlineStudyConfig {
   std::vector<double> bandwidths_mbps = {10, 100};
   std::size_t sets_per_point = 60;
   std::uint64_t seed = 47;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct DeadlineStudyRow {

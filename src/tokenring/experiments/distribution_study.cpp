@@ -23,6 +23,7 @@ std::vector<DistributionStudyRow> run_distribution_study(
   TR_EXPECTS(!config.distributions.empty());
 
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
+  const exec::Executor executor(config.jobs);
   std::vector<DistributionStudyRow> rows;
   for (auto dist : config.distributions) {
     for (double mean_ms : config.mean_periods_ms) {
@@ -40,16 +41,16 @@ std::vector<DistributionStudyRow> run_distribution_study(
             estimate_point(setup,
                            setup.pdp_predicate(
                                analysis::PdpVariant::kStandard8025, bw),
-                           bw, config.sets_per_point, config.seed)
+                           bw, config.sets_per_point, config.seed, executor)
                 .mean();
         row.modified8025 =
             estimate_point(setup,
                            setup.pdp_predicate(
                                analysis::PdpVariant::kModified8025, bw),
-                           bw, config.sets_per_point, config.seed)
+                           bw, config.sets_per_point, config.seed, executor)
                 .mean();
         row.fddi = estimate_point(setup, setup.ttp_predicate(bw), bw,
-                                  config.sets_per_point, config.seed)
+                                  config.sets_per_point, config.seed, executor)
                        .mean();
         rows.push_back(row);
       }

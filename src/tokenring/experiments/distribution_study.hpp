@@ -24,6 +24,8 @@ struct DistributionStudyConfig {
       msg::PeriodDistribution::kUniform, msg::PeriodDistribution::kLogUniform};
   std::size_t sets_per_point = 60;
   std::uint64_t seed = 13;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct DistributionStudyRow {

@@ -10,6 +10,7 @@ std::vector<Fig1Row> run_fig1(const Fig1Config& config) {
   TR_EXPECTS(!config.bandwidths_mbps.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
 
+  const exec::Executor executor(config.jobs);
   std::vector<Fig1Row> rows;
   rows.reserve(config.bandwidths_mbps.size());
   for (double bw_mbps : config.bandwidths_mbps) {
@@ -17,14 +18,14 @@ std::vector<Fig1Row> run_fig1(const Fig1Config& config) {
     const auto std8025 = estimate_point(
         config.setup,
         config.setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw),
-        bw, config.sets_per_point, config.seed);
+        bw, config.sets_per_point, config.seed, executor);
     const auto mod8025 = estimate_point(
         config.setup,
         config.setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw),
-        bw, config.sets_per_point, config.seed);
+        bw, config.sets_per_point, config.seed, executor);
     const auto fddi =
         estimate_point(config.setup, config.setup.ttp_predicate(bw), bw,
-                       config.sets_per_point, config.seed);
+                       config.sets_per_point, config.seed, executor);
 
     Fig1Row row;
     row.bandwidth_mbps = bw_mbps;

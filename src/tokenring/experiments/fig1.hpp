@@ -22,6 +22,9 @@ struct Fig1Config {
                                          50, 100, 200, 500, 1000};
   std::size_t sets_per_point = 100;
   std::uint64_t seed = 42;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency,
+  /// 1 = inline sequential. The rows are identical for every value.
+  std::size_t jobs = 0;
 };
 
 /// One bandwidth point: mean breakdown utilization and 95% CI half-width

@@ -9,6 +9,7 @@ std::vector<FrameSizeStudyRow> run_frame_size_study(
   TR_EXPECTS(!config.payload_bytes.empty());
   TR_EXPECTS(!config.bandwidths_mbps.empty());
 
+  const exec::Executor executor(config.jobs);
   std::vector<FrameSizeStudyRow> rows;
   for (double bw_mbps : config.bandwidths_mbps) {
     const BitsPerSecond bw = mbps(bw_mbps);
@@ -23,13 +24,13 @@ std::vector<FrameSizeStudyRow> run_frame_size_study(
           estimate_point(setup,
                          setup.pdp_predicate(
                              analysis::PdpVariant::kStandard8025, bw),
-                         bw, config.sets_per_point, config.seed)
+                         bw, config.sets_per_point, config.seed, executor)
               .mean();
       row.modified8025 =
           estimate_point(setup,
                          setup.pdp_predicate(
                              analysis::PdpVariant::kModified8025, bw),
-                         bw, config.sets_per_point, config.seed)
+                         bw, config.sets_per_point, config.seed, executor)
               .mean();
       rows.push_back(row);
     }

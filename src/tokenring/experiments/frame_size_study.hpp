@@ -22,6 +22,8 @@ struct FrameSizeStudyConfig {
   std::vector<double> bandwidths_mbps = {4, 16, 100};
   std::size_t sets_per_point = 60;
   std::uint64_t seed = 11;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct FrameSizeStudyRow {

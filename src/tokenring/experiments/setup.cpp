@@ -54,13 +54,20 @@ breakdown::SchedulablePredicate PaperSetup::ttp_predicate_at(
 
 breakdown::BreakdownEstimate estimate_point(
     const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
-    BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed) {
+    BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed,
+    const exec::Executor& executor) {
   msg::MessageSetGenerator generator(setup.generator_config());
-  Rng rng(seed);
   breakdown::MonteCarloOptions options;
   options.num_sets = num_sets;
   return breakdown::estimate_breakdown_utilization(generator, predicate, bw,
-                                                   rng, options);
+                                                   seed, executor, options);
+}
+
+breakdown::BreakdownEstimate estimate_point(
+    const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
+    BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed) {
+  const exec::Executor inline_executor(1);
+  return estimate_point(setup, predicate, bw, num_sets, seed, inline_executor);
 }
 
 }  // namespace tokenring::experiments

@@ -13,6 +13,7 @@
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/breakdown/monte_carlo.hpp"
+#include "tokenring/exec/executor.hpp"
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/net/standards.hpp"
 
@@ -54,9 +55,18 @@ struct PaperSetup {
 };
 
 /// Estimate the average breakdown utilization of one predicate at one
-/// bandwidth. Re-seeds deterministically so that curves estimated for
-/// different protocols share the same random message sets (common random
-/// numbers), which sharpens curve-to-curve comparisons.
+/// bandwidth, running the trials on `executor`. Trial i draws from the
+/// seed stream derived from (seed, i), so curves estimated for different
+/// protocols share the same random message sets (common random numbers),
+/// which sharpens curve-to-curve comparisons — and the result is
+/// bit-identical for every executor jobs count.
+breakdown::BreakdownEstimate estimate_point(
+    const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
+    BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed,
+    const exec::Executor& executor);
+
+/// Convenience overload running inline on the calling thread (same result
+/// as any parallel executor, just sequentially).
 breakdown::BreakdownEstimate estimate_point(
     const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
     BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed);

@@ -9,6 +9,7 @@ std::vector<StationCountStudyRow> run_station_count_study(
   TR_EXPECTS(!config.station_counts.empty());
 
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
+  const exec::Executor executor(config.jobs);
   std::vector<StationCountStudyRow> rows;
   for (int n : config.station_counts) {
     TR_EXPECTS(n >= 2);
@@ -20,15 +21,15 @@ std::vector<StationCountStudyRow> run_station_count_study(
     row.ieee8025 =
         estimate_point(
             setup, setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw),
-            bw, config.sets_per_point, config.seed)
+            bw, config.sets_per_point, config.seed, executor)
             .mean();
     row.modified8025 =
         estimate_point(
             setup, setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw),
-            bw, config.sets_per_point, config.seed)
+            bw, config.sets_per_point, config.seed, executor)
             .mean();
     row.fddi = estimate_point(setup, setup.ttp_predicate(bw), bw,
-                              config.sets_per_point, config.seed)
+                              config.sets_per_point, config.seed, executor)
                    .mean();
     rows.push_back(row);
   }

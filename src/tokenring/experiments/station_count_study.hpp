@@ -20,6 +20,8 @@ struct StationCountStudyConfig {
   std::vector<int> station_counts = {10, 25, 50, 100, 150, 200};
   std::size_t sets_per_point = 60;
   std::uint64_t seed = 17;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct StationCountStudyRow {

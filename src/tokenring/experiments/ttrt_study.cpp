@@ -17,13 +17,14 @@ TtrtStudyResult run_ttrt_study(const TtrtStudyConfig& config) {
   const Seconds p_min = gen_config.min_period();
   const Seconds max_ttrt = p_min / 2.0;
 
+  const exec::Executor executor(config.jobs);
   TtrtStudyResult result;
   for (double fraction : config.ttrt_fractions) {
     TR_EXPECTS(fraction > 0.0 && fraction <= 1.0);
     const Seconds ttrt = fraction * max_ttrt;
     const auto est =
         estimate_point(config.setup, config.setup.ttp_predicate_at(bw, ttrt),
-                       bw, config.sets_per_point, config.seed);
+                       bw, config.sets_per_point, config.seed, executor);
     TtrtStudyRow row;
     row.fraction = fraction;
     row.ttrt = ttrt;
@@ -36,7 +37,7 @@ TtrtStudyResult run_ttrt_study(const TtrtStudyConfig& config) {
   result.sqrt_rule_ttrt = std::min(std::sqrt(theta * p_min), max_ttrt);
   result.sqrt_rule_breakdown =
       estimate_point(config.setup, config.setup.ttp_predicate(bw), bw,
-                     config.sets_per_point, config.seed)
+                     config.sets_per_point, config.seed, executor)
           .mean();
 
   result.best_row = *std::max_element(

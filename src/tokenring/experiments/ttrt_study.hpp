@@ -24,6 +24,8 @@ struct TtrtStudyConfig {
                                         0.4,  0.5,  0.7, 0.9, 1.0};
   std::size_t sets_per_point = 100;
   std::uint64_t seed = 7;
+  /// Worker threads for the Monte Carlo trials; 0 = hardware concurrency.
+  std::size_t jobs = 0;
 };
 
 struct TtrtStudyRow {

@@ -29,7 +29,8 @@ double Recommendation::estimate(Protocol protocol) const {
 
 Recommendation recommend_protocol(const TrafficProfile& profile,
                                   BitsPerSecond bandwidth,
-                                  std::size_t num_sets, std::uint64_t seed) {
+                                  std::size_t num_sets, std::uint64_t seed,
+                                  const exec::Executor& executor) {
   TR_EXPECTS(bandwidth > 0.0);
   TR_EXPECTS(num_sets >= 1);
 
@@ -39,16 +40,16 @@ Recommendation recommend_protocol(const TrafficProfile& profile,
       experiments::estimate_point(
           setup,
           setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bandwidth),
-          bandwidth, num_sets, seed)
+          bandwidth, num_sets, seed, executor)
           .mean();
   rec.modified8025 =
       experiments::estimate_point(
           setup,
           setup.pdp_predicate(analysis::PdpVariant::kModified8025, bandwidth),
-          bandwidth, num_sets, seed)
+          bandwidth, num_sets, seed, executor)
           .mean();
   rec.fddi = experiments::estimate_point(setup, setup.ttp_predicate(bandwidth),
-                                         bandwidth, num_sets, seed)
+                                         bandwidth, num_sets, seed, executor)
                  .mean();
 
   struct Entry {
@@ -64,6 +65,14 @@ Recommendation recommend_protocol(const TrafficProfile& profile,
   rec.margin = entries[1].value > 0.0 ? entries[0].value / entries[1].value
                                       : (entries[0].value > 0.0 ? 1e9 : 1.0);
   return rec;
+}
+
+Recommendation recommend_protocol(const TrafficProfile& profile,
+                                  BitsPerSecond bandwidth,
+                                  std::size_t num_sets, std::uint64_t seed) {
+  const exec::Executor inline_executor(1);
+  return recommend_protocol(profile, bandwidth, num_sets, seed,
+                            inline_executor);
 }
 
 }  // namespace tokenring::planner

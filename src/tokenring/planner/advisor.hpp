@@ -42,8 +42,16 @@ struct Recommendation {
 };
 
 /// Estimate breakdown utilization for each protocol at `bandwidth` via
-/// Monte Carlo (`num_sets` random sets, deterministic in `seed`) and pick
-/// the winner.
+/// Monte Carlo (`num_sets` random sets, deterministic in `seed` — the
+/// recommendation is the same for every executor jobs count) and pick the
+/// winner, running the trials on `executor`.
+Recommendation recommend_protocol(const TrafficProfile& profile,
+                                  BitsPerSecond bandwidth,
+                                  std::size_t num_sets,
+                                  std::uint64_t seed,
+                                  const exec::Executor& executor);
+
+/// Convenience overload running inline on the calling thread.
 Recommendation recommend_protocol(const TrafficProfile& profile,
                                   BitsPerSecond bandwidth,
                                   std::size_t num_sets = 50,

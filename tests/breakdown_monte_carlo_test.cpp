@@ -4,6 +4,7 @@
 
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/exec/seed_stream.hpp"
 #include "tokenring/net/standards.hpp"
 
 namespace tokenring::breakdown {
@@ -160,6 +161,120 @@ TEST(MonteCarlo, QuantilesAreOrderedAndBracketed) {
   EXPECT_DOUBLE_EQ(est.quantile(0.0), est.utilization.min());
   EXPECT_DOUBLE_EQ(est.quantile(1.0), est.utilization.max());
   EXPECT_THROW(est.quantile(1.5), PreconditionError);
+}
+
+TEST(MonteCarloParallel, JobsCountDoesNotChangeTheEstimate) {
+  // The headline invariant of the exec/ subsystem: for a fixed master seed
+  // the BreakdownEstimate is bit-identical for every jobs value, because
+  // trial RNGs are keyed by (seed, trial index) and shards are folded in a
+  // fixed order. Compare every field exactly — no tolerances.
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(10);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const SchedulablePredicate predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  auto gen = small_generator();
+  MonteCarloOptions opts;
+  opts.num_sets = 40;
+  opts.keep_samples = true;
+
+  const exec::Executor seq(1);
+  const exec::Executor par(8);
+  const auto a = estimate_breakdown_utilization(gen, predicate, bw, 42, seq, opts);
+  const auto b = estimate_breakdown_utilization(gen, predicate, bw, 42, par, opts);
+
+  EXPECT_EQ(a.utilization.count(), b.utilization.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.ci95(), b.ci95());
+  EXPECT_EQ(a.utilization.variance(), b.utilization.variance());
+  EXPECT_EQ(a.utilization.min(), b.utilization.min());
+  EXPECT_EQ(a.utilization.max(), b.utilization.max());
+  EXPECT_EQ(a.degenerate_sets, b.degenerate_sets);
+  EXPECT_EQ(a.unbounded_sets, b.unbounded_sets);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+  }
+}
+
+TEST(MonteCarloParallel, SamplesAreInTrialIndexOrder) {
+  // Recompute each trial independently via its seed stream: samples[k] must
+  // be the breakdown of trial k regardless of which worker ran it.
+  const BitsPerSecond bw = mbps(100);
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(10);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const SchedulablePredicate predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  auto gen = small_generator();
+  MonteCarloOptions opts;
+  opts.num_sets = 24;
+  opts.keep_samples = true;
+  const std::uint64_t seed = 91;
+
+  const exec::Executor par(8);
+  const auto est = estimate_breakdown_utilization(gen, predicate, bw, seed, par, opts);
+  ASSERT_EQ(est.samples.size(), opts.num_sets);
+
+  for (std::size_t k : {std::size_t{0}, std::size_t{7}, std::size_t{23}}) {
+    Rng rng = exec::make_trial_rng(seed, k);
+    const msg::MessageSet set = gen.generate(rng);
+    const auto sat = find_saturation(set, predicate, bw, opts.saturation);
+    ASSERT_TRUE(sat.found);
+    EXPECT_EQ(est.samples[k], sat.breakdown_utilization) << "trial " << k;
+  }
+}
+
+TEST(MonteCarloParallel, MergeCombinesCountsAndSamples) {
+  BreakdownEstimate a;
+  a.utilization.add(0.5);
+  a.degenerate_sets = 1;
+  a.samples = {0.5};
+  BreakdownEstimate b;
+  b.utilization.add(0.7);
+  b.unbounded_sets = 2;
+  b.samples = {0.7};
+  a.merge(b);
+  EXPECT_EQ(a.utilization.count(), 2u);
+  EXPECT_EQ(a.degenerate_sets, 1u);
+  EXPECT_EQ(a.unbounded_sets, 2u);
+  ASSERT_EQ(a.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.samples[0], 0.5);
+  EXPECT_DOUBLE_EQ(a.samples[1], 0.7);
+}
+
+TEST(MonteCarloParallel, ProgressAndCancellation) {
+  const SchedulablePredicate predicate = [](const msg::MessageSet& m) {
+    return m.utilization(mbps(10)) <= 0.5;
+  };
+  auto gen = small_generator();
+  MonteCarloOptions opts;
+  opts.num_sets = 32;
+  std::size_t last_done = 0;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 32u);
+    EXPECT_GE(done, last_done);
+    last_done = done;
+  };
+  const exec::Executor seq(1);
+  const auto est =
+      estimate_breakdown_utilization(gen, predicate, mbps(10), 5, seq, opts);
+  EXPECT_EQ(est.utilization.count(), 32u);
+  EXPECT_EQ(last_done, 32u);
+
+  exec::CancellationToken token;
+  token.request_cancel();
+  MonteCarloOptions cancelled = opts;
+  cancelled.progress = nullptr;
+  cancelled.cancel = token;
+  EXPECT_THROW(
+      estimate_breakdown_utilization(gen, predicate, mbps(10), 5, seq, cancelled),
+      exec::Cancelled);
 }
 
 TEST(MonteCarlo, Preconditions) {

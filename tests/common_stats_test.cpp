@@ -78,6 +78,27 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
 
+TEST(RunningStats, MergeOfManyShardsEqualsSingleStream) {
+  // The parallel Monte Carlo path folds per-shard accumulators in shard
+  // order; folding K shards must agree with one long stream.
+  Rng rng(23);
+  RunningStats whole;
+  RunningStats shards[7];
+  for (int i = 0; i < 700; ++i) {
+    const double x = rng.uniform(-1.0, 1.0) * rng.uniform(0.0, 100.0);
+    whole.add(x);
+    shards[i % 7].add(x);
+  }
+  RunningStats folded;
+  for (const auto& s : shards) folded.merge(s);
+  EXPECT_EQ(folded.count(), whole.count());
+  EXPECT_NEAR(folded.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(folded.variance(), whole.variance(), 1e-7);
+  EXPECT_NEAR(folded.std_error(), whole.std_error(), 1e-9);
+  EXPECT_DOUBLE_EQ(folded.min(), whole.min());
+  EXPECT_DOUBLE_EQ(folded.max(), whole.max());
+}
+
 TEST(RunningStats, MergeWithEmptyIsIdentity) {
   RunningStats a;
   a.add(1.0);

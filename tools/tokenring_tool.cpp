@@ -240,6 +240,7 @@ int cmd_advise(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "4,16,100,622", "candidate speeds");
   flags.declare("sets", "50", "Monte Carlo sets per estimate");
   flags.declare("seed", "1", "RNG seed");
+  declare_jobs_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   planner::TrafficProfile profile;
@@ -247,11 +248,12 @@ int cmd_advise(int argc, char** argv) {
   profile.mean_period = milliseconds(flags.get_double("mean-period-ms"));
   profile.period_ratio = flags.get_double("period-ratio");
 
+  const exec::Executor executor(get_jobs(flags));
   Table table({"BW_Mbps", "ieee8025", "modified8025", "fddi", "recommend"});
   for (double bw : parse_double_list(flags.get_string("bandwidths-mbps"))) {
     const auto rec = planner::recommend_protocol(
         profile, mbps(bw), static_cast<std::size_t>(flags.get_int("sets")),
-        static_cast<std::uint64_t>(flags.get_int("seed")));
+        static_cast<std::uint64_t>(flags.get_int("seed")), executor);
     table.add_row({fmt(bw, 0), fmt(rec.ieee8025, 3), fmt(rec.modified8025, 3),
                    fmt(rec.fddi, 3), planner::to_string(rec.best)});
   }
