@@ -1,12 +1,15 @@
-// Fault drill: inject token losses into both protocols on the same traffic
-// and compare how their recovery mechanisms absorb the outages.
+// Fault drill: inject the same fault schedule into both protocols on the
+// same traffic and compare how their recovery mechanisms absorb the
+// outages.
 //
-//   ./fault_drill --bandwidth-mbps=100 --losses=5
+//   ./fault_drill --bandwidth-mbps=100 --kind=token_loss --faults=5
 
 #include <cstdio>
 
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/fault/plan.hpp"
+#include "tokenring/fault/recovery.hpp"
 #include "tokenring/net/standards.hpp"
 #include "tokenring/sim/pdp_sim.hpp"
 #include "tokenring/sim/ttp_sim.hpp"
@@ -17,28 +20,61 @@ using namespace tokenring;
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
-  flags.declare("losses", "5", "token losses to inject");
+  flags.declare("kind", "token_loss",
+                "fault kind (token_loss, frame_corruption, noise_burst, "
+                "station_crash, duplicate_token)");
+  flags.declare("faults", "5", "faults to inject");
+  flags.declare("noise-ms", "1", "noise burst duration [ms]");
   flags.declare("horizon-ms", "500", "simulated time [ms]");
-  flags.declare("seed", "7", "loss-timing seed");
+  flags.declare("seed", "7", "fault-timing seed");
   if (!flags.parse(argc, argv)) return 1;
 
   const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
   const Seconds horizon = milliseconds(flags.get_double("horizon-ms"));
-  const auto losses = static_cast<int>(flags.get_int("losses"));
+  const auto faults = static_cast<int>(flags.get_int("faults"));
+  const auto kind = fault::parse_fault_kind(flags.get_string("kind"));
+  if (!kind) {
+    std::fprintf(stderr, "unknown fault kind '%s'\n",
+                 flags.get_string("kind").c_str());
+    return 1;
+  }
 
   msg::MessageSet set;
   set.add({.period = milliseconds(20), .payload_bits = bytes(2'000), .station = 0});
   set.add({.period = milliseconds(40), .payload_bits = bytes(5'000), .station = 2});
   set.add({.period = milliseconds(80), .payload_bits = bytes(10'000), .station = 5});
 
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
-  std::vector<Seconds> loss_times;
-  for (int i = 0; i < losses; ++i) {
-    loss_times.push_back(rng.uniform(0.0, 0.9 * horizon));
+  // One shared schedule hits both rings.
+  fault::FaultPlan plan;
+  {
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+    const Seconds noise = milliseconds(flags.get_double("noise-ms"));
+    for (int i = 0; i < faults; ++i) {
+      const Seconds at = rng.uniform(0.0, 0.9 * horizon);
+      switch (*kind) {
+        case fault::FaultKind::kTokenLoss:
+          plan.add_token_loss(at);
+          break;
+        case fault::FaultKind::kFrameCorruption:
+          plan.add_frame_corruption(at);
+          break;
+        case fault::FaultKind::kNoiseBurst:
+          plan.add_noise_burst(at, noise);
+          break;
+        case fault::FaultKind::kStationCrash:
+        case fault::FaultKind::kStationRejoin:
+          plan.add_station_crash(at, static_cast<int>(rng.uniform_int(0, 7)),
+                                 0.1 * horizon);
+          break;
+        case fault::FaultKind::kDuplicateToken:
+          plan.add_duplicate_token(at);
+          break;
+      }
+    }
   }
 
-  std::printf("Injecting %d token losses over %.0f ms at %.0f Mbps\n\n",
-              losses, to_milliseconds(horizon), to_mbps(bw));
+  std::printf("Injecting %d %s faults over %.0f ms at %.0f Mbps\n\n", faults,
+              fault::to_string(*kind), to_milliseconds(horizon), to_mbps(bw));
 
   {
     analysis::PdpParams p;
@@ -47,12 +83,12 @@ int main(int argc, char** argv) {
     p.variant = analysis::PdpVariant::kModified8025;
     auto cfg = sim::make_pdp_sim_config(set, p, bw);
     cfg.horizon = horizon;
-    cfg.token_loss_times = loss_times;
+    cfg.faults = plan;
     const auto m = sim::run_pdp_simulation(set, cfg);
-    const Seconds outage =
-        std::max(p.frame.frame_time(bw), p.ring.theta(bw)) + p.ring.theta(bw);
-    std::printf("Modified IEEE 802.5 (monitor recovery ~%.1f us/loss):\n%s\n",
-                to_microseconds(outage), m.summary().c_str());
+    std::printf("Modified IEEE 802.5 (recovery model ~%.1f us/fault):\n%s\n",
+                to_microseconds(fault::pdp_fault_outage(
+                    *kind, p, bw, milliseconds(flags.get_double("noise-ms")))),
+                m.summary().c_str());
   }
   {
     analysis::TtpParams p;
@@ -60,16 +96,17 @@ int main(int argc, char** argv) {
     p.frame = p.async_frame = net::paper_frame_format();
     auto cfg = sim::make_ttp_sim_config(set, p, bw);
     cfg.horizon = horizon;
-    cfg.token_loss_times = loss_times;
-    const Seconds outage = 2.0 * cfg.ttrt + 2.0 * p.ring.walk_time(bw) +
-                           p.ring.token_time(bw);
+    cfg.faults = plan;
     const auto m = sim::run_ttp_simulation(set, cfg);
-    std::printf("FDDI timed token (claim recovery ~%.1f us/loss):\n%s",
-                to_microseconds(outage), m.summary().c_str());
+    std::printf("FDDI timed token (recovery model ~%.1f us/fault):\n%s",
+                to_microseconds(fault::ttp_fault_outage(
+                    *kind, p, bw, cfg.ttrt,
+                    milliseconds(flags.get_double("noise-ms")))),
+                m.summary().c_str());
   }
   std::printf(
-      "\n(The same loss schedule hits both rings; the 802.5 active monitor\n"
-      " restores service orders of magnitude faster than FDDI's TRT-expiry\n"
-      " detection plus claim process.)\n");
+      "\n(The same fault schedule hits both rings; the 802.5 active monitor\n"
+      " and beacon restore service orders of magnitude faster than FDDI's\n"
+      " TRT-expiry detection plus claim process.)\n");
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "tokenring/experiments/fault_study.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/exec/executor.hpp"
+#include "tokenring/exec/seed_stream.hpp"
 #include "tokenring/sim/pdp_sim.hpp"
 #include "tokenring/sim/ttp_sim.hpp"
 #include "tokenring/sim/workload.hpp"
@@ -12,101 +15,198 @@ namespace tokenring::experiments {
 
 namespace {
 
-std::vector<Seconds> random_loss_times(Rng& rng, int count, Seconds horizon) {
+/// A base set scaled to the study load for each protocol (when its
+/// schedulability boundary exists).
+struct PreparedSet {
+  bool pdp_found = false;
+  bool ttp_found = false;
+  msg::MessageSet pdp_set;
+  msg::MessageSet ttp_set;
+};
+
+struct CellStats {
+  double missed = 0.0;
+  double released = 0.0;
+  double attributed = 0.0;
+  Seconds outage = 0.0;
+  double injected = 0.0;
+
+  void absorb(const CellStats& o) {
+    missed += o.missed;
+    released += o.released;
+    attributed += o.attributed;
+    outage += o.outage;
+    injected += o.injected;
+  }
+};
+
+struct TrialResult {
+  CellStats pdp;
+  CellStats ttp;
+};
+
+CellStats stats_of(const sim::SimMetrics& m) {
+  CellStats s;
+  s.missed = static_cast<double>(m.deadline_misses);
+  s.released = static_cast<double>(m.messages_released);
+  s.attributed = static_cast<double>(m.fault_attributed_misses());
+  s.outage = m.total_outage();
+  s.injected = static_cast<double>(m.faults_injected());
+  return s;
+}
+
+/// Deterministic plan of `count` faults of one kind, uniform over the first
+/// 90% of the run (a fault right at the horizon has no time to show its
+/// consequences and only adds noise). Station crashes pick a uniform victim
+/// and rejoin after the configured downtime.
+fault::FaultPlan make_plan(fault::FaultKind kind, int count, Seconds horizon,
+                           std::uint64_t trial_seed, int num_stations,
+                           const FaultStudyConfig& config) {
+  fault::FaultPlan plan;
+  Rng rng = exec::make_trial_rng(trial_seed, 0xfa17);
   std::vector<Seconds> times;
   times.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    // Avoid the last 10%: a loss right at the horizon has no time to show
-    // its consequences and only adds noise.
     times.push_back(rng.uniform(0.0, 0.9 * horizon));
   }
   std::sort(times.begin(), times.end());
-  return times;
+  const Seconds downtime = config.crash_downtime_fraction * horizon;
+  for (Seconds t : times) {
+    switch (kind) {
+      case fault::FaultKind::kTokenLoss:
+        plan.add_token_loss(t);
+        break;
+      case fault::FaultKind::kFrameCorruption:
+        plan.add_frame_corruption(t);
+        break;
+      case fault::FaultKind::kNoiseBurst:
+        plan.add_noise_burst(t, config.noise_duration);
+        break;
+      case fault::FaultKind::kDuplicateToken:
+        plan.add_duplicate_token(t);
+        break;
+      case fault::FaultKind::kStationCrash:
+      case fault::FaultKind::kStationRejoin: {
+        const int victim = static_cast<int>(
+            rng.uniform_int(0, static_cast<std::int64_t>(num_stations) - 1));
+        plan.add_station_crash(t, victim, downtime);
+        break;
+      }
+    }
+  }
+  return plan;
 }
 
 }  // namespace
 
 std::vector<FaultStudyRow> run_fault_study(const FaultStudyConfig& config) {
-  TR_EXPECTS(!config.loss_counts.empty());
+  TR_EXPECTS(!config.kinds.empty());
+  TR_EXPECTS(!config.fault_counts.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
   TR_EXPECTS(config.load_scale > 0.0 && config.load_scale < 1.0);
+  TR_EXPECTS(config.noise_duration >= 0.0);
+  TR_EXPECTS(config.crash_downtime_fraction > 0.0 &&
+             config.crash_downtime_fraction < 1.0);
 
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
   const auto pdp_params =
       config.setup.pdp_params(analysis::PdpVariant::kModified8025);
   const auto ttp_params = config.setup.ttp_params();
-  msg::MessageSetGenerator gen(config.setup.generator_config());
 
-  std::vector<FaultStudyRow> rows;
-  for (int losses : config.loss_counts) {
-    TR_EXPECTS(losses >= 0);
-    double pdp_missed = 0.0, pdp_released = 0.0;
-    double ttp_missed = 0.0, ttp_released = 0.0;
-    Seconds pdp_outage = 0.0;
-    Seconds ttp_outage = 0.0;
-
+  // The stochastic parts that share one engine stream (set generation and
+  // boundary search) run sequentially up front; the expensive simulations
+  // then fan out over independent trials, each with its own seed stream, so
+  // results are bit-identical for any jobs value.
+  std::vector<PreparedSet> prepared;
+  prepared.reserve(config.sets_per_point);
+  {
+    msg::MessageSetGenerator gen(config.setup.generator_config());
     Rng rng(config.seed);
     for (std::size_t i = 0; i < config.sets_per_point; ++i) {
       const auto base = gen.generate(rng);
-
-      // PDP run.
+      PreparedSet p;
       {
         const auto predicate = [&](const msg::MessageSet& m) {
           return analysis::pdp_feasible(m, pdp_params, bw);
         };
         const auto sat = breakdown::find_saturation(base, predicate, bw);
         if (sat.found) {
-          const auto set = base.scaled(sat.critical_scale * config.load_scale);
-          auto cfg = sim::make_pdp_sim_config(set, pdp_params, bw,
-                                              config.horizon_periods);
-          cfg.seed = config.seed + i;
-          cfg.token_loss_times =
-              random_loss_times(rng, losses, cfg.horizon);
-          const auto m = sim::run_pdp_simulation(set, cfg);
-          pdp_missed += static_cast<double>(m.deadline_misses);
-          pdp_released += static_cast<double>(m.messages_released);
-          const Seconds theta = pdp_params.ring.theta(bw);
-          pdp_outage =
-              std::max(pdp_params.frame.frame_time(bw), theta) + theta;
+          p.pdp_found = true;
+          p.pdp_set = base.scaled(sat.critical_scale * config.load_scale);
         }
       }
-
-      // TTP run.
       {
         const auto predicate = [&](const msg::MessageSet& m) {
           return analysis::ttp_feasible(m, ttp_params, bw);
         };
         const auto sat = breakdown::find_saturation(base, predicate, bw);
         if (sat.found) {
-          const auto set = base.scaled(sat.critical_scale * config.load_scale);
-          auto cfg = sim::make_ttp_sim_config(set, ttp_params, bw,
-                                              config.horizon_periods);
-          cfg.seed = config.seed + i;
-          cfg.token_loss_times =
-              random_loss_times(rng, losses, cfg.horizon);
-          const auto m = sim::run_ttp_simulation(set, cfg);
-          ttp_missed += static_cast<double>(m.deadline_misses);
-          ttp_released += static_cast<double>(m.messages_released);
-          ttp_outage = 2.0 * cfg.ttrt +
-                       2.0 * ttp_params.ring.walk_time(bw) +
-                       ttp_params.ring.token_time(bw);
+          p.ttp_found = true;
+          p.ttp_set = base.scaled(sat.critical_scale * config.load_scale);
         }
       }
+      prepared.push_back(std::move(p));
     }
+  }
 
-    FaultStudyRow pdp_row;
-    pdp_row.protocol = "modified8025";
-    pdp_row.losses = losses;
-    pdp_row.miss_ratio = pdp_released > 0 ? pdp_missed / pdp_released : 0.0;
-    pdp_row.outage = pdp_outage;
-    rows.push_back(pdp_row);
+  const std::size_t counts = config.fault_counts.size();
+  const std::size_t cells = config.kinds.size() * counts;
+  const std::size_t trials = cells * config.sets_per_point;
 
-    FaultStudyRow ttp_row;
-    ttp_row.protocol = "fddi";
-    ttp_row.losses = losses;
-    ttp_row.miss_ratio = ttp_released > 0 ? ttp_missed / ttp_released : 0.0;
-    ttp_row.outage = ttp_outage;
-    rows.push_back(ttp_row);
+  auto run_trial = [&](std::size_t t) -> TrialResult {
+    const std::size_t cell = t / config.sets_per_point;
+    const std::size_t set_idx = t % config.sets_per_point;
+    const fault::FaultKind kind = config.kinds[cell / counts];
+    const int count = config.fault_counts[cell % counts];
+    const auto& p = prepared[set_idx];
+    const std::uint64_t trial_seed = exec::derive_seed(config.seed, t);
+
+    TrialResult out;
+    if (p.pdp_found) {
+      auto cfg = sim::make_pdp_sim_config(p.pdp_set, pdp_params, bw,
+                                          config.horizon_periods);
+      cfg.seed = config.seed + set_idx;
+      cfg.faults = make_plan(kind, count, cfg.horizon, trial_seed,
+                             pdp_params.ring.num_stations, config);
+      out.pdp = stats_of(sim::run_pdp_simulation(p.pdp_set, cfg));
+    }
+    if (p.ttp_found) {
+      auto cfg = sim::make_ttp_sim_config(p.ttp_set, ttp_params, bw,
+                                          config.horizon_periods);
+      cfg.seed = config.seed + set_idx;
+      cfg.faults = make_plan(kind, count, cfg.horizon, trial_seed,
+                             ttp_params.ring.num_stations, config);
+      out.ttp = stats_of(sim::run_ttp_simulation(p.ttp_set, cfg));
+    }
+    return out;
+  };
+
+  std::vector<TrialResult> results(trials);
+  exec::Executor executor(config.jobs);
+  executor.parallel_for(trials, [&](std::size_t t) { results[t] = run_trial(t); });
+
+  std::vector<FaultStudyRow> rows;
+  rows.reserve(2 * cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    CellStats pdp, ttp;
+    for (std::size_t i = 0; i < config.sets_per_point; ++i) {
+      pdp.absorb(results[cell * config.sets_per_point + i].pdp);
+      ttp.absorb(results[cell * config.sets_per_point + i].ttp);
+    }
+    const fault::FaultKind kind = config.kinds[cell / counts];
+    const int count = config.fault_counts[cell % counts];
+    const auto emit = [&](const char* protocol, const CellStats& s) {
+      FaultStudyRow row;
+      row.protocol = protocol;
+      row.kind = kind;
+      row.faults = count;
+      row.miss_ratio = s.released > 0 ? s.missed / s.released : 0.0;
+      row.attributed_ratio = s.missed > 0 ? s.attributed / s.missed : 0.0;
+      row.outage = s.injected > 0 ? s.outage / s.injected : 0.0;
+      rows.push_back(row);
+    };
+    emit("modified8025", pdp);
+    emit("fddi", ttp);
   }
   return rows;
 }

@@ -1,0 +1,129 @@
+#include "tokenring/fault/margins.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "tokenring/analysis/fixed_priority.hpp"
+#include "tokenring/analysis/ttrt.hpp"
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::fault {
+
+namespace {
+
+/// Largest k in [0, inf) with test(k) true, given test(0) true and test
+/// monotone (true up to some boundary, false after). `hi_bound` is any k
+/// known to fail (outages exceeding the longest deadline always do).
+int largest_feasible(const std::function<bool(int)>& test, int hi_bound) {
+  int lo = 0;        // known feasible
+  int hi = hi_bound; // known infeasible
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (test(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// A k past which no criterion can pass: the whole deadline window spent
+/// recovering. +2 keeps the search bracket valid even at outage ~ 0 window.
+int hopeless_faults(const msg::MessageSet& set, Seconds outage) {
+  Seconds longest = 0.0;
+  for (const auto& s : set.streams()) {
+    longest = std::max(longest, s.deadline());
+  }
+  if (outage <= 0.0) return 2;
+  return static_cast<int>(std::ceil(longest / outage)) + 2;
+}
+
+}  // namespace
+
+bool pdp_schedulable_with_faults(const msg::MessageSet& set,
+                                 const analysis::PdpParams& params,
+                                 BitsPerSecond bw, const FaultBudget& budget,
+                                 int faults_per_period) {
+  TR_EXPECTS(faults_per_period >= 0);
+  TR_EXPECTS(bw > 0.0);
+  const auto tasks = analysis::pdp_tasks(set, params, bw);
+  // Beyond the recovery outage itself, a fault destroys the frame in
+  // flight, whose partial transmission (up to one max frame) is repeated.
+  const Seconds recovery =
+      pdp_fault_outage(budget.kind, params, bw, budget.noise_duration) +
+      params.frame.frame_time(bw);
+  const Seconds blocking = analysis::pdp_blocking(params, bw) +
+                           static_cast<double>(faults_per_period) * recovery;
+  return analysis::response_time_analysis(tasks, blocking).schedulable;
+}
+
+bool ttp_schedulable_with_faults(const msg::MessageSet& set,
+                                 const analysis::TtpParams& params,
+                                 BitsPerSecond bw, Seconds ttrt,
+                                 const FaultBudget& budget,
+                                 int faults_per_period) {
+  TR_EXPECTS(faults_per_period >= 0);
+  TR_EXPECTS(bw > 0.0);
+  TR_EXPECTS(!set.empty());
+  if (ttrt <= 0.0) ttrt = analysis::select_ttrt(set, params.ring, bw);
+  // Each outage also wastes the rotation in progress when it strikes (the
+  // aborted visit plus the fresh ramp-up), so charge one TTRT on top.
+  const Seconds recovery =
+      ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration) +
+      ttrt;
+  const Seconds debit = static_cast<double>(faults_per_period) * recovery;
+
+  const Seconds available = ttrt - analysis::ttp_lambda(params, bw);
+  const Seconds f_ovhd = params.frame.overhead_time(bw);
+  Seconds allocated = 0.0;
+  for (const auto& s : set.streams()) {
+    const Seconds window = s.deadline() - debit;
+    if (window <= 0.0) return false;
+    const auto q = static_cast<std::int64_t>(std::floor(window / ttrt));
+    if (q < 2) return false;
+    allocated += s.payload_time(bw) / static_cast<double>(q - 1) + f_ovhd;
+    if (allocated > available) return false;
+  }
+  return true;
+}
+
+FaultMarginReport pdp_fault_margin(const msg::MessageSet& set,
+                                   const analysis::PdpParams& params,
+                                   BitsPerSecond bw,
+                                   const FaultBudget& budget) {
+  FaultMarginReport report;
+  report.recovery_per_fault =
+      pdp_fault_outage(budget.kind, params, bw, budget.noise_duration);
+  report.fault_free_schedulable =
+      pdp_schedulable_with_faults(set, params, bw, budget, 0);
+  if (!report.fault_free_schedulable) return report;
+  report.margin = largest_feasible(
+      [&](int k) {
+        return pdp_schedulable_with_faults(set, params, bw, budget, k);
+      },
+      hopeless_faults(set, report.recovery_per_fault));
+  return report;
+}
+
+FaultMarginReport ttp_fault_margin(const msg::MessageSet& set,
+                                   const analysis::TtpParams& params,
+                                   BitsPerSecond bw, Seconds ttrt,
+                                   const FaultBudget& budget) {
+  TR_EXPECTS(!set.empty());
+  if (ttrt <= 0.0) ttrt = analysis::select_ttrt(set, params.ring, bw);
+  FaultMarginReport report;
+  report.recovery_per_fault =
+      ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration);
+  report.fault_free_schedulable =
+      ttp_schedulable_with_faults(set, params, bw, ttrt, budget, 0);
+  if (!report.fault_free_schedulable) return report;
+  report.margin = largest_feasible(
+      [&](int k) {
+        return ttp_schedulable_with_faults(set, params, bw, ttrt, budget, k);
+      },
+      hopeless_faults(set, report.recovery_per_fault));
+  return report;
+}
+
+}  // namespace tokenring::fault

@@ -1,0 +1,136 @@
+#include "tokenring/fault/plan.hpp"
+
+#include <algorithm>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/exec/seed_stream.hpp"
+
+namespace tokenring::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTokenLoss:
+      return "token_loss";
+    case FaultKind::kFrameCorruption:
+      return "frame_corruption";
+    case FaultKind::kNoiseBurst:
+      return "noise_burst";
+    case FaultKind::kStationCrash:
+      return "station_crash";
+    case FaultKind::kStationRejoin:
+      return "station_rejoin";
+    case FaultKind::kDuplicateToken:
+      return "duplicate_token";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(const std::string& name) {
+  for (FaultKind kind : kAllFaultKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+void FaultPlan::add(FaultEvent event) { events_.push_back(event); }
+
+void FaultPlan::add_token_loss(Seconds at) {
+  add({at, FaultKind::kTokenLoss, -1, 0.0});
+}
+
+void FaultPlan::add_frame_corruption(Seconds at) {
+  add({at, FaultKind::kFrameCorruption, -1, 0.0});
+}
+
+void FaultPlan::add_noise_burst(Seconds at, Seconds duration) {
+  add({at, FaultKind::kNoiseBurst, -1, duration});
+}
+
+void FaultPlan::add_station_crash(Seconds at, int station, Seconds downtime) {
+  add({at, FaultKind::kStationCrash, station, 0.0});
+  if (downtime > 0.0) add_station_rejoin(at + downtime, station);
+}
+
+void FaultPlan::add_station_rejoin(Seconds at, int station) {
+  add({at, FaultKind::kStationRejoin, station, 0.0});
+}
+
+void FaultPlan::add_duplicate_token(Seconds at) {
+  add({at, FaultKind::kDuplicateToken, -1, 0.0});
+}
+
+namespace {
+
+/// Poisson arrival times for one kind over [0, window], from that kind's
+/// private seed sub-stream.
+std::vector<Seconds> poisson_times(double rate, Seconds window,
+                                   std::uint64_t seed, std::uint64_t lane) {
+  std::vector<Seconds> times;
+  if (rate <= 0.0 || window <= 0.0) return times;
+  Rng rng = exec::make_trial_rng(seed, lane);
+  Seconds t = rng.exponential(1.0 / rate);
+  while (t <= window) {
+    times.push_back(t);
+    t += rng.exponential(1.0 / rate);
+  }
+  return times;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const FaultRates& rates, Seconds horizon,
+                            std::uint64_t seed, int num_stations) {
+  TR_EXPECTS(horizon > 0.0);
+  TR_EXPECTS(num_stations >= 1);
+  TR_EXPECTS(rates.noise_duration >= 0.0);
+  TR_EXPECTS(rates.crash_downtime >= 0.0);
+  const Seconds window = 0.9 * horizon;
+
+  FaultPlan plan;
+  for (Seconds t : poisson_times(rates.token_loss, window, seed, 0)) {
+    plan.add_token_loss(t);
+  }
+  for (Seconds t : poisson_times(rates.frame_corruption, window, seed, 1)) {
+    plan.add_frame_corruption(t);
+  }
+  for (Seconds t : poisson_times(rates.noise_burst, window, seed, 2)) {
+    plan.add_noise_burst(t, rates.noise_duration);
+  }
+  {
+    // Crashes draw their targets from the same lane as their times so that
+    // the (time, station) pairs are a deterministic function of the seed.
+    Rng target_rng = exec::make_trial_rng(seed, 3);
+    for (Seconds t : poisson_times(rates.station_crash, window, seed, 4)) {
+      const int station = static_cast<int>(
+          target_rng.uniform_int(0, num_stations - 1));
+      plan.add_station_crash(t, station, rates.crash_downtime);
+    }
+  }
+  for (Seconds t : poisson_times(rates.duplicate_token, window, seed, 5)) {
+    plan.add_duplicate_token(t);
+  }
+  return plan;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted_events() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+void FaultPlan::validate(int num_stations) const {
+  for (const auto& e : events_) {
+    TR_EXPECTS_MSG(e.time >= 0.0, "fault times must be non-negative");
+    TR_EXPECTS_MSG(e.duration >= 0.0, "fault durations must be non-negative");
+    if (e.kind == FaultKind::kStationCrash ||
+        e.kind == FaultKind::kStationRejoin) {
+      TR_EXPECTS_MSG(e.station >= 0 && e.station < num_stations,
+                     "crash/rejoin station outside the ring");
+    }
+  }
+}
+
+}  // namespace tokenring::fault

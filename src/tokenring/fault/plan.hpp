@@ -1,0 +1,127 @@
+// Fault plans: what goes wrong on the ring, and when.
+//
+// A FaultPlan is the single description of every failure a simulation run
+// will experience. It can be scripted event by event (tests, drills) or
+// generated randomly from per-kind rates under a deterministic seed stream
+// (Monte Carlo sweeps): plan generation happens entirely up front from
+// (seed, kind) through exec/seed_stream, so the same plan — and therefore
+// bit-identical simulation results — comes out for any worker-thread count.
+//
+// The plan is protocol-agnostic: it says *what* happens to the medium
+// (token destroyed, frame corrupted, noise burst, station crash/rejoin,
+// duplicate token); each simulator applies its protocol's recovery
+// machinery (802.5 active monitor / beacon vs FDDI claim process, see
+// recovery.hpp) to decide how long the outage lasts.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tokenring/common/units.hpp"
+
+namespace tokenring::fault {
+
+/// What kind of failure strikes the ring.
+enum class FaultKind {
+  /// The circulating token (or the frame occupying the medium) is
+  /// destroyed. 802.5: active-monitor purge; FDDI: TRT double-expiry
+  /// detection plus the claim process.
+  kTokenLoss,
+  /// The frame in flight is damaged (FCS failure) and must be
+  /// retransmitted; the token survives. No effect on an idle medium.
+  kFrameCorruption,
+  /// Transient noise makes the medium unusable for `duration` seconds,
+  /// destroying whatever was in flight; recovery starts when the noise
+  /// clears.
+  kNoiseBurst,
+  /// Station `station` drops off the ring: its streams stop, pending
+  /// messages are lost, and the ring reconfigures around the gap (ring
+  /// latency and Theta shrink). 802.5: beacon process; FDDI: claim.
+  kStationCrash,
+  /// Station `station` re-inserts into the ring (Theta grows back); the
+  /// insertion itself disrupts the ring for one recovery.
+  kStationRejoin,
+  /// A second token appears (e.g. a station erroneously issued one). The
+  /// protocol detects and resolves it down to a single token.
+  kDuplicateToken,
+};
+
+/// All kinds, in declaration order (sweep helpers iterate this).
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kTokenLoss,      FaultKind::kFrameCorruption,
+    FaultKind::kNoiseBurst,     FaultKind::kStationCrash,
+    FaultKind::kStationRejoin,  FaultKind::kDuplicateToken,
+};
+
+/// Display name ("token_loss", "frame_corruption", ...).
+const char* to_string(FaultKind kind);
+
+/// Inverse of to_string; nullopt for an unknown name.
+std::optional<FaultKind> parse_fault_kind(const std::string& name);
+
+/// One scheduled failure.
+struct FaultEvent {
+  Seconds time = 0.0;
+  FaultKind kind = FaultKind::kTokenLoss;
+  /// Target station for kStationCrash / kStationRejoin; ignored (-1)
+  /// otherwise.
+  int station = -1;
+  /// Noise length for kNoiseBurst; ignored (0) otherwise.
+  Seconds duration = 0.0;
+};
+
+/// Mean fault arrivals per second for random plan generation; 0 disables a
+/// kind. Crashes are always paired with a rejoin `crash_downtime` later.
+struct FaultRates {
+  double token_loss = 0.0;
+  double frame_corruption = 0.0;
+  double noise_burst = 0.0;
+  double station_crash = 0.0;
+  double duplicate_token = 0.0;
+  /// Length of each generated noise burst [s].
+  Seconds noise_duration = 0.0;
+  /// Outage between a generated crash and its rejoin [s].
+  Seconds crash_downtime = 0.0;
+};
+
+/// A deterministic schedule of faults for one simulation run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Scripted additions (chainable through repeated calls).
+  void add(FaultEvent event);
+  void add_token_loss(Seconds at);
+  void add_frame_corruption(Seconds at);
+  void add_noise_burst(Seconds at, Seconds duration);
+  /// Adds the crash and, when `downtime` > 0, the matching rejoin.
+  void add_station_crash(Seconds at, int station, Seconds downtime = 0.0);
+  void add_station_rejoin(Seconds at, int station);
+  void add_duplicate_token(Seconds at);
+
+  /// Poisson-process plan over [0, 0.9*horizon] (late faults have no time
+  /// to show consequences). Each kind draws from its own seed sub-stream
+  /// derived from (seed, kind index), so adding one kind never perturbs
+  /// another's schedule. Crash targets are uniform over [0, num_stations).
+  static FaultPlan random(const FaultRates& rates, Seconds horizon,
+                          std::uint64_t seed, int num_stations);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Events sorted by time (stable for equal times).
+  std::vector<FaultEvent> sorted_events() const;
+
+  /// Throws PreconditionError on negative times/durations, or a crash or
+  /// rejoin targeting a station outside [0, num_stations).
+  void validate(int num_stations) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace tokenring::fault

@@ -1,0 +1,102 @@
+#include "tokenring/fault/recovery.hpp"
+
+#include <algorithm>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::fault {
+
+Seconds pdp_monitor_outage(const analysis::PdpParams& params,
+                           BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  const Seconds theta = params.ring.theta(bw);
+  return std::max(params.frame.frame_time(bw), theta) + theta;
+}
+
+Seconds pdp_corruption_outage(const analysis::PdpParams& params,
+                              BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return std::max(params.frame.frame_time(bw), params.ring.theta(bw));
+}
+
+Seconds pdp_beacon_outage(const analysis::PdpParams& params,
+                          BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  const Seconds theta = params.ring.theta(bw);
+  return std::max(params.frame.frame_time(bw), theta) +
+         2.0 * params.ring.walk_time(bw) + params.ring.token_time(bw);
+}
+
+Seconds pdp_duplicate_outage(const analysis::PdpParams& params,
+                             BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return params.ring.theta(bw) + params.ring.token_time(bw);
+}
+
+Seconds pdp_fault_outage(FaultKind kind, const analysis::PdpParams& params,
+                         BitsPerSecond bw, Seconds noise_duration) {
+  switch (kind) {
+    case FaultKind::kTokenLoss:
+      return pdp_monitor_outage(params, bw);
+    case FaultKind::kFrameCorruption:
+      return pdp_corruption_outage(params, bw);
+    case FaultKind::kNoiseBurst:
+      return noise_duration + pdp_monitor_outage(params, bw);
+    case FaultKind::kStationCrash:
+    case FaultKind::kStationRejoin:
+      return pdp_beacon_outage(params, bw);
+    case FaultKind::kDuplicateToken:
+      return pdp_duplicate_outage(params, bw);
+  }
+  return 0.0;
+}
+
+Seconds ttp_claim_outage(const analysis::TtpParams& params, BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return 2.0 * params.ring.walk_time(bw) + params.ring.token_time(bw);
+}
+
+Seconds ttp_token_loss_outage(const analysis::TtpParams& params,
+                              BitsPerSecond bw, Seconds ttrt) {
+  TR_EXPECTS(ttrt > 0.0);
+  return 2.0 * ttrt + ttp_claim_outage(params, bw);
+}
+
+Seconds ttp_corruption_outage(const analysis::TtpParams& params,
+                              BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return params.frame.frame_time(bw);
+}
+
+Seconds ttp_duplicate_outage(const analysis::TtpParams& params,
+                             BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return params.ring.walk_time(bw) + ttp_claim_outage(params, bw);
+}
+
+Seconds ttp_reconfiguration_outage(const analysis::TtpParams& params,
+                                   BitsPerSecond bw) {
+  TR_EXPECTS(bw > 0.0);
+  return params.ring.walk_time(bw) + ttp_claim_outage(params, bw);
+}
+
+Seconds ttp_fault_outage(FaultKind kind, const analysis::TtpParams& params,
+                         BitsPerSecond bw, Seconds ttrt,
+                         Seconds noise_duration) {
+  switch (kind) {
+    case FaultKind::kTokenLoss:
+      return ttp_token_loss_outage(params, bw, ttrt);
+    case FaultKind::kFrameCorruption:
+      return ttp_corruption_outage(params, bw);
+    case FaultKind::kNoiseBurst:
+      return noise_duration + ttp_token_loss_outage(params, bw, ttrt);
+    case FaultKind::kStationCrash:
+    case FaultKind::kStationRejoin:
+      return ttp_reconfiguration_outage(params, bw);
+    case FaultKind::kDuplicateToken:
+      return ttp_duplicate_outage(params, bw);
+  }
+  return 0.0;
+}
+
+}  // namespace tokenring::fault

@@ -1,0 +1,95 @@
+// Protocol recovery models: how long each fault keeps the ring down.
+//
+// The two protocols the paper compares recover through very different
+// machinery, and these constants are where that difference is encoded once
+// for both the simulators (which stall the ring for exactly these outages)
+// and the fault-aware schedulability criteria (which charge them as a
+// per-period recovery budget, see margins.hpp).
+//
+// IEEE 802.5 (PDP) — active monitor + beacon:
+//  * Token loss: the monitor notices the absence of valid transmissions
+//    within one frame slot, purges the ring (one full walk) and issues a
+//    fresh token — outage = max(F, Theta) + Theta.
+//  * Frame corruption: the sender sees the failed FCS when the header
+//    returns and retransmits — one wasted slot, max(F, Theta).
+//  * Duplicate token: the monitor sees a token it did not issue and purges
+//    the ring — Theta + token time.
+//  * Station crash / rejoin: the downstream neighbour beacons, the fault
+//    domain is bypassed, then the monitor purges — modelled as the monitor
+//    timeout plus two ring walks.
+//
+// FDDI (TTP) — claim process:
+//  * Token loss: detected when some station's TRT expires with Late_Ct
+//    already set (bounded by 2*TTRT), then claim frames circulate (~2 ring
+//    walks) and the winner issues a fresh token.
+//  * Frame corruption: one retransmitted frame's worth of medium time.
+//  * Duplicate token: a station receiving a token while holding one strips
+//    it and enters claim — one walk of detection plus the claim.
+//  * Station crash / rejoin: the physical break is seen as signal loss
+//    (immediate, no TRT expiry wait) and resolved by beacon+claim —
+//    one walk plus the claim.
+//
+// All outages are pure functions of the analysis parameter structs so that
+// simulators and criteria can never drift apart.
+
+#pragma once
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/fault/plan.hpp"
+
+namespace tokenring::fault {
+
+// ---- IEEE 802.5 (PDP) -------------------------------------------------------
+
+/// Active-monitor recovery after a destroyed token: detection slot + purge
+/// walk. This is the outage the pre-fault-framework simulator hard-coded.
+Seconds pdp_monitor_outage(const analysis::PdpParams& params,
+                           BitsPerSecond bw);
+
+/// Wasted slot for a corrupted (FCS-failed) frame: the retransmission
+/// itself is ordinary traffic, so only the ruined slot is outage.
+Seconds pdp_corruption_outage(const analysis::PdpParams& params,
+                              BitsPerSecond bw);
+
+/// Beacon-driven ring reconfiguration after a station crash or rejoin.
+Seconds pdp_beacon_outage(const analysis::PdpParams& params, BitsPerSecond bw);
+
+/// Monitor purge after detecting a duplicate token.
+Seconds pdp_duplicate_outage(const analysis::PdpParams& params,
+                             BitsPerSecond bw);
+
+/// Worst-case outage one fault of `kind` causes under 802.5 (kNoiseBurst
+/// adds `noise_duration` on top of its recovery; kStationRejoin and
+/// kStationCrash both cost one beacon reconfiguration).
+Seconds pdp_fault_outage(FaultKind kind, const analysis::PdpParams& params,
+                         BitsPerSecond bw, Seconds noise_duration = 0.0);
+
+// ---- FDDI (TTP) -------------------------------------------------------------
+
+/// The claim process proper: ~2 ring walks of claim frames plus the fresh
+/// token's transmission.
+Seconds ttp_claim_outage(const analysis::TtpParams& params, BitsPerSecond bw);
+
+/// Full token-loss recovery: TRT double-expiry detection (2*TTRT) + claim.
+Seconds ttp_token_loss_outage(const analysis::TtpParams& params,
+                              BitsPerSecond bw, Seconds ttrt);
+
+/// One retransmitted frame's worth of medium time.
+Seconds ttp_corruption_outage(const analysis::TtpParams& params,
+                              BitsPerSecond bw);
+
+/// Duplicate-token resolution: one walk of detection + claim.
+Seconds ttp_duplicate_outage(const analysis::TtpParams& params,
+                             BitsPerSecond bw);
+
+/// Crash/rejoin reconfiguration: signal-loss detection (one walk) + claim.
+Seconds ttp_reconfiguration_outage(const analysis::TtpParams& params,
+                                   BitsPerSecond bw);
+
+/// Worst-case outage one fault of `kind` causes under FDDI.
+Seconds ttp_fault_outage(FaultKind kind, const analysis::TtpParams& params,
+                         BitsPerSecond bw, Seconds ttrt,
+                         Seconds noise_duration = 0.0);
+
+}  // namespace tokenring::fault

@@ -1,5 +1,6 @@
 #include "tokenring/msg/stream.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "tokenring/common/checks.hpp"
@@ -7,6 +8,12 @@
 namespace tokenring::msg {
 
 void SyncStream::validate() const {
+  // Finiteness first: an inf period would sail through the positivity
+  // check and then silently wedge horizon sizing and utilization sums.
+  TR_EXPECTS_MSG(std::isfinite(period), "stream period must be finite");
+  TR_EXPECTS_MSG(std::isfinite(payload_bits), "payload must be finite");
+  TR_EXPECTS_MSG(std::isfinite(relative_deadline),
+                 "relative deadline must be finite");
   TR_EXPECTS_MSG(period > 0.0, "stream period must be positive");
   TR_EXPECTS_MSG(payload_bits >= 0.0, "payload cannot be negative");
   TR_EXPECTS_MSG(station >= 0, "station index cannot be negative");

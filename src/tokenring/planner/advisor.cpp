@@ -1,10 +1,79 @@
 #include "tokenring/planner/advisor.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/exec/seed_stream.hpp"
+#include "tokenring/fault/margins.hpp"
 
 namespace tokenring::planner {
+
+namespace {
+
+/// Load (relative to each set's own boundary) at which the advisor probes
+/// fault resilience. At the boundary itself the margin is 0 by definition;
+/// 70% is the load the fault-tolerance experiments use.
+constexpr double kResilienceLoad = 0.7;
+
+struct ResilienceSample {
+  double pdp = 0.0;
+  double fddi = 0.0;
+};
+
+/// Mean token-loss resilience margins over `num_sets` sets drawn from
+/// per-trial seed streams (deterministic for any executor jobs count).
+ResilienceSample estimate_resilience(const experiments::PaperSetup& setup,
+                                     BitsPerSecond bw, std::size_t num_sets,
+                                     std::uint64_t seed,
+                                     const exec::Executor& executor) {
+  const auto pdp_params =
+      setup.pdp_params(analysis::PdpVariant::kModified8025);
+  const auto ttp_params = setup.ttp_params();
+  const auto sample_one = [&](std::size_t i) {
+    msg::MessageSetGenerator generator(setup.generator_config());
+    Rng rng = exec::make_trial_rng(seed, i);
+    const auto base = generator.generate(rng);
+    ResilienceSample s{-1.0, -1.0};
+    {
+      const auto sat = breakdown::find_saturation(
+          base,
+          [&](const msg::MessageSet& m) {
+            return analysis::pdp_feasible(m, pdp_params, bw);
+          },
+          bw);
+      if (sat.found) {
+        const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
+        s.pdp = fault::pdp_fault_margin(set, pdp_params, bw).margin;
+      }
+    }
+    {
+      const auto sat = breakdown::find_saturation(
+          base,
+          [&](const msg::MessageSet& m) {
+            return analysis::ttp_feasible(m, ttp_params, bw);
+          },
+          bw);
+      if (sat.found) {
+        const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
+        s.fddi = fault::ttp_fault_margin(set, ttp_params, bw).margin;
+      }
+    }
+    return s;
+  };
+  const auto total = exec::map_reduce(
+      executor, num_sets, ResilienceSample{},
+      sample_one, [](ResilienceSample acc, ResilienceSample s) {
+        acc.pdp += s.pdp;
+        acc.fddi += s.fddi;
+        return acc;
+      });
+  const double n = static_cast<double>(num_sets);
+  return {total.pdp / n, total.fddi / n};
+}
+
+}  // namespace
 
 experiments::PaperSetup TrafficProfile::to_setup() const {
   experiments::PaperSetup setup;
@@ -51,6 +120,11 @@ Recommendation recommend_protocol(const TrafficProfile& profile,
   rec.fddi = experiments::estimate_point(setup, setup.ttp_predicate(bandwidth),
                                          bandwidth, num_sets, seed, executor)
                  .mean();
+
+  const auto resilience =
+      estimate_resilience(setup, bandwidth, num_sets, seed, executor);
+  rec.modified8025_resilience = resilience.pdp;
+  rec.fddi_resilience = resilience.fddi;
 
   struct Entry {
     Protocol protocol;

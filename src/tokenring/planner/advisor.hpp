@@ -36,6 +36,12 @@ struct Recommendation {
   double fddi = 0.0;
   /// best / second-best mean breakdown utilization (1.0 = dead heat).
   double margin = 1.0;
+  /// Mean fault resilience margin (fault/margins.hpp: max token losses per
+  /// period the fault-aware criterion still absorbs) with each sampled set
+  /// scaled to 70% of its own schedulability boundary. Sets infeasible
+  /// even at that load contribute -1, matching FaultMarginReport.
+  double modified8025_resilience = 0.0;
+  double fddi_resilience = 0.0;
 
   /// Estimate for one protocol (indexing helper for reports).
   double estimate(Protocol protocol) const;

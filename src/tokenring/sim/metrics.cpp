@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tokenring/common/checks.hpp"
+
 namespace tokenring::sim {
 
 void SimMetrics::on_release(int station) {
@@ -9,8 +11,9 @@ void SimMetrics::on_release(int station) {
   ++per_station[station].released;
 }
 
-void SimMetrics::on_completion(int station, Seconds response, Seconds period,
-                               Seconds deadline, Seconds slack) {
+void SimMetrics::on_completion(int station, Seconds arrival, Seconds response,
+                               Seconds period, Seconds deadline,
+                               Seconds slack) {
   ++messages_completed;
   response_time.add(response);
   normalized_response.add(response / period);
@@ -20,12 +23,54 @@ void SimMetrics::on_completion(int station, Seconds response, Seconds period,
   if (response > deadline + slack) {
     ++deadline_misses;
     ++st.misses;
+    attribute_miss(arrival, arrival + response);
   }
 }
 
-void SimMetrics::on_abandoned_miss(int station) {
+void SimMetrics::on_abandoned_miss(int station, Seconds arrival,
+                                   Seconds deadline) {
   ++deadline_misses;
   ++per_station[station].misses;
+  attribute_miss(arrival, arrival + deadline);
+}
+
+void SimMetrics::on_fault(fault::FaultKind kind, Seconds begin, Seconds end) {
+  TR_EXPECTS(end >= begin);
+  auto& acct = per_fault[kind];
+  ++acct.injected;
+  acct.outage += end - begin;
+  if (kind == fault::FaultKind::kTokenLoss) ++token_losses;
+  if (end > begin) outages.push_back({begin, end, kind});
+}
+
+void SimMetrics::attribute_miss(Seconds begin, Seconds end) {
+  // Most recent overlapping outage claims the miss: it is the proximate
+  // cause of the lateness. Outages are few per run, so a reverse scan is
+  // cheap.
+  for (auto it = outages.rbegin(); it != outages.rend(); ++it) {
+    if (it->begin < end && it->end > begin) {
+      ++per_fault[it->kind].attributed_misses;
+      return;
+    }
+  }
+}
+
+std::size_t SimMetrics::faults_injected() const {
+  std::size_t total = 0;
+  for (const auto& [kind, acct] : per_fault) total += acct.injected;
+  return total;
+}
+
+Seconds SimMetrics::total_outage() const {
+  Seconds total = 0.0;
+  for (const auto& [kind, acct] : per_fault) total += acct.outage;
+  return total;
+}
+
+std::size_t SimMetrics::fault_attributed_misses() const {
+  std::size_t total = 0;
+  for (const auto& [kind, acct] : per_fault) total += acct.attributed_misses;
+  return total;
 }
 
 std::string SimMetrics::summary() const {
@@ -44,9 +89,12 @@ std::string SimMetrics::summary() const {
        << to_milliseconds(token_rotation.mean())
        << " max=" << to_milliseconds(token_rotation.max()) << "\n";
   }
-  os << "async frames sent=" << async_frames_sent;
-  if (token_losses > 0) os << "; token losses recovered=" << token_losses;
-  os << "\n";
+  os << "async frames sent=" << async_frames_sent << "\n";
+  for (const auto& [kind, acct] : per_fault) {
+    os << "fault " << fault::to_string(kind) << ": injected=" << acct.injected
+       << " outage_ms=" << to_milliseconds(acct.outage)
+       << " attributed_misses=" << acct.attributed_misses << "\n";
+  }
   return os.str();
 }
 

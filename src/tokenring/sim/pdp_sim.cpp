@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tokenring/common/checks.hpp"
+#include "tokenring/fault/recovery.hpp"
 
 namespace tokenring::sim {
 
@@ -27,7 +28,9 @@ PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
   TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
 
   const int n = cfg_.params.ring.num_stations;
+  cfg_.faults.validate(n);
   stations_.resize(static_cast<std::size_t>(n));
+  active_count_ = n;
 
   // Deadline-monotonic priorities across all streams (= rate-monotonic
   // under the paper's implicit deadlines): tighter deadline = higher
@@ -54,9 +57,28 @@ PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
     stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
   }
 
-  theta_ = cfg_.params.ring.theta(cfg_.bandwidth);
-  hop_ = cfg_.params.ring.hop_latency(cfg_.bandwidth);
   token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
+  update_ring_timing();
+}
+
+void PdpSimulation::update_ring_timing() {
+  // Bypassed (crashed) stations contribute no ring/buffer bit delay; the
+  // cable and the hop positions remain, so the walk shortens only by the
+  // dead stations' latencies.
+  const auto& ring = cfg_.params.ring;
+  const Seconds walk =
+      ring.propagation_delay() + static_cast<double>(active_count_) *
+                                     ring.per_station_bit_delay /
+                                     cfg_.bandwidth;
+  theta_ = walk + token_time_;
+  hop_ = walk / static_cast<double>(ring.num_stations);
+}
+
+int PdpSimulation::first_alive() const {
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i].alive) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 void PdpSimulation::emit(TraceEventKind kind, int station,
@@ -82,24 +104,31 @@ void PdpSimulation::schedule_async_arrival(int station) {
       sim_.now() + rng_.exponential(1.0 / cfg_.async_frames_per_second);
   if (at > cfg_.horizon) return;
   sim_.schedule_at(at, [this, station] {
-    ++stations_[static_cast<std::size_t>(station)].async_pending;
+    auto& st = stations_[static_cast<std::size_t>(station)];
+    if (st.alive) ++st.async_pending;
     schedule_async_arrival(station);
-    maybe_capture_idle(station);
+    if (st.alive) maybe_capture_idle(station);
   });
 }
 
 void PdpSimulation::on_arrival(int station, std::size_t stream_idx) {
-  auto& local =
-      stations_[static_cast<std::size_t>(station)].streams[stream_idx];
-  local.queue.push_back(PendingMessage{sim_.now(), local.spec.payload_bits});
-  metrics_.on_release(station);
-  emit(TraceEventKind::kMessageArrival, station, local.spec.payload_bits);
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  auto& local = st.streams[stream_idx];
+  // A crashed station's host generates nothing; the release cadence keeps
+  // ticking (and keeps consuming jitter draws) so the stream resumes on
+  // its own phase after a rejoin.
+  if (st.alive) {
+    local.queue.push_back(
+        PendingMessage{sim_.now(), local.spec.payload_bits});
+    metrics_.on_release(station);
+    emit(TraceEventKind::kMessageArrival, station, local.spec.payload_bits);
+  }
   Seconds gap = local.spec.period;
   if (cfg_.arrival_jitter > 0.0) {
     gap += rng_.uniform(0.0, cfg_.arrival_jitter) * local.spec.period;
   }
   schedule_arrival(station, stream_idx, sim_.now() + gap);
-  maybe_capture_idle(station);
+  if (st.alive) maybe_capture_idle(station);
 }
 
 void PdpSimulation::maybe_capture_idle(int station) {
@@ -136,20 +165,109 @@ void PdpSimulation::maybe_capture_idle(int station) {
   });
 }
 
-void PdpSimulation::on_token_loss() {
+void PdpSimulation::ring_outage(fault::FaultKind kind, Seconds outage) {
   ++token_generation_;
-  ++metrics_.token_losses;
-  medium_busy_ = true;  // the ring is dead until the monitor recovers it
+  medium_busy_ = true;  // the ring is dead until recovery completes
   capture_pending_ = false;
-  // Active-monitor recovery: the monitor notices the absence of valid
-  // transmissions within one frame slot, purges the ring (one full walk),
-  // and issues a fresh token.
-  const Seconds timeout =
-      std::max(cfg_.params.frame.frame_time(cfg_.bandwidth), theta_) + theta_;
-  sim_.schedule_in(timeout, [this, gen = token_generation_] {
-    if (gen != token_generation_) return;  // superseded by a newer loss
-    release_medium(0);
+  const Seconds now = sim_.now();
+  recovering_until_ = std::max(recovering_until_, now + outage);
+  metrics_.on_fault(kind, now, now + outage);
+  sim_.schedule_in(outage, [this, gen = token_generation_] {
+    if (gen != token_generation_) return;  // superseded by a newer fault
+    const int resume = first_alive();
+    if (resume < 0) return;  // every station crashed: the ring stays dark
+    release_medium(resume);
   });
+}
+
+void PdpSimulation::crash_station(int station) {
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  if (!st.alive) {  // already down: nothing further to break
+    metrics_.on_fault(fault::FaultKind::kStationCrash, sim_.now(), sim_.now());
+    return;
+  }
+  st.alive = false;
+  st.async_pending = 0;
+  --active_count_;
+  update_ring_timing();
+  // The break is detected by the downstream neighbour's beacon; the fault
+  // domain is bypassed and the monitor purges. Record the outage before
+  // abandoning the station's queue so those misses attribute to the crash.
+  ring_outage(fault::FaultKind::kStationCrash,
+              fault::pdp_beacon_outage(cfg_.params, cfg_.bandwidth));
+  for (auto& local : st.streams) {
+    for (const auto& m : local.queue) {
+      if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
+        metrics_.on_abandoned_miss(station, m.arrival, local.spec.deadline());
+      }
+    }
+    local.queue.clear();
+  }
+}
+
+void PdpSimulation::rejoin_station(int station) {
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  if (st.alive) {  // never crashed (or already back): nothing to insert
+    metrics_.on_fault(fault::FaultKind::kStationRejoin, sim_.now(),
+                      sim_.now());
+    return;
+  }
+  st.alive = true;
+  ++active_count_;
+  update_ring_timing();
+  // Ring insertion disrupts the ring like a break: beacon + purge again.
+  ring_outage(fault::FaultKind::kStationRejoin,
+              fault::pdp_beacon_outage(cfg_.params, cfg_.bandwidth));
+}
+
+void PdpSimulation::on_fault(const fault::FaultEvent& event) {
+  const Seconds now = sim_.now();
+  switch (event.kind) {
+    case fault::FaultKind::kTokenLoss:
+      ring_outage(event.kind,
+                  fault::pdp_monitor_outage(cfg_.params, cfg_.bandwidth));
+      return;
+    case fault::FaultKind::kNoiseBurst:
+      // The noise destroys whatever was in flight and jams the medium for
+      // its duration; the monitor can only start recovering once it clears.
+      ring_outage(event.kind,
+                  event.duration +
+                      fault::pdp_monitor_outage(cfg_.params, cfg_.bandwidth));
+      return;
+    case fault::FaultKind::kDuplicateToken:
+      ring_outage(event.kind,
+                  fault::pdp_duplicate_outage(cfg_.params, cfg_.bandwidth));
+      return;
+    case fault::FaultKind::kFrameCorruption: {
+      if (now < recovering_until_ || !medium_busy_) {
+        // Nothing valid in flight to corrupt (idle medium, or the ring is
+        // already down recovering): the fault is absorbed.
+        metrics_.on_fault(event.kind, now, now);
+        return;
+      }
+      // The frame in flight fails its FCS; its slot is wasted, the sender
+      // retransmits (the chunk stays queued because the generation bump
+      // aborts the in-flight completion event).
+      ++token_generation_;
+      capture_pending_ = false;
+      medium_busy_ = true;
+      const Seconds outage =
+          fault::pdp_corruption_outage(cfg_.params, cfg_.bandwidth);
+      recovering_until_ = std::max(recovering_until_, now + outage);
+      metrics_.on_fault(event.kind, now, now + outage);
+      sim_.schedule_in(outage, [this, gen = token_generation_] {
+        if (gen != token_generation_) return;
+        release_medium(medium_station_);
+      });
+      return;
+    }
+    case fault::FaultKind::kStationCrash:
+      crash_station(event.station);
+      return;
+    case fault::FaultKind::kStationRejoin:
+      rejoin_station(event.station);
+      return;
+  }
 }
 
 int PdpSimulation::best_local_priority(const Station& st) const {
@@ -166,6 +284,7 @@ std::optional<int> PdpSimulation::pick_winner(int after, bool& is_async) const {
   std::optional<int> best;
   int best_priority = std::numeric_limits<int>::max();
   for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (!stations_[i].alive) continue;
     const int p = best_local_priority(stations_[i]);
     if (p >= 0 && p < best_priority) {
       best_priority = p;
@@ -181,14 +300,22 @@ std::optional<int> PdpSimulation::pick_winner(int after, bool& is_async) const {
     case AsyncModel::kNone:
       return std::nullopt;
     case AsyncModel::kSaturating:
-      // Every station always has async frames: next station downstream.
-      is_async = true;
-      return (after + 1) % n;
-    case AsyncModel::kPoisson:
-      // First downstream station with a queued async frame.
+      // Every alive station always has async frames: first alive station
+      // downstream.
       for (int d = 1; d <= n; ++d) {
         const int candidate = (after + d) % n;
-        if (stations_[static_cast<std::size_t>(candidate)].async_pending > 0) {
+        if (stations_[static_cast<std::size_t>(candidate)].alive) {
+          is_async = true;
+          return candidate;
+        }
+      }
+      return std::nullopt;
+    case AsyncModel::kPoisson:
+      // First downstream alive station with a queued async frame.
+      for (int d = 1; d <= n; ++d) {
+        const int candidate = (after + d) % n;
+        const auto& st = stations_[static_cast<std::size_t>(candidate)];
+        if (st.alive && st.async_pending > 0) {
           is_async = true;
           return candidate;
         }
@@ -217,6 +344,7 @@ void PdpSimulation::release_medium(int station) {
 
 void PdpSimulation::start_frame(int station, bool is_async) {
   medium_busy_ = true;
+  medium_station_ = station;
   const auto& frame = cfg_.params.frame;
 
   if (is_async) {
@@ -266,8 +394,8 @@ void PdpSimulation::start_frame(int station, bool is_async) {
     if (msg.remaining <= 1e-9) {
       const Seconds response = sim_.now() - msg.arrival;
       const Seconds deadline = local.spec.deadline();
-      metrics_.on_completion(station, response, local.spec.period, deadline,
-                             kDeadlineSlack);
+      metrics_.on_completion(station, msg.arrival, response, local.spec.period,
+                             deadline, kDeadlineSlack);
       emit(TraceEventKind::kMessageComplete, station, response);
       if (response > deadline + kDeadlineSlack) {
         emit(TraceEventKind::kDeadlineMiss, station, response);
@@ -290,6 +418,8 @@ void PdpSimulation::start_frame(int station, bool is_async) {
 }
 
 SimMetrics PdpSimulation::run() {
+  sim_.set_max_events(cfg_.max_events != 0 ? cfg_.max_events
+                                           : kDefaultMaxSimEvents);
   // Phasing: worst case releases everything at the critical instant t=0;
   // otherwise phases are uniform in [0, P_i).
   for (std::size_t i = 0; i < stations_.size(); ++i) {
@@ -308,9 +438,8 @@ SimMetrics PdpSimulation::run() {
     }
   }
 
-  for (Seconds loss : cfg_.token_loss_times) {
-    TR_EXPECTS_MSG(loss >= 0.0, "token loss times must be non-negative");
-    sim_.schedule_at(loss, [this] { on_token_loss(); });
+  for (const auto& event : cfg_.faults.sorted_events()) {
+    sim_.schedule_at(event.time, [this, event] { on_fault(event); });
   }
 
   // Kick off the medium. With saturating async an async frame starts
@@ -319,7 +448,8 @@ SimMetrics PdpSimulation::run() {
   // must wait for a lower-priority frame already committed).
   const int kickoff = cfg_.params.ring.num_stations - 1;
   medium_busy_ = true;
-  sim_.schedule_at(0.0, [this, kickoff] {
+  sim_.schedule_at(0.0, [this, kickoff, gen = token_generation_] {
+    if (gen != token_generation_) return;  // a fault at t=0 beat us to it
     if (cfg_.async_model == AsyncModel::kSaturating) {
       start_frame(kickoff, /*is_async=*/true);
     } else {
@@ -334,7 +464,8 @@ SimMetrics PdpSimulation::run() {
     for (const auto& local : stations_[i].streams) {
       for (const auto& m : local.queue) {
         if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
-          metrics_.on_abandoned_miss(static_cast<int>(i));
+          metrics_.on_abandoned_miss(static_cast<int>(i), m.arrival,
+                                     local.spec.deadline());
         }
       }
     }

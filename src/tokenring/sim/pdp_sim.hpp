@@ -41,6 +41,7 @@
 
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/fault/plan.hpp"
 #include "tokenring/msg/message_set.hpp"
 #include "tokenring/sim/async.hpp"
 #include "tokenring/sim/metrics.hpp"
@@ -75,13 +76,22 @@ struct PdpSimConfig {
   std::uint64_t seed = 1;
   /// Optional event trace (see trace.hpp); empty = no tracing.
   TraceHook trace;
-  /// Failure injection: absolute times at which the token (or the frame
-  /// occupying the medium) is destroyed. The active monitor notices the
-  /// lack of valid transmissions, purges the ring, and issues a fresh
-  /// token; a frame aborted mid-transmission is retransmitted (its payload
-  /// is not marked delivered).
-  std::vector<Seconds> token_loss_times;
+  /// Failure injection: every fault in the plan is applied with the 802.5
+  /// recovery machinery (fault/recovery.hpp). Token loss / noise /
+  /// duplicate token trigger the active monitor; a corrupted frame is
+  /// retransmitted (its payload is not marked delivered); a crashed
+  /// station loses its queue and is bypassed (Theta shrinks) until its
+  /// rejoin, each reconfiguration costing one beacon recovery.
+  fault::FaultPlan faults;
+  /// Abort with EventStormError past this many simulation events; 0 picks
+  /// a generous default guard (see kDefaultMaxSimEvents).
+  std::size_t max_events = 0;
 };
+
+/// Default max-event guard installed by both protocol simulators when the
+/// config leaves `max_events` at 0 — far above any legitimate run, so only
+/// genuine event storms trip it.
+inline constexpr std::size_t kDefaultMaxSimEvents = 50'000'000;
 
 /// One PDP token-ring simulation run over a message set. Streams may share
 /// stations; station indices must lie in [0, ring.num_stations).
@@ -106,11 +116,23 @@ class PdpSimulation {
   struct Station {
     std::vector<LocalStream> streams;
     std::int64_t async_pending = 0;  // queued async frames (Poisson model)
+    bool alive = true;               // false while crashed (bypassed)
   };
 
   void schedule_arrival(int station, std::size_t stream_idx, Seconds at);
   void on_arrival(int station, std::size_t stream_idx);
-  void on_token_loss();
+  /// Apply one fault from the plan with the 802.5 recovery model.
+  void on_fault(const fault::FaultEvent& event);
+  /// Kill the ring for `outage`, then re-arbitrate from the first alive
+  /// station (destroys any in-flight frame/token via the generation bump).
+  void ring_outage(fault::FaultKind kind, Seconds outage);
+  void crash_station(int station);
+  void rejoin_station(int station);
+  /// Recompute Theta and the hop latency from the alive-station count
+  /// (bypassed stations contribute no bit delay).
+  void update_ring_timing();
+  /// First alive station (recovery token holder); -1 when none remain.
+  int first_alive() const;
   void schedule_async_arrival(int station);
   /// A station gained traffic while the ring may be idle: arrange capture.
   void maybe_capture_idle(int station);
@@ -132,16 +154,24 @@ class PdpSimulation {
   SimMetrics metrics_;
   Rng rng_;
   std::vector<Station> stations_;
+  int active_count_ = 0;
   Seconds theta_ = 0.0;
   Seconds hop_ = 0.0;
   Seconds token_time_ = 0.0;
   bool medium_busy_ = false;
+  /// Station that last started a frame; arbitration restarts from here
+  /// after a corrupted frame's wasted slot.
+  int medium_station_ = 0;
+  /// Ring-dead-until time of the recovery in progress; faults landing
+  /// inside it are absorbed (the ring is already down).
+  Seconds recovering_until_ = 0.0;
   // Idle-token bookkeeping (only reachable when async is not saturating).
   bool capture_pending_ = false;
   int idle_position_ = 0;
   Seconds idle_since_ = 0.0;
-  /// Incremented on every token loss; stale medium events (walks, frame
-  /// completions, idle captures) compare their generation and abort.
+  /// Incremented whenever a fault destroys the in-flight token or frame;
+  /// stale medium events (walks, frame completions, idle captures) compare
+  /// their generation and abort.
   std::uint64_t token_generation_ = 0;
 };
 

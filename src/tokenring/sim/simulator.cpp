@@ -1,5 +1,6 @@
 #include "tokenring/sim/simulator.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "tokenring/common/checks.hpp"
@@ -19,6 +20,14 @@ void Simulator::schedule_at(Seconds at, EventFn fn) {
 std::size_t Simulator::run_until(Seconds horizon) {
   std::size_t count = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon) {
+    if (max_events_ != 0 && executed_ >= max_events_) {
+      std::ostringstream os;
+      os << "simulation exceeded the max-event guard (" << max_events_
+         << " events) at t=" << now_ << " s with " << queue_.size()
+         << " events still queued; a model bug or fault scenario is "
+            "scheduling an event storm";
+      throw EventStormError(os.str());
+    }
     auto [at, fn] = queue_.pop();
     now_ = at;
     fn();

@@ -7,10 +7,20 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 
 #include "tokenring/sim/event_queue.hpp"
 
 namespace tokenring::sim {
+
+/// Thrown by run_until when the max-event guard trips: some model bug (or
+/// a pathological fault scenario) is scheduling an event storm and the run
+/// would otherwise spin forever. The message carries the simulated time
+/// and event count at abort for diagnosis.
+class EventStormError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// The simulation clock + event loop.
 class Simulator {
@@ -24,9 +34,14 @@ class Simulator {
   /// Schedule `fn` at absolute time `at` (at >= now()).
   void schedule_at(Seconds at, EventFn fn);
 
+  /// Abort (with EventStormError) any run_until that executes more than
+  /// `cap` events in total; 0 (the default) disables the guard.
+  void set_max_events(std::size_t cap) { max_events_ = cap; }
+
   /// Run events until the queue empties or the next event is past
   /// `horizon`; events exactly at the horizon still fire. Returns the
-  /// number of events executed.
+  /// number of events executed. Throws EventStormError if the max-event
+  /// guard is set and trips.
   std::size_t run_until(Seconds horizon);
 
   /// Total events executed so far.
@@ -36,6 +51,7 @@ class Simulator {
   EventQueue queue_;
   Seconds now_ = 0.0;
   std::size_t executed_ = 0;
+  std::size_t max_events_ = 0;
 };
 
 }  // namespace tokenring::sim

@@ -5,6 +5,8 @@
 
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/fault/recovery.hpp"
+#include "tokenring/sim/pdp_sim.hpp"  // kDefaultMaxSimEvents
 
 namespace tokenring::sim {
 
@@ -26,11 +28,13 @@ TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
   TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
 
   const int n = cfg_.params.ring.num_stations;
+  cfg_.faults.validate(n);
   TR_EXPECTS_MSG(
       cfg_.sync_bandwidth_per_stream.size() == set_.size(),
       "sync_bandwidth_per_stream must align with the message set's streams");
 
   stations_.resize(static_cast<std::size_t>(n));
+  active_count_ = n;
   for (std::size_t i = 0; i < set_.size(); ++i) {
     const auto& s = set_[i];
     TR_EXPECTS_MSG(s.station >= 0 && s.station < n,
@@ -42,10 +46,28 @@ TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
     stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
   }
 
-  hop_ = cfg_.params.ring.hop_latency(cfg_.bandwidth);
   token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
   f_ovhd_ = cfg_.params.frame.overhead_time(cfg_.bandwidth);
   f_async_ = cfg_.params.async_frame.frame_time(cfg_.bandwidth);
+  update_ring_timing();
+}
+
+void TtpSimulation::update_ring_timing() {
+  // Bypassed stations contribute no ring-interface bit delay; the cable
+  // and hop positions remain.
+  const auto& ring = cfg_.params.ring;
+  const Seconds walk =
+      ring.propagation_delay() + static_cast<double>(active_count_) *
+                                     ring.per_station_bit_delay /
+                                     cfg_.bandwidth;
+  hop_ = walk / static_cast<double>(ring.num_stations);
+}
+
+int TtpSimulation::first_alive() const {
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i].alive) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 void TtpSimulation::emit(TraceEventKind kind, int station,
@@ -54,16 +76,18 @@ void TtpSimulation::emit(TraceEventKind kind, int station,
 }
 
 void TtpSimulation::materialize_arrivals(int station, Station& st,
-                                         Seconds now) {
+                                         Seconds now, bool enqueue) {
   for (auto& local : st.streams) {
     while (local.next_release <= now && local.next_release <= cfg_.horizon) {
-      local.queue.push_back(
-          PendingMessage{local.next_release, local.spec.payload_bits});
-      metrics_.on_release(station);
-      if (cfg_.trace) {
-        cfg_.trace(TraceRecord{local.next_release,
-                               TraceEventKind::kMessageArrival, station,
-                               local.spec.payload_bits});
+      if (enqueue) {
+        local.queue.push_back(
+            PendingMessage{local.next_release, local.spec.payload_bits});
+        metrics_.on_release(station);
+        if (cfg_.trace) {
+          cfg_.trace(TraceRecord{local.next_release,
+                                 TraceEventKind::kMessageArrival, station,
+                                 local.spec.payload_bits});
+        }
       }
       local.next_release += local.spec.period;
       if (cfg_.arrival_jitter > 0.0) {
@@ -74,7 +98,7 @@ void TtpSimulation::materialize_arrivals(int station, Station& st,
   }
   if (cfg_.async_model == AsyncModel::kPoisson) {
     while (st.next_async_arrival <= now) {
-      ++st.async_pending;
+      if (enqueue) ++st.async_pending;
       st.next_async_arrival +=
           rng_.exponential(1.0 / cfg_.async_frames_per_second);
     }
@@ -104,8 +128,8 @@ Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
       const Seconds completion = sim_.now() + offset + used;
       const Seconds response = completion - head.arrival;
       const Seconds deadline = stream.spec.deadline();
-      metrics_.on_completion(station, response, stream.spec.period, deadline,
-                             kDeadlineSlack);
+      metrics_.on_completion(station, head.arrival, response,
+                             stream.spec.period, deadline, kDeadlineSlack);
       if (cfg_.trace) {
         cfg_.trace(TraceRecord{completion, TraceEventKind::kMessageComplete,
                                station, response});
@@ -122,28 +146,136 @@ Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
   return used;
 }
 
-void TtpSimulation::on_token_loss() {
+void TtpSimulation::ring_outage(fault::FaultKind kind, Seconds outage) {
   // Destroy the circulating token: stale pass events abort via generation.
   ++token_generation_;
-  ++metrics_.token_losses;
-  // FDDI recovery: detection when some station's TRT expires with Late_Ct
-  // set (bounded by 2*TTRT after the loss), then the claim process
-  // circulates claim frames (~2 ring walks) and the winner issues a fresh
-  // token; every rotation timer restarts at ring re-initialization.
-  const Seconds detection = 2.0 * cfg_.ttrt;
-  const Seconds claim =
-      2.0 * cfg_.params.ring.walk_time(cfg_.bandwidth) + token_time_;
-  sim_.schedule_in(detection + claim, [this, gen = token_generation_] {
-    if (gen != token_generation_) return;  // another loss superseded us
+  const Seconds now = sim_.now();
+  recovering_until_ = std::max(recovering_until_, now + outage);
+  metrics_.on_fault(kind, now, now + outage);
+  sim_.schedule_in(outage, [this, gen = token_generation_] {
+    if (gen != token_generation_) return;  // superseded by a newer fault
+    const int resume = first_alive();
+    if (resume < 0) return;  // every station crashed: the ring stays dark
+    // Ring re-initialization: every rotation timer restarts and the claim
+    // winner issues a fresh token.
     for (auto& st : stations_) st.trt_expiry = sim_.now() + cfg_.ttrt;
-    on_token_arrival(0, token_generation_);
+    next_station_ = resume;
+    on_token_arrival(resume, token_generation_);
   });
+}
+
+void TtpSimulation::crash_station(int station) {
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  if (!st.alive) {  // already down: nothing further to break
+    metrics_.on_fault(fault::FaultKind::kStationCrash, sim_.now(), sim_.now());
+    return;
+  }
+  const Seconds now = sim_.now();
+  // Messages already released (even if not yet lazily materialized) die
+  // with the station's buffers.
+  materialize_arrivals(station, st, now, /*enqueue=*/true);
+  st.alive = false;
+  st.async_pending = 0;
+  --active_count_;
+  update_ring_timing();
+  // Record the outage before abandoning the queue so those misses
+  // attribute to the crash.
+  ring_outage(fault::FaultKind::kStationCrash,
+              fault::ttp_reconfiguration_outage(cfg_.params, cfg_.bandwidth));
+  for (auto& local : st.streams) {
+    for (const auto& m : local.queue) {
+      if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
+        metrics_.on_abandoned_miss(station, m.arrival, local.spec.deadline());
+      }
+    }
+    local.queue.clear();
+  }
+}
+
+void TtpSimulation::rejoin_station(int station) {
+  auto& st = stations_[static_cast<std::size_t>(station)];
+  if (st.alive) {  // never crashed (or already back): nothing to insert
+    metrics_.on_fault(fault::FaultKind::kStationRejoin, sim_.now(),
+                      sim_.now());
+    return;
+  }
+  // Releases that fell inside the downtime never happened for the dead
+  // host; advance the cadence past them without queueing.
+  materialize_arrivals(station, st, sim_.now(), /*enqueue=*/false);
+  st.alive = true;
+  ++active_count_;
+  update_ring_timing();
+  // Ring insertion disrupts the ring like a break: claim recovery again.
+  ring_outage(fault::FaultKind::kStationRejoin,
+              fault::ttp_reconfiguration_outage(cfg_.params, cfg_.bandwidth));
+}
+
+void TtpSimulation::on_fault(const fault::FaultEvent& event) {
+  const Seconds now = sim_.now();
+  switch (event.kind) {
+    case fault::FaultKind::kTokenLoss:
+      ring_outage(event.kind, fault::ttp_token_loss_outage(
+                                  cfg_.params, cfg_.bandwidth, cfg_.ttrt));
+      return;
+    case fault::FaultKind::kNoiseBurst:
+      // The noise destroys the token (or whatever frame carried it) and
+      // jams the medium for its duration before detection can even start.
+      ring_outage(event.kind,
+                  event.duration + fault::ttp_token_loss_outage(
+                                       cfg_.params, cfg_.bandwidth, cfg_.ttrt));
+      return;
+    case fault::FaultKind::kDuplicateToken:
+      ring_outage(event.kind, fault::ttp_duplicate_outage(cfg_.params,
+                                                          cfg_.bandwidth));
+      return;
+    case fault::FaultKind::kFrameCorruption: {
+      if (now < recovering_until_) {
+        // The ring is already down recovering: the fault is absorbed.
+        metrics_.on_fault(event.kind, now, now);
+        return;
+      }
+      // One frame's slot is wasted; the sender sees the bad FCS on the
+      // returning frame and retransmits within the penalty. Modelled as the
+      // visit in progress being re-run: the token re-appears where it was
+      // heading after one max-size frame of wasted medium time. Payload
+      // already marked delivered in that visit stays delivered — the
+      // retransmission is exactly the wasted slot.
+      ++token_generation_;
+      const Seconds penalty =
+          fault::ttp_corruption_outage(cfg_.params, cfg_.bandwidth);
+      recovering_until_ = std::max(recovering_until_, now + penalty);
+      metrics_.on_fault(event.kind, now, now + penalty);
+      sim_.schedule_in(penalty, [this, gen = token_generation_] {
+        if (gen != token_generation_) return;
+        on_token_arrival(next_station_, token_generation_);
+      });
+      return;
+    }
+    case fault::FaultKind::kStationCrash:
+      crash_station(event.station);
+      return;
+    case fault::FaultKind::kStationRejoin:
+      rejoin_station(event.station);
+      return;
+  }
 }
 
 void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
   if (generation != token_generation_) return;  // token was destroyed
   auto& st = stations_[static_cast<std::size_t>(station)];
   const Seconds now = sim_.now();
+  const int next = (station + 1) % cfg_.params.ring.num_stations;
+  const Seconds wrap = next == 0 ? token_time_ : 0.0;
+
+  // A crashed station is bypassed: the token repeats straight through (its
+  // interface delay already left the hop latency via update_ring_timing).
+  if (!st.alive) {
+    next_station_ = next;
+    sim_.schedule_in(hop_ + wrap, [this, next, generation] {
+      on_token_arrival(next, generation);
+    });
+    return;
+  }
 
   // Rotation metrics.
   if (st.last_visit >= 0.0) {
@@ -153,7 +285,7 @@ void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
   }
   st.last_visit = now;
 
-  materialize_arrivals(station, st, now);
+  materialize_arrivals(station, st, now, /*enqueue=*/true);
 
   // Timer rules (see file comment). Expiry is evaluated lazily at token
   // arrival: an arrival past trt_expiry is exactly the "Late_Ct was set at
@@ -203,15 +335,16 @@ void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
   // latency is part of the hop), so a full rotation costs WT plus one token
   // transmission: charge token_time once per lap, at the wrap-around hop.
   // This matches the paper's Theta = WT + token-transmission accounting.
-  const int next = (station + 1) % cfg_.params.ring.num_stations;
-  const Seconds wrap = next == 0 ? token_time_ : 0.0;
   const Seconds depart = sync_used + async_used + hop_ + wrap;
+  next_station_ = next;
   sim_.schedule_in(depart, [this, next, generation] {
     on_token_arrival(next, generation);
   });
 }
 
 SimMetrics TtpSimulation::run() {
+  sim_.set_max_events(cfg_.max_events != 0 ? cfg_.max_events
+                                           : kDefaultMaxSimEvents);
   // Phasing. Worst case: each message arrives just after the token's first
   // departure from its station (it always waits a full rotation).
   for (std::size_t i = 0; i < stations_.size(); ++i) {
@@ -232,22 +365,28 @@ SimMetrics TtpSimulation::run() {
   // All rotation timers start fresh when the ring initializes.
   for (auto& st : stations_) st.trt_expiry = cfg_.ttrt;
 
-  for (Seconds loss : cfg_.token_loss_times) {
-    TR_EXPECTS_MSG(loss >= 0.0, "token loss times must be non-negative");
-    sim_.schedule_at(loss, [this] { on_token_loss(); });
+  for (const auto& event : cfg_.faults.sorted_events()) {
+    sim_.schedule_at(event.time, [this, event] { on_fault(event); });
   }
 
-  sim_.schedule_at(0.0, [this] { on_token_arrival(0, token_generation_); });
+  // Initial token at station 0. Faults were scheduled first, so a fault at
+  // t=0 fires before this and the generation guard makes recovery, not
+  // this kickoff, issue the first token.
+  sim_.schedule_at(0.0, [this, gen = token_generation_] {
+    on_token_arrival(0, gen);
+  });
   sim_.run_until(cfg_.horizon);
 
-  // Account deadline misses of incomplete or never-served messages.
+  // Account deadline misses of incomplete or never-served messages. A
+  // station still down at the horizon generates nothing after its crash.
   for (std::size_t i = 0; i < stations_.size(); ++i) {
     auto& st = stations_[i];
-    materialize_arrivals(static_cast<int>(i), st, cfg_.horizon);
+    materialize_arrivals(static_cast<int>(i), st, cfg_.horizon, st.alive);
     for (const auto& local : st.streams) {
       for (const auto& m : local.queue) {
         if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
-          metrics_.on_abandoned_miss(static_cast<int>(i));
+          metrics_.on_abandoned_miss(static_cast<int>(i), m.arrival,
+                                     local.spec.deadline());
         }
       }
     }

@@ -35,6 +35,7 @@
 
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/fault/plan.hpp"
 #include "tokenring/msg/message_set.hpp"
 #include "tokenring/sim/async.hpp"
 #include "tokenring/sim/metrics.hpp"
@@ -69,13 +70,18 @@ struct TtpSimConfig {
   std::uint64_t seed = 1;
   /// Optional event trace (see trace.hpp); empty = no tracing.
   TraceHook trace;
-  /// Failure injection: absolute times at which the circulating token is
-  /// destroyed. The ring halts until the FDDI recovery completes: loss is
-  /// detected when a rotation timer expires with Late_Ct already set (up to
-  /// 2*TTRT after the loss), then the claim process re-initializes the ring
-  /// (modelled as two ring latencies of claim-frame circulation). All TRT
-  /// timers restart when the new token is issued.
-  std::vector<Seconds> token_loss_times;
+  /// Failure injection: every fault in the plan is applied with the FDDI
+  /// recovery machinery (fault/recovery.hpp). Token loss is detected when a
+  /// rotation timer expires with Late_Ct already set (up to 2*TTRT after
+  /// the loss), then the claim process re-initializes the ring; all TRT
+  /// timers restart when the new token is issued. A corrupted frame's visit
+  /// slot is wasted and retransmitted; a crashed station is bypassed (its
+  /// queue is lost) until its rejoin, each reconfiguration costing one
+  /// claim recovery.
+  fault::FaultPlan faults;
+  /// Abort with EventStormError past this many simulation events; 0 picks
+  /// the generous default guard (kDefaultMaxSimEvents in pdp_sim.hpp).
+  std::size_t max_events = 0;
 };
 
 /// One FDDI timed-token simulation run.
@@ -110,13 +116,31 @@ class TtpSimulation {
     Seconds last_visit = -1.0;
     std::int64_t async_pending = 0;   // queued async frames (Poisson)
     Seconds next_async_arrival = 0.0; // next Poisson arrival time
+    bool alive = true;                // false while crashed (bypassed)
   };
 
   void on_token_arrival(int station, std::uint64_t generation);
-  void on_token_loss();
+  /// Apply one fault from the plan with the FDDI recovery model.
+  void on_fault(const fault::FaultEvent& event);
+  /// Kill the ring for `outage`, then re-initialize: every TRT restarts and
+  /// the first alive station issues a fresh token (any in-flight token
+  /// event aborts via the generation bump).
+  void ring_outage(fault::FaultKind kind, Seconds outage);
+  void crash_station(int station);
+  void rejoin_station(int station);
+  /// Recompute the hop latency from the alive-station count (bypassed
+  /// stations contribute no bit delay).
+  void update_ring_timing();
+  /// First alive station (claim winner / recovery token issuer); -1 when
+  /// none remain.
+  int first_alive() const;
   /// Release every message due at or before `now` at this station (and,
-  /// under the Poisson model, every async frame arrival up to `now`).
-  void materialize_arrivals(int station, Station& st, Seconds now);
+  /// under the Poisson model, every async frame arrival up to `now`). With
+  /// `enqueue` false the release cadence (and its RNG draws) advances but
+  /// nothing is queued — used to discard a crashed station's arrivals at
+  /// rejoin without disturbing determinism.
+  void materialize_arrivals(int station, Station& st, Seconds now,
+                            bool enqueue);
   /// Serve one stream's queue for at most its per-visit bandwidth, starting
   /// `offset` seconds into the visit; returns time consumed.
   Seconds serve_stream(int station, LocalStream& stream, Seconds offset);
@@ -128,13 +152,21 @@ class TtpSimulation {
   SimMetrics metrics_;
   Rng rng_;
   std::vector<Station> stations_;
+  int active_count_ = 0;
   Seconds hop_ = 0.0;
   Seconds token_time_ = 0.0;
   Seconds f_ovhd_ = 0.0;
   Seconds f_async_ = 0.0;
   Seconds max_intervisit_ = 0.0;
-  /// Incremented on every token loss; stale in-flight token-pass events
-  /// compare their captured generation and abort.
+  /// Station the token is (or was) heading to; a corrupted frame's visit is
+  /// re-run by re-issuing the token here after the wasted slot.
+  int next_station_ = 0;
+  /// Ring-dead-until time of the recovery in progress; faults landing
+  /// inside it are absorbed (the ring is already down).
+  Seconds recovering_until_ = 0.0;
+  /// Incremented whenever a fault destroys the circulating token; stale
+  /// in-flight token-pass events compare their captured generation and
+  /// abort.
   std::uint64_t token_generation_ = 0;
 };
 

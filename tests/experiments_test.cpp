@@ -311,20 +311,22 @@ TEST(CrossoverStudy, Preconditions) {
 
 // ---- fault study -----------------------------------------------------------------------
 
-TEST(FaultStudy, ZeroLossRowsAreCleanAndLossesHurtTtpMore) {
+TEST(FaultStudy, ZeroFaultRowsAreCleanAndLossesHurtTtpMore) {
   FaultStudyConfig config;
   config.setup.num_stations = 8;
-  config.loss_counts = {0, 8};
+  config.fault_counts = {0, 8};
   config.sets_per_point = 2;
   config.horizon_periods = 4.0;
   const auto rows = run_fault_study(config);
-  ASSERT_EQ(rows.size(), 4u);  // 2 protocols x 2 loss counts
+  ASSERT_EQ(rows.size(), 4u);  // 2 protocols x 1 kind x 2 counts
 
   double ttp_at_loss = -1.0;
   double pdp_at_loss = -1.0;
   for (const auto& r : rows) {
-    if (r.losses == 0) {
+    EXPECT_EQ(r.kind, fault::FaultKind::kTokenLoss);
+    if (r.faults == 0) {
       EXPECT_DOUBLE_EQ(r.miss_ratio, 0.0) << r.protocol;
+      EXPECT_DOUBLE_EQ(r.outage, 0.0) << r.protocol;
     } else if (r.protocol == "fddi") {
       ttp_at_loss = r.miss_ratio;
       EXPECT_GT(r.outage, milliseconds(0.1));
@@ -335,6 +337,47 @@ TEST(FaultStudy, ZeroLossRowsAreCleanAndLossesHurtTtpMore) {
   // FDDI's claim-process outage costs at least as much as the 802.5
   // monitor's (usually strictly more).
   EXPECT_GE(ttp_at_loss, pdp_at_loss);
+}
+
+TEST(FaultStudy, SweepsKindsAndIsBitIdenticalAcrossJobs) {
+  FaultStudyConfig config;
+  config.setup.num_stations = 8;
+  config.kinds = {fault::FaultKind::kTokenLoss,
+                  fault::FaultKind::kFrameCorruption,
+                  fault::FaultKind::kStationCrash};
+  config.fault_counts = {0, 4};
+  config.sets_per_point = 2;
+  config.horizon_periods = 4.0;
+
+  config.jobs = 1;
+  const auto sequential = run_fault_study(config);
+  ASSERT_EQ(sequential.size(), 12u);  // 2 protocols x 3 kinds x 2 counts
+
+  config.jobs = 4;
+  const auto parallel = run_fault_study(config);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].protocol, parallel[i].protocol);
+    EXPECT_EQ(sequential[i].kind, parallel[i].kind);
+    EXPECT_EQ(sequential[i].faults, parallel[i].faults);
+    // Bit-identical, not approximately equal: plans come from per-trial
+    // seed streams and the fold is in index order.
+    EXPECT_EQ(sequential[i].miss_ratio, parallel[i].miss_ratio);
+    EXPECT_EQ(sequential[i].attributed_ratio, parallel[i].attributed_ratio);
+    EXPECT_EQ(sequential[i].outage, parallel[i].outage);
+  }
+
+  // Corruption's wasted slot is far cheaper than a full token-loss
+  // recovery on the FDDI side.
+  double loss_outage = 0.0, corruption_outage = 0.0;
+  for (const auto& r : sequential) {
+    if (r.protocol != "fddi" || r.faults == 0) continue;
+    if (r.kind == fault::FaultKind::kTokenLoss) loss_outage = r.outage;
+    if (r.kind == fault::FaultKind::kFrameCorruption) {
+      corruption_outage = r.outage;
+    }
+  }
+  EXPECT_GT(loss_outage, corruption_outage);
 }
 
 // ---- simulation validation ------------------------------------------------------------

@@ -85,6 +85,42 @@ TEST(MsgIo, InvalidStreamRejected) {
                ParseError);
 }
 
+TEST(MsgIo, NonFiniteValuesRejectedWithLineNumber) {
+  // std::stod parses "inf"/"nan" happily; semantic validation must still
+  // reject them, pointing at the offending row.
+  const char* bad[] = {
+      "station,period_ms,payload_bits\n0,inf,512\n",
+      "station,period_ms,payload_bits\n0,nan,512\n",
+      "station,period_ms,payload_bits\n0,-inf,512\n",
+      "station,period_ms,payload_bits\n0,10,inf\n",
+      "station,period_ms,payload_bits\n0,10,nan\n",
+      "station,period_ms,payload_bits,deadline_ms\n0,10,512,inf\n",
+  };
+  for (const char* text : bad) {
+    try {
+      message_set_from_csv(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(MsgIo, DeadlineBeyondPeriodRejectedWithLineNumber) {
+  try {
+    message_set_from_csv(
+        "station,period_ms,payload_bits,deadline_ms\n"
+        "0,10,512,5\n"
+        "1,10,512,12\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("D <= P"), std::string::npos) << what;
+  }
+}
+
 TEST(MsgIo, FileRoundTrip) {
   const auto path =
       (std::filesystem::temp_directory_path() / "tokenring_io_test.csv")

@@ -140,6 +140,32 @@ TEST_F(ToolTest, AdviseShowsRecommendations) {
   // Low bandwidth -> PDP family; high -> FDDI (the paper's conclusion).
   EXPECT_NE(r.output.find("Modified IEEE 802.5"), std::string::npos);
   EXPECT_NE(r.output.find("FDDI timed token"), std::string::npos);
+  // Fault-resilience columns ride along.
+  EXPECT_NE(r.output.find("resil_8025"), std::string::npos);
+  EXPECT_NE(r.output.find("resil_fddi"), std::string::npos);
+}
+
+TEST_F(ToolTest, FaultcheckListsKindsAndExitsZeroWhenSchedulable) {
+  const auto r = run_tool("faultcheck --file=" + light_ +
+                          " --protocol=fddi --bandwidth-mbps=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("SCHEDULABLE"), std::string::npos);
+  for (const char* kind : {"token_loss", "frame_corruption", "noise_burst",
+                           "station_crash", "duplicate_token"}) {
+    EXPECT_NE(r.output.find(kind), std::string::npos) << kind;
+  }
+  EXPECT_NE(r.output.find("margin"), std::string::npos);
+}
+
+TEST_F(ToolTest, FaultcheckOverloadedExitsTwo) {
+  const auto r = run_tool("faultcheck --file=" + heavy_ +
+                          " --protocol=modified8025 --bandwidth-mbps=100");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("NOT SCHEDULABLE"), std::string::npos);
+}
+
+TEST_F(ToolTest, FaultcheckRequiresFileFlag) {
+  EXPECT_EQ(run_tool("faultcheck").exit_code, 1);
 }
 
 TEST_F(ToolTest, GenerateRoundTripsThroughCheck) {
