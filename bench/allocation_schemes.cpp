@@ -13,6 +13,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/allocation_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -23,7 +24,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("allocation_schemes");
+  if (!report.init(flags)) return 1;
 
   experiments::AllocationStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -32,7 +37,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
 
-  std::printf(
+  report.note(
       "# TTP allocation schemes at %.0f Mbps (n=%d, %zu sets/level)\n"
       "# cell = fraction of random sets the scheme guarantees\n\n",
       config.bandwidth_mbps, config.setup.num_stations, config.sets_per_point);
@@ -52,9 +57,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(cells);
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
   experiments::WorstCaseStudyConfig wc;
   wc.setup = config.setup;
@@ -64,14 +67,14 @@ int main(int argc, char** argv) {
   wc.jobs = config.jobs;
   const auto worst = experiments::run_worst_case_study(wc);
 
-  std::printf("\n# Worst-case guarantee (local scheme)\n");
-  std::printf("analytical bound (1 - Lambda/TTRT)/3 : %.4f\n",
+  report.note("\n# Worst-case guarantee (local scheme)\n");
+  report.note("analytical bound (1 - Lambda/TTRT)/3 : %.4f\n",
               worst.analytical_bound);
-  std::printf("empirical min breakdown utilization  : %.4f\n",
+  report.note("empirical min breakdown utilization  : %.4f\n",
               worst.min_breakdown);
-  std::printf("empirical mean breakdown utilization : %.4f\n",
+  report.note("empirical mean breakdown utilization : %.4f\n",
               worst.mean_breakdown);
-  std::printf("sets rejected below the bound        : %zu (must be 0)\n",
+  report.note("sets rejected below the bound        : %zu (must be 0)\n",
               worst.bound_violations);
-  return 0;
+  return report.finish();
 }

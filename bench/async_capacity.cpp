@@ -14,6 +14,7 @@
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/setup.hpp"
 #include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -25,12 +26,16 @@ int main(int argc, char** argv) {
                 "synchronous utilization levels");
   flags.declare("sim-horizon-s", "1.0", "simulated seconds for the TTP check");
   flags.declare("seed", "31", "RNG seed");
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("async_capacity");
+  if (!report.init(flags)) return 1;
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));
 
-  std::printf(
+  report.note(
       "# Async capacity vs synchronous load (n=%d)\n"
       "# cells: fraction of the link left for asynchronous traffic\n\n",
       setup.num_stations);
@@ -73,13 +78,11 @@ int main(int argc, char** argv) {
                      fmt(ttp_cap, 3), fmt(ttp_sim, 3)});
     }
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
-  std::printf(
+  report.add_table("results", table);
+  report.note(
       "\n# Observations\n"
       "At high bandwidth the PDP columns collapse (each frame burns a\n"
       "Theta-bound slot) while TTP passes most of the link to async —\n"
       "the same mechanism behind Figure 1's crossover.\n");
-  return 0;
+  return report.finish();
 }

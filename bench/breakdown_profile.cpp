@@ -13,6 +13,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/setup.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidths-mbps", "5,20,100", "bandwidth list [Mbit/s]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("breakdown_profile");
+  if (!report.init(flags)) return 1;
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -47,7 +52,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   const exec::Executor executor(get_jobs(flags));
 
-  std::printf(
+  report.note(
       "# Breakdown-utilization distribution (n=%d, %zu sets/cell)\n\n",
       setup.num_stations, sets);
 
@@ -82,8 +87,6 @@ int main(int argc, char** argv) {
                      fmt(est.mean()), fmt(est.utilization.stddev())});
     }
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
-  return 0;
+  report.add_table("results", table);
+  return report.finish();
 }

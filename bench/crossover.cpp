@@ -11,6 +11,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/crossover_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -21,7 +22,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "25,50,100", "ring sizes");
   flags.declare("mean-periods-ms", "20,100,500", "mean periods [ms]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("crossover");
+  if (!report.init(flags)) return 1;
 
   experiments::CrossoverStudyConfig config;
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
@@ -33,7 +38,7 @@ int main(int argc, char** argv) {
   }
   config.mean_periods_ms = parse_double_list(flags.get_string("mean-periods-ms"));
 
-  std::printf("# PDP->TTP crossover bandwidth by deployment\n\n");
+  report.note("# PDP->TTP crossover bandwidth by deployment\n\n");
 
   const auto rows = experiments::run_crossover_study(config);
 
@@ -46,11 +51,9 @@ int main(int argc, char** argv) {
                                                 : fmt(r.crossover_mbps, 1),
                    fmt(r.pdp_at_crossover, 3), fmt(r.ttp_at_crossover, 3)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf(
+  report.note(
       "\n# Observations\n"
       "Larger rings push the crossover DOWN (Theta grows with n, hurting\n"
       "PDP first). SHORTER periods push it UP: with tight deadlines the\n"
@@ -58,5 +61,5 @@ int main(int argc, char** argv) {
       "the paper's Section 7 argument for preferring PDP there. The paper's\n"
       "n=100 / 100 ms point lands at ~10 Mbps, matching its '1-10 Mbps vs\n"
       "100 Mbps' conclusion.\n");
-  return 0;
+  return report.finish();
 }

@@ -10,6 +10,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/deadline_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -22,7 +23,11 @@ int main(int argc, char** argv) {
   flags.declare("fractions", "1.0,0.8,0.6,0.4,0.2",
                 "deadline fractions D/P to sweep");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("deadline_sensitivity");
+  if (!report.init(flags)) return 1;
 
   experiments::DeadlineStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -32,7 +37,7 @@ int main(int argc, char** argv) {
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.deadline_fractions = parse_double_list(flags.get_string("fractions"));
 
-  std::printf("# Deadline-sensitivity ablation (n=%d, %zu sets/point)\n\n",
+  report.note("# Deadline-sensitivity ablation (n=%d, %zu sets/point)\n\n",
               config.setup.num_stations, config.sets_per_point);
 
   const auto rows = experiments::run_deadline_study(config);
@@ -42,11 +47,9 @@ int main(int argc, char** argv) {
     table.add_row({fmt(r.bandwidth_mbps, 0), fmt(r.deadline_fraction, 1),
                    fmt(r.ieee8025), fmt(r.modified8025), fmt(r.fddi)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf("\n# Observations\n");
+  report.note("\n# Observations\n");
   for (double bw : config.bandwidths_mbps) {
     double pdp_first = -1, pdp_last = 0, ttp_first = -1, ttp_last = 0;
     for (const auto& r : rows) {
@@ -61,11 +64,11 @@ int main(int argc, char** argv) {
     const auto retained = [](double first, double last) {
       return first > 0 ? 100.0 * last / first : 0.0;
     };
-    std::printf(
+    report.note(
         "at %4.0f Mbps, tightening D/P %.1f -> %.1f retains %.0f%% of PDP's "
         "breakdown utilization but only %.0f%% of FDDI's\n",
         bw, config.deadline_fractions.front(), config.deadline_fractions.back(),
         retained(pdp_first, pdp_last), retained(ttp_first, ttp_last));
   }
-  return 0;
+  return report.finish();
 }

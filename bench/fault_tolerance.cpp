@@ -11,6 +11,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/fault_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -46,7 +47,11 @@ int main(int argc, char** argv) {
   flags.declare("counts", "0,1,2,5,10", "faults injected per run");
   flags.declare("noise-ms", "1", "noise burst duration [ms]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("fault_tolerance");
+  if (!report.init(flags)) return 1;
 
   experiments::FaultStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
     config.fault_counts.push_back(static_cast<int>(c));
   }
 
-  std::printf(
+  report.note(
       "# Fault tolerance at %.0f Mbps (n=%d, load %.0f%% of boundary)\n\n",
       config.bandwidth_mbps, config.setup.num_stations,
       100.0 * config.load_scale);
@@ -77,15 +82,13 @@ int main(int argc, char** argv) {
                    fmt(r.attributed_ratio),
                    fmt(to_microseconds(r.outage), 1)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf(
+  report.note(
       "\n# Observations\n"
       "Zero-fault rows must show ~0 miss ratio (loads sit inside the\n"
       "boundary); each FDDI token loss costs a ~2*TTRT+2*WT outage vs the\n"
       "802.5 monitor's few-Theta recovery, while frame corruption is one\n"
       "wasted slot on either ring.\n");
-  return 0;
+  return report.finish();
 }

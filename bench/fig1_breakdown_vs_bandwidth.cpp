@@ -15,6 +15,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/fig1.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -28,7 +29,11 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "1,2,5,10,20,50,100,200,500,1000",
                 "bandwidth sweep [Mbit/s]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("fig1_breakdown_vs_bandwidth");
+  if (!report.init(flags)) return 1;
 
   experiments::Fig1Config config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
   config.jobs = get_jobs(flags);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
 
-  std::printf(
+  report.note(
       "# Figure 1 reproduction: average breakdown utilization vs bandwidth\n"
       "# n=%d stations, mean period %.0f ms, ratio %.0f, %zu sets/point\n\n",
       config.setup.num_stations, to_milliseconds(config.setup.mean_period),
@@ -54,9 +59,7 @@ int main(int argc, char** argv) {
                    fmt(r.modified8025), fmt(r.modified8025_ci), fmt(r.fddi),
                    fmt(r.fddi_ci)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
   // The figure itself.
   PlotSeries std_series{"IEEE 802.5", {}, {}, 'o'};
@@ -76,24 +79,24 @@ int main(int argc, char** argv) {
   plot.title = "\nFigure 1: Avg. breakdown utilization vs bandwidth";
   plot.x_label = "Bandwidth (Mbps)";
   plot.y_label = "average breakdown utilization";
-  std::printf("%s", render_plot({std_series, mod_series, fddi_series}, plot)
+  report.note("%s", render_plot({std_series, mod_series, fddi_series}, plot)
                         .c_str());
 
   const auto obs = experiments::analyze_fig1(rows);
-  std::printf("\n# Observations (paper Section 6.2)\n");
-  std::printf("PDP (modified) peaks at %.0f Mbps (%.3f); non-monotone: %s\n",
+  report.note("\n# Observations (paper Section 6.2)\n");
+  report.note("PDP (modified) peaks at %.0f Mbps (%.3f); non-monotone: %s\n",
               obs.pdp_peak_bandwidth_mbps, obs.pdp_peak_utilization,
               obs.pdp_non_monotone ? "yes (as in the paper)" : "NO (unexpected)");
-  std::printf("modified 802.5 >= standard 802.5 everywhere: %s\n",
+  report.note("modified 802.5 >= standard 802.5 everywhere: %s\n",
               obs.modified_dominates_standard ? "yes" : "NO (unexpected)");
-  std::printf("FDDI monotone rising: %s\n",
+  report.note("FDDI monotone rising: %s\n",
               obs.fddi_monotone_rising ? "yes" : "NO (unexpected)");
-  std::printf("winner at %6.0f Mbps: %s\n", rows.front().bandwidth_mbps,
+  report.note("winner at %6.0f Mbps: %s\n", rows.front().bandwidth_mbps,
               obs.low_bandwidth_winner.c_str());
-  std::printf("winner at %6.0f Mbps: %s\n", rows.back().bandwidth_mbps,
+  report.note("winner at %6.0f Mbps: %s\n", rows.back().bandwidth_mbps,
               obs.high_bandwidth_winner.c_str());
   if (obs.ttp_crossover_mbps > 0.0) {
-    std::printf("TTP overtakes PDP at ~%g Mbps\n", obs.ttp_crossover_mbps);
+    report.note("TTP overtakes PDP at ~%g Mbps\n", obs.ttp_crossover_mbps);
   }
-  return 0;
+  return report.finish();
 }

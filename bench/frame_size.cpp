@@ -9,6 +9,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/frame_size_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -21,7 +22,11 @@ int main(int argc, char** argv) {
   flags.declare("payload-bytes", "16,32,64,128,256,512,1024,4096",
                 "frame payload sizes [bytes]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("frame_size");
+  if (!report.init(flags)) return 1;
 
   experiments::FrameSizeStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -31,7 +36,7 @@ int main(int argc, char** argv) {
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.payload_bytes = parse_double_list(flags.get_string("payload-bytes"));
 
-  std::printf("# PDP frame-size ablation (n=%d, %zu sets/point)\n\n",
+  report.note("# PDP frame-size ablation (n=%d, %zu sets/point)\n\n",
               config.setup.num_stations, config.sets_per_point);
 
   const auto rows = experiments::run_frame_size_study(config);
@@ -41,17 +46,15 @@ int main(int argc, char** argv) {
     table.add_row({fmt(r.bandwidth_mbps, 0), fmt(r.payload_bytes, 0),
                    fmt(r.ieee8025), fmt(r.modified8025)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf("\n# Observations\n");
+  report.note("\n# Observations\n");
   for (double bw : config.bandwidths_mbps) {
-    std::printf("best payload at %4.0f Mbps (modified 802.5): %.0f bytes\n", bw,
+    report.note("best payload at %4.0f Mbps (modified 802.5): %.0f bytes\n", bw,
                 experiments::best_payload_bytes(rows, bw));
   }
-  std::printf(
+  report.note(
       "(expected: the optimum grows with bandwidth — tiny frames only make\n"
       " sense while F stays above Theta)\n");
-  return 0;
+  return report.finish();
 }

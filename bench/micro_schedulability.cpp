@@ -7,12 +7,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/breakdown/saturation.hpp"
+#include "tokenring/common/cli.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/common/table.hpp"
 #include "tokenring/experiments/setup.hpp"
 #include "tokenring/msg/generator.hpp"
+#include "tokenring/obs/report.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace {
@@ -143,6 +150,94 @@ void BM_TtpSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_TtpSimulation)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 
+// Collects every run into a Table for the manifest; in table mode it also
+// delegates to ConsoleReporter so the familiar google-benchmark output is
+// unchanged, in csv/json modes the console output is suppressed.
+class ManifestReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ManifestReporter(bool quiet)
+      : table_({"name", "iterations", "real_time", "cpu_time", "time_unit"}),
+        quiet_(quiet) {}
+
+  bool ReportContext(const Context& context) override {
+    return quiet_ ? true : ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      table_.add_row({run.benchmark_name(),
+                      fmt(static_cast<long long>(run.iterations)),
+                      fmt(run.GetAdjustedRealTime(), 1),
+                      fmt(run.GetAdjustedCPUTime(), 1),
+                      benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    if (!quiet_) ConsoleReporter::ReportRuns(runs);
+  }
+
+  const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+  bool quiet_;
+};
+
+bool is_bool_token(const std::string& s) {
+  return s == "true" || s == "false" || s == "1" || s == "0" || s == "yes" ||
+         s == "no";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared --format/--out/
+// --profile flags must be peeled off before benchmark::Initialize (which
+// rejects arguments it does not know), and the per-benchmark timings are
+// recorded into the run manifest.
+int main(int argc, char** argv) {
+  using namespace tokenring;
+  CliFlags flags;
+  obs::declare_report_flags(flags);
+
+  std::vector<char*> report_args = {argv[0]};
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool ours = arg.rfind("--format", 0) == 0 ||
+                      arg.rfind("--out", 0) == 0 ||
+                      arg.rfind("--profile", 0) == 0;
+    if (!ours) {
+      bench_args.push_back(argv[i]);
+      continue;
+    }
+    report_args.push_back(argv[i]);
+    // Space-separated value form: also claim the value token. --profile is
+    // boolean and may appear bare, so only claim an explicit bool token.
+    if (arg.find('=') == std::string::npos && i + 1 < argc) {
+      const std::string next = argv[i + 1];
+      const bool take =
+          arg.rfind("--profile", 0) == 0 ? is_bool_token(next)
+                                         : next.rfind("--", 0) != 0;
+      if (take) report_args.push_back(argv[++i]);
+    }
+  }
+
+  int report_argc = static_cast<int>(report_args.size());
+  if (!flags.parse(report_argc, report_args.data())) return 1;
+  obs::RunReport report("micro_schedulability");
+  if (!report.init(flags)) return 1;
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+
+  ManifestReporter reporter(!report.verbose());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  report.record_table("benchmarks", reporter.table());
+  if (report.format() == obs::OutputFormat::kCsv) {
+    reporter.table().print_csv(std::cout);
+  }
+  return report.finish();
+}

@@ -16,6 +16,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/setup.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -26,7 +27,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("jobs-list", "1,2,4,8", "worker counts to measure");
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("parallel_scaling");
+  if (!report.init(flags)) return 1;
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -39,9 +44,9 @@ int main(int argc, char** argv) {
   breakdown::MonteCarloOptions options;
   options.num_sets = sets;
 
-  std::printf("# Parallel scaling: TTP breakdown estimation, %zu sets, n=%d\n",
+  report.note("# Parallel scaling: TTP breakdown estimation, %zu sets, n=%d\n",
               sets, setup.num_stations);
-  std::printf("# hardware concurrency: %zu\n\n", exec::default_jobs());
+  report.note("# hardware concurrency: %zu\n\n", exec::default_jobs());
 
   struct Row {
     std::size_t jobs;
@@ -76,15 +81,22 @@ int main(int argc, char** argv) {
                    fmt(r.trials_per_sec, 1), fmt(r.speedup, 2),
                    r.identical ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  // This binary historically prints the table with no "CSV:" block, so it
+  // records the table in the manifest itself instead of using add_table.
+  report.record_table("results", table);
+  if (report.verbose()) {
+    table.print(std::cout);
+  } else if (report.format() == obs::OutputFormat::kCsv) {
+    table.print_csv(std::cout);
+  }
 
   bool all_identical = true;
   for (const auto& r : rows) all_identical = all_identical && r.identical;
-  std::printf("\nall jobs counts bit-identical to sequential: %s\n",
+  report.note("\nall jobs counts bit-identical to sequential: %s\n",
               all_identical ? "yes" : "NO");
 
   // Machine-readable record (one line).
-  std::printf("\nJSON: {\"bench\":\"parallel_scaling\",\"sets\":%zu,"
+  report.note("\nJSON: {\"bench\":\"parallel_scaling\",\"sets\":%zu,"
               "\"stations\":%d,\"bandwidth_mbps\":%.0f,\"seed\":%llu,"
               "\"hardware_concurrency\":%zu,\"bit_identical\":%s,\"runs\":[",
               sets, setup.num_stations, flags.get_double("bandwidth-mbps"),
@@ -92,10 +104,11 @@ int main(int argc, char** argv) {
               all_identical ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    std::printf("%s{\"jobs\":%zu,\"seconds\":%.4f,\"trials_per_sec\":%.1f,"
+    report.note("%s{\"jobs\":%zu,\"seconds\":%.4f,\"trials_per_sec\":%.1f,"
                 "\"speedup\":%.3f}",
                 i ? "," : "", r.jobs, r.seconds, r.trials_per_sec, r.speedup);
   }
-  std::printf("]}\n");
-  return all_identical ? 0 : 1;
+  report.note("]}\n");
+  const int rc = report.finish();
+  return all_identical ? rc : 1;
 }

@@ -9,6 +9,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/distribution_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -19,7 +20,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "10", "link bandwidth [Mbit/s]");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("period_distribution");
+  if (!report.init(flags)) return 1;
 
   experiments::DistributionStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -28,7 +33,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
 
-  std::printf("# Period-distribution ablation at %.0f Mbps (n=%d)\n\n",
+  report.note("# Period-distribution ablation at %.0f Mbps (n=%d)\n\n",
               config.bandwidth_mbps, config.setup.num_stations);
 
   const auto rows = experiments::run_distribution_study(config);
@@ -39,9 +44,7 @@ int main(int argc, char** argv) {
                    fmt(r.period_ratio, 0), fmt(r.ieee8025), fmt(r.modified8025),
                    fmt(r.fddi)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
   // The paper's "similar results" claim: the PDP-vs-TTP winner at this
   // bandwidth should be stable across period parameterizations.
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
   for (const auto& r : rows) {
     if (std::max(r.ieee8025, r.modified8025) >= r.fddi) ++pdp_wins;
   }
-  std::printf("\n# Observations\nPDP wins %zu / %zu parameterizations at %.0f Mbps\n",
+  report.note("\n# Observations\nPDP wins %zu / %zu parameterizations at %.0f Mbps\n",
               pdp_wins, rows.size(), config.bandwidth_mbps);
-  return 0;
+  return report.finish();
 }

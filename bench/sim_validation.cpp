@@ -8,6 +8,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/sim_validation_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -17,7 +18,11 @@ int main(int argc, char** argv) {
   flags.declare("seed", "29", "base RNG seed");
   flags.declare("stations", "12", "stations on the ring (simulation cost!)");
   flags.declare("bandwidths-mbps", "10,100", "bandwidth list [Mbit/s]");
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("sim_validation");
+  if (!report.init(flags)) return 1;
 
   experiments::SimValidationConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -25,7 +30,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
 
-  std::printf(
+  report.note(
       "# Simulation validation (n=%d, %zu sets/cell)\n"
       "# inside scale: PDP %.2f, TTP %.2f of the boundary; outside: %.1fx\n\n",
       config.setup.num_stations, config.sets_per_point, config.inside_scale_pdp,
@@ -46,12 +51,10 @@ int main(int argc, char** argv) {
                    r.protocol == "fddi" ? fmt(r.max_intervisit_ratio, 3) : "-"});
     sound &= r.false_negatives == 0 && r.johnson_violations == 0;
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf("\n# Observations\nanalysis sound against simulation: %s\n",
+  report.note("\n# Observations\nanalysis sound against simulation: %s\n",
               sound ? "yes (0 false negatives, 0 Johnson violations)"
                     : "NO - investigate!");
-  return 0;
+  return report.finish();
 }

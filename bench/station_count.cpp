@@ -9,6 +9,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/station_count_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -19,7 +20,11 @@ int main(int argc, char** argv) {
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("stations", "10,25,50,100,150,200", "station counts");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("station_count");
+  if (!report.init(flags)) return 1;
 
   experiments::StationCountStudyConfig config;
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");
@@ -31,7 +36,7 @@ int main(int argc, char** argv) {
     config.station_counts.push_back(static_cast<int>(v));
   }
 
-  std::printf("# Station-count ablation at %.0f Mbps\n\n", config.bandwidth_mbps);
+  report.note("# Station-count ablation at %.0f Mbps\n\n", config.bandwidth_mbps);
 
   const auto rows = experiments::run_station_count_study(config);
 
@@ -40,17 +45,15 @@ int main(int argc, char** argv) {
     table.add_row({fmt(static_cast<long long>(r.stations)), fmt(r.ieee8025),
                    fmt(r.modified8025), fmt(r.fddi)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf("\n# Observations\n");
+  report.note("\n# Observations\n");
   if (rows.size() >= 2) {
     const auto& first = rows.front();
     const auto& last = rows.back();
-    std::printf("n %d -> %d: modified 802.5 %.3f -> %.3f, FDDI %.3f -> %.3f\n",
+    report.note("n %d -> %d: modified 802.5 %.3f -> %.3f, FDDI %.3f -> %.3f\n",
                 first.stations, last.stations, first.modified8025,
                 last.modified8025, first.fddi, last.fddi);
   }
-  return 0;
+  return report.finish();
 }

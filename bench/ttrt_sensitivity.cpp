@@ -9,6 +9,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/ttrt_study.hpp"
+#include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
 
@@ -21,7 +22,11 @@ int main(int argc, char** argv) {
   flags.declare("equal-periods", "false",
                 "use equal periods (the paper's analytical special case)");
   declare_jobs_flag(flags);
+  obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+
+  obs::RunReport report("ttrt_sensitivity");
+  if (!report.init(flags)) return 1;
 
   experiments::TtrtStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));
@@ -33,7 +38,7 @@ int main(int argc, char** argv) {
     config.setup.period_dist = msg::PeriodDistribution::kEqual;
   }
 
-  std::printf(
+  report.note(
       "# TTRT sensitivity at %.0f Mbps (n=%d, %s periods, %zu sets/point)\n\n",
       config.bandwidth_mbps, config.setup.num_stations,
       flags.get_bool("equal-periods") ? "equal" : "uniform",
@@ -46,22 +51,20 @@ int main(int argc, char** argv) {
     table.add_row({fmt(r.fraction, 2), fmt(to_milliseconds(r.ttrt), 3),
                    fmt(r.breakdown_mean), fmt(r.breakdown_ci)});
   }
-  table.print(std::cout);
-  std::printf("\nCSV:\n");
-  table.print_csv(std::cout);
+  report.add_table("results", table);
 
-  std::printf("\n# Observations\n");
-  std::printf("empirical best TTRT: %.3f ms (fraction %.2f) -> %.3f\n",
+  report.note("\n# Observations\n");
+  report.note("empirical best TTRT: %.3f ms (fraction %.2f) -> %.3f\n",
               to_milliseconds(result.best_row.ttrt), result.best_row.fraction,
               result.best_row.breakdown_mean);
-  std::printf("sqrt(Theta*Pmin) rule: %.3f ms -> %.3f\n",
+  report.note("sqrt(Theta*Pmin) rule: %.3f ms -> %.3f\n",
               to_milliseconds(result.sqrt_rule_ttrt),
               result.sqrt_rule_breakdown);
   const auto& largest = result.rows.back();
-  std::printf("largest valid TTRT (Pmin/2 = %.3f ms) -> %.3f\n",
+  report.note("largest valid TTRT (Pmin/2 = %.3f ms) -> %.3f\n",
               to_milliseconds(largest.ttrt), largest.breakdown_mean);
-  std::printf("sqrt rule vs Pmin/2: %+.1f%% breakdown utilization\n",
+  report.note("sqrt rule vs Pmin/2: %+.1f%% breakdown utilization\n",
               100.0 * (result.sqrt_rule_breakdown - largest.breakdown_mean) /
                   (largest.breakdown_mean > 0 ? largest.breakdown_mean : 1.0));
-  return 0;
+  return report.finish();
 }

@@ -71,11 +71,11 @@ int main(int argc, char** argv) {
   }
 
   const auto set = demo_set();
-  const auto trace_hook = [trace_until](const sim::TraceRecord& r) {
+  sim::CallbackSink trace_sink([trace_until](const sim::TraceRecord& r) {
     if (r.at <= trace_until) {
       std::puts(sim::format_trace_record(r).c_str());
     }
-  };
+  });
 
   // ---- Priority-driven protocol (modified 802.5) -------------------------
   {
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     cfg.horizon = horizon;
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
-    if (trace_until > 0.0) cfg.trace = trace_hook;
+    if (trace_until > 0.0) cfg.trace = &trace_sink;
 
     std::printf("=== Modified IEEE 802.5 at %.0f Mbps (async: %s) ===\n",
                 to_mbps(bw), to_string(async_model));
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
     cfg.horizon = horizon;
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
-    if (trace_until > 0.0) cfg.trace = trace_hook;
+    if (trace_until > 0.0) cfg.trace = &trace_sink;
 
     const Seconds ttrt = analysis::select_ttrt(set, cfg.params.ring, bw);
     std::printf("=== FDDI timed token at %.0f Mbps (TTRT %.3f ms) ===\n",

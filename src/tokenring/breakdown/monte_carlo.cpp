@@ -5,8 +5,27 @@
 
 #include "tokenring/common/checks.hpp"
 #include "tokenring/exec/seed_stream.hpp"
+#include "tokenring/obs/registry.hpp"
 
 namespace tokenring::breakdown {
+
+namespace {
+
+/// Per-trial tallies for the run manifest. Bumped once per Monte Carlo
+/// trial (not per saturation step), so the hot path stays untouched.
+void count_trial(const SaturationResult& sat) {
+  static const obs::Counter trials("breakdown.trials");
+  static const obs::Counter degenerate("breakdown.degenerate_sets");
+  static const obs::Counter unbounded("breakdown.unbounded_sets");
+  trials.add();
+  if (sat.degenerate_zero) {
+    degenerate.add();
+  } else if (!sat.found) {
+    unbounded.add();
+  }
+}
+
+}  // namespace
 
 double BreakdownEstimate::quantile(double q) const {
   TR_EXPECTS(q >= 0.0 && q <= 1.0);
@@ -60,6 +79,7 @@ BreakdownEstimate estimate_breakdown_utilization(
     const msg::MessageSet base = generator.generate(rng);
     const SaturationResult sat =
         find_saturation(base, predicate, bw, options.saturation);
+    count_trial(sat);
     accumulate_trial(sat, options.keep_samples, est);
   }
   return est;
@@ -91,6 +111,7 @@ BreakdownEstimate estimate_breakdown_utilization(
       const msg::MessageSet base = generator.generate(rng);
       const SaturationResult sat =
           find_saturation(base, predicate, bw, options.saturation);
+      count_trial(sat);
       accumulate_trial(sat, options.keep_samples, part);
     }
     return part;

@@ -29,24 +29,36 @@ bool CliFlags::parse(int argc, char** argv) {
     }
     std::string name;
     std::string value;
+    bool have_value = false;
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       name = arg.substr(2, eq - 2);
       value = arg.substr(eq + 1);
+      have_value = true;
     } else {
       name = arg.substr(2);
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
-        print_usage(argv[0]);
-        return false;
-      }
-      value = argv[++i];
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
       std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
       print_usage(argv[0]);
       return false;
+    }
+    if (!have_value) {
+      // Boolean flags (default "true"/"false") may appear bare: `--profile`.
+      const std::string& dflt = it->second.value;
+      const bool boolean_like = dflt == "true" || dflt == "false";
+      const bool next_is_flag =
+          i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0;
+      if (boolean_like && next_is_flag) {
+        value = "true";
+      } else if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        print_usage(argv[0]);
+        return false;
+      } else {
+        value = argv[++i];
+      }
     }
     it->second.value = value;
   }
@@ -82,6 +94,13 @@ bool CliFlags::get_bool(const std::string& name) const {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
   throw PreconditionError("flag --" + name + " is not a boolean: " + v);
+}
+
+std::vector<std::pair<std::string, std::string>> CliFlags::items() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(flags_.size());
+  for (const auto& [name, flag] : flags_) out.emplace_back(name, flag.value);
+  return out;
 }
 
 void CliFlags::print_usage(const std::string& program) const {

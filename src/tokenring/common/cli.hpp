@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tokenring {
@@ -30,6 +31,14 @@ class CliFlags {
   double get_double(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+
+  /// True iff the flag was declared (not necessarily set on the command
+  /// line). Lets shared helpers probe for optional flags.
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Every declared flag with its final (post-parse) value, sorted by name.
+  /// Used to echo the effective configuration into run manifests.
+  std::vector<std::pair<std::string, std::string>> items() const;
 
   /// Print usage for all declared flags.
   void print_usage(const std::string& program) const;

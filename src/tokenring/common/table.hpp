@@ -25,6 +25,10 @@ class Table {
   /// Number of data rows.
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw access for structured (JSON) emission.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Render as an aligned ASCII table with a header separator.
   void print(std::ostream& os) const;
 

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
+#include "tokenring/obs/span.hpp"
 
 namespace tokenring::exec {
 
@@ -41,6 +43,11 @@ void Executor::parallel_for(std::size_t n,
                             const ParallelForOptions& options) const {
   TR_EXPECTS(body != nullptr);
   if (n == 0) return;
+
+  static const obs::SpanHandle span_handle("exec/parallel_for");
+  static const obs::Counter tasks("exec.parallel_for_tasks");
+  const obs::Span span(span_handle);
+  tasks.add(n);
 
   const bool cancellable = options.cancel.has_value();
   const auto cancelled = [&] {

@@ -1,5 +1,7 @@
 #include "tokenring/experiments/allocation_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <algorithm>
 #include <limits>
 
@@ -12,6 +14,7 @@ namespace tokenring::experiments {
 
 std::vector<AllocationStudyRow> run_allocation_study(
     const AllocationStudyConfig& config) {
+  const obs::Span span("experiments/allocation_study");
   TR_EXPECTS(!config.utilization_levels.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
 
@@ -59,6 +62,7 @@ std::vector<AllocationStudyRow> run_allocation_study(
 }
 
 WorstCaseStudyResult run_worst_case_study(const WorstCaseStudyConfig& config) {
+  const obs::Span span("experiments/worst_case_study");
   TR_EXPECTS(config.num_sets >= 1);
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);
   const auto params = config.setup.ttp_params();

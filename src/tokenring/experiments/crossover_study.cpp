@@ -1,5 +1,7 @@
 #include "tokenring/experiments/crossover_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <cmath>
 #include <limits>
 
@@ -30,6 +32,7 @@ bool ttp_wins(const PaperSetup& setup, BitsPerSecond bw, std::size_t sets,
 
 std::vector<CrossoverStudyRow> run_crossover_study(
     const CrossoverStudyConfig& config) {
+  const obs::Span span("experiments/crossover_study");
   TR_EXPECTS(!config.station_counts.empty());
   TR_EXPECTS(!config.mean_periods_ms.empty());
   TR_EXPECTS(config.bw_low_mbps > 0.0);

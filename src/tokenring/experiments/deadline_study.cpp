@@ -1,11 +1,14 @@
 #include "tokenring/experiments/deadline_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include "tokenring/common/checks.hpp"
 
 namespace tokenring::experiments {
 
 std::vector<DeadlineStudyRow> run_deadline_study(
     const DeadlineStudyConfig& config) {
+  const obs::Span span("experiments/deadline_study");
   TR_EXPECTS(!config.deadline_fractions.empty());
   TR_EXPECTS(!config.bandwidths_mbps.empty());
 

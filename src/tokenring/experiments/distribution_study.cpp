@@ -1,5 +1,7 @@
 #include "tokenring/experiments/distribution_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include "tokenring/common/checks.hpp"
 
 namespace tokenring::experiments {
@@ -18,6 +20,7 @@ const char* to_string(msg::PeriodDistribution dist) {
 
 std::vector<DistributionStudyRow> run_distribution_study(
     const DistributionStudyConfig& config) {
+  const obs::Span span("experiments/distribution_study");
   TR_EXPECTS(!config.mean_periods_ms.empty());
   TR_EXPECTS(!config.period_ratios.empty());
   TR_EXPECTS(!config.distributions.empty());

@@ -1,5 +1,7 @@
 #include "tokenring/experiments/fault_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <algorithm>
 #include <utility>
 
@@ -100,6 +102,7 @@ fault::FaultPlan make_plan(fault::FaultKind kind, int count, Seconds horizon,
 }  // namespace
 
 std::vector<FaultStudyRow> run_fault_study(const FaultStudyConfig& config) {
+  const obs::Span span("experiments/fault_study");
   TR_EXPECTS(!config.kinds.empty());
   TR_EXPECTS(!config.fault_counts.empty());
   TR_EXPECTS(config.sets_per_point >= 1);

@@ -1,5 +1,7 @@
 #include "tokenring/experiments/fig1.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <algorithm>
 
 #include "tokenring/common/checks.hpp"
@@ -7,6 +9,7 @@
 namespace tokenring::experiments {
 
 std::vector<Fig1Row> run_fig1(const Fig1Config& config) {
+  const obs::Span span("experiments/fig1");
   TR_EXPECTS(!config.bandwidths_mbps.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
 

@@ -1,11 +1,14 @@
 #include "tokenring/experiments/frame_size_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include "tokenring/common/checks.hpp"
 
 namespace tokenring::experiments {
 
 std::vector<FrameSizeStudyRow> run_frame_size_study(
     const FrameSizeStudyConfig& config) {
+  const obs::Span span("experiments/frame_size_study");
   TR_EXPECTS(!config.payload_bytes.empty());
   TR_EXPECTS(!config.bandwidths_mbps.empty());
 

@@ -1,5 +1,7 @@
 #include "tokenring/experiments/sim_validation_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <algorithm>
 
 #include "tokenring/analysis/ttrt.hpp"
@@ -125,6 +127,7 @@ SimValidationRow validate_ttp(const SimValidationConfig& config,
 
 std::vector<SimValidationRow> run_sim_validation(
     const SimValidationConfig& config) {
+  const obs::Span span("experiments/sim_validation");
   TR_EXPECTS(!config.bandwidths_mbps.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
   TR_EXPECTS(config.inside_scale_pdp > 0.0 && config.inside_scale_pdp < 1.0);

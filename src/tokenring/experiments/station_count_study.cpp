@@ -1,11 +1,14 @@
 #include "tokenring/experiments/station_count_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include "tokenring/common/checks.hpp"
 
 namespace tokenring::experiments {
 
 std::vector<StationCountStudyRow> run_station_count_study(
     const StationCountStudyConfig& config) {
+  const obs::Span span("experiments/station_count_study");
   TR_EXPECTS(!config.station_counts.empty());
 
   const BitsPerSecond bw = mbps(config.bandwidth_mbps);

@@ -1,5 +1,7 @@
 #include "tokenring/experiments/ttrt_study.hpp"
 
+#include "tokenring/obs/span.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -9,6 +11,7 @@
 namespace tokenring::experiments {
 
 TtrtStudyResult run_ttrt_study(const TtrtStudyConfig& config) {
+  const obs::Span span("experiments/ttrt_study");
   TR_EXPECTS(!config.ttrt_fractions.empty());
   TR_EXPECTS(config.sets_per_point >= 1);
 

@@ -6,10 +6,20 @@
 #include "tokenring/analysis/fixed_priority.hpp"
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
 
 namespace tokenring::fault {
 
 namespace {
+
+/// One bump per margin query (not per binary-search probe), mirroring the
+/// per-trial granularity used by the sim and Monte Carlo counters.
+void count_margin_query(const FaultMarginReport& report) {
+  static const obs::Counter queries("fault.margin_queries");
+  static const obs::Counter infeasible("fault.margin_infeasible");
+  queries.add();
+  if (!report.fault_free_schedulable) infeasible.add();
+}
 
 /// Largest k in [0, inf) with test(k) true, given test(0) true and test
 /// monotone (true up to some boundary, false after). `hi_bound` is any k
@@ -97,12 +107,14 @@ FaultMarginReport pdp_fault_margin(const msg::MessageSet& set,
       pdp_fault_outage(budget.kind, params, bw, budget.noise_duration);
   report.fault_free_schedulable =
       pdp_schedulable_with_faults(set, params, bw, budget, 0);
-  if (!report.fault_free_schedulable) return report;
-  report.margin = largest_feasible(
-      [&](int k) {
-        return pdp_schedulable_with_faults(set, params, bw, budget, k);
-      },
-      hopeless_faults(set, report.recovery_per_fault));
+  if (report.fault_free_schedulable) {
+    report.margin = largest_feasible(
+        [&](int k) {
+          return pdp_schedulable_with_faults(set, params, bw, budget, k);
+        },
+        hopeless_faults(set, report.recovery_per_fault));
+  }
+  count_margin_query(report);
   return report;
 }
 
@@ -117,12 +129,14 @@ FaultMarginReport ttp_fault_margin(const msg::MessageSet& set,
       ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration);
   report.fault_free_schedulable =
       ttp_schedulable_with_faults(set, params, bw, ttrt, budget, 0);
-  if (!report.fault_free_schedulable) return report;
-  report.margin = largest_feasible(
-      [&](int k) {
-        return ttp_schedulable_with_faults(set, params, bw, ttrt, budget, k);
-      },
-      hopeless_faults(set, report.recovery_per_fault));
+  if (report.fault_free_schedulable) {
+    report.margin = largest_feasible(
+        [&](int k) {
+          return ttp_schedulable_with_faults(set, params, bw, ttrt, budget, k);
+        },
+        hopeless_faults(set, report.recovery_per_fault));
+  }
+  count_margin_query(report);
   return report;
 }
 

@@ -1,0 +1,311 @@
+#include "tokenring/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::obs {
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  std::string token(buf, res.ptr);
+  // to_chars may emit bare "1e+30"-style tokens, which are valid JSON, but
+  // never inf/nan (filtered above). Integral doubles render without a dot,
+  // which JSON also accepts.
+  return token;
+}
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_); ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    TR_EXPECTS_MSG(stack_.back().array,
+                   "JSON object members need key() before each value");
+    if (stack_.back().entries++) os_ << ',';
+    newline_indent(stack_.size());
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame{false, 0});
+}
+
+void JsonWriter::end_object() {
+  TR_EXPECTS(!stack_.empty() && !stack_.back().array && !pending_key_);
+  const bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) newline_indent(stack_.size());
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame{true, 0});
+}
+
+void JsonWriter::end_array() {
+  TR_EXPECTS(!stack_.empty() && stack_.back().array);
+  const bool had_entries = stack_.back().entries > 0;
+  stack_.pop_back();
+  if (had_entries) newline_indent(stack_.size());
+  os_ << ']';
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  TR_EXPECTS_MSG(!stack_.empty() && !stack_.back().array && !pending_key_,
+                 "key() is only valid directly inside an object");
+  if (stack_.back().entries++) os_ << ',';
+  newline_indent(stack_.size());
+  os_ << '"' << escape_json(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::value_string(std::string_view v) {
+  before_value();
+  os_ << '"' << escape_json(v) << '"';
+}
+
+void JsonWriter::value_number(double v) {
+  before_value();
+  os_ << json_number(v);
+}
+
+void JsonWriter::value_int(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value_uint(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value_bool(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value_null() {
+  before_value();
+  os_ << "null";
+}
+
+void JsonWriter::value_raw(std::string_view token) {
+  before_value();
+  os_ << token;
+}
+
+// ---- validation ---------------------------------------------------------------
+
+namespace {
+
+/// Index-based recursive-descent validator; no allocation, bounded depth.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool run() {
+    skip_ws();
+    if (!value(0)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 256;
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value(std::size_t depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object(std::size_t depth) {
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array(std::size_t depth) {
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    consume('"');
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(
+                             text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero must not be followed by more digits
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text) { return Validator(text).run(); }
+
+}  // namespace tokenring::obs

@@ -1,0 +1,77 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// JsonWriter is a streaming writer with automatic comma/colon handling and
+// optional pretty-printing; it backs the JSONL trace sink and the run
+// manifest. is_valid_json is a strict structural validator used by tests
+// to round-trip every emitted line without a third-party parser.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tokenring::obs {
+
+/// Escape a UTF-8 string for embedding between JSON double quotes: `"` and
+/// `\` are backslash-escaped, control characters become \b \f \n \r \t or
+/// \u00XX, and multi-byte UTF-8 sequences pass through unchanged.
+std::string escape_json(std::string_view s);
+
+/// Render a double as a JSON number token (shortest round-trip form).
+/// Non-finite values have no JSON representation and render as null.
+std::string json_number(double v);
+
+/// Streaming JSON writer. Call begin_object/begin_array, key (inside
+/// objects), and the value_* methods; commas and newlines are inserted
+/// automatically. With indent == 0 the output is a single compact line
+/// (JSONL); with indent > 0 nested containers are pretty-printed.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 0)
+      : os_(os), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emit the key of the next key/value pair; must be inside an object.
+  JsonWriter& key(std::string_view k);
+
+  void value_string(std::string_view v);
+  void value_number(double v);
+  void value_int(std::int64_t v);
+  void value_uint(std::uint64_t v);
+  void value_bool(bool v);
+  void value_null();
+  /// Emit a pre-rendered JSON token verbatim (caller guarantees validity).
+  void value_raw(std::string_view token);
+
+  /// Depth of open containers (0 when the document is complete).
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  struct Frame {
+    bool array = false;
+    std::size_t entries = 0;
+  };
+
+  /// Comma/indent bookkeeping before any value token.
+  void before_value();
+  void newline_indent(std::size_t depth);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+/// True iff `text` is exactly one complete JSON value (with optional
+/// surrounding whitespace). Strict: no trailing garbage, no unescaped
+/// control characters in strings, numbers per RFC 8259.
+bool is_valid_json(std::string_view text);
+
+}  // namespace tokenring::obs

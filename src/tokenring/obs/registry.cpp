@@ -1,0 +1,197 @@
+#include "tokenring/obs/registry.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "tokenring/common/checks.hpp"
+
+namespace tokenring::obs {
+
+/// One thread's slot array. Slots are atomics so snapshot() may read them
+/// while the owning thread records; both sides use relaxed ordering (the
+/// values are independent tallies, not synchronization).
+struct Registry::Shard {
+  std::array<std::atomic<std::uint64_t>, Registry::kMaxSlots> slots{};
+};
+
+/// Registers the shard on first use, folds it into the retired accumulator
+/// on thread exit (so short-lived pool workers don't lose their tallies).
+class ShardHolder {
+ public:
+  explicit ShardHolder(Registry& registry) : registry_(registry) {
+    std::lock_guard<std::mutex> lock(registry_.mutex_);
+    registry_.shards_.push_back(&shard);
+  }
+
+  ~ShardHolder() {
+    std::lock_guard<std::mutex> lock(registry_.mutex_);
+    auto& shards = registry_.shards_;
+    shards.erase(std::remove(shards.begin(), shards.end(), &shard),
+                 shards.end());
+    if (!registry_.retired_) {
+      // Leaked intentionally: the accumulator must outlive every thread,
+      // including ones exiting during static destruction.
+      registry_.retired_ =
+          new std::vector<std::atomic<std::uint64_t>>(Registry::kMaxSlots);
+    }
+    for (std::size_t i = 0; i < Registry::kMaxSlots; ++i) {
+      const std::uint64_t v = shard.slots[i].load(std::memory_order_relaxed);
+      if (v == 0) continue;
+      auto& cell = (*registry_.retired_)[i];
+      if (registry_.max_merge_slot_[i]) {
+        std::uint64_t current = cell.load(std::memory_order_relaxed);
+        while (v > current && !cell.compare_exchange_weak(
+                                  current, v, std::memory_order_relaxed)) {
+        }
+      } else {
+        cell.fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  Registry::Shard shard;
+
+ private:
+  Registry& registry_;
+};
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Shard& Registry::local_shard() {
+  thread_local ShardHolder holder(*this);
+  return holder.shard;
+}
+
+std::size_t Registry::register_metric(const std::string& name, Kind kind,
+                                      std::size_t num_slots,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const Metric& existing = metrics_[it->second];
+    TR_EXPECTS_MSG(existing.kind == kind && existing.num_slots == num_slots &&
+                       existing.bounds == bounds,
+                   "metric re-registered with a different shape: " + name);
+    return existing.first_slot;
+  }
+  TR_EXPECTS_MSG(next_slot_ + num_slots <= kMaxSlots,
+                 "metric registry slot capacity exhausted");
+  Metric m;
+  m.name = name;
+  m.kind = kind;
+  m.first_slot = next_slot_;
+  m.num_slots = num_slots;
+  m.bounds = std::move(bounds);
+  next_slot_ += num_slots;
+  if (kind == Kind::kGauge) max_merge_slot_[m.first_slot] = true;
+  if (kind == Kind::kSpan) max_merge_slot_[m.first_slot + 2] = true;
+  by_name_[name] = metrics_.size();
+  metrics_.push_back(std::move(m));
+  return metrics_.back().first_slot;
+}
+
+std::size_t Registry::register_counter(const std::string& name) {
+  return register_metric(name, Kind::kCounter, 1, {});
+}
+
+std::size_t Registry::register_gauge(const std::string& name) {
+  return register_metric(name, Kind::kGauge, 1, {});
+}
+
+std::size_t Registry::register_histogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  TR_EXPECTS_MSG(!bounds.empty() && std::is_sorted(bounds.begin(), bounds.end()),
+                 "histogram bounds must be non-empty and ascending");
+  const std::size_t slots = bounds.size() + 1;
+  return register_metric(name, Kind::kHistogram, slots, std::move(bounds));
+}
+
+std::size_t Registry::register_span(const std::string& name) {
+  return register_metric(name, Kind::kSpan, 3, {});  // count, total_ns, max_ns
+}
+
+void Registry::add(std::size_t slot, std::uint64_t delta) {
+  local_shard().slots[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::record_max(std::size_t slot, std::uint64_t value) {
+  auto& cell = local_shard().slots[slot];
+  std::uint64_t current = cell.load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Registry::slot_value_locked(const Metric& m, std::size_t offset,
+                                          bool max_merge) const {
+  const std::size_t slot = m.first_slot + offset;
+  std::uint64_t value =
+      retired_ ? (*retired_)[slot].load(std::memory_order_relaxed) : 0;
+  for (const Shard* shard : shards_) {
+    const std::uint64_t v = shard->slots[slot].load(std::memory_order_relaxed);
+    value = max_merge ? std::max(value, v) : value + v;
+  }
+  return value;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        snap.counters[m.name] = slot_value_locked(m, 0, false);
+        break;
+      case Kind::kGauge:
+        snap.gauges[m.name] = slot_value_locked(m, 0, true);
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramData h;
+        h.bounds = m.bounds;
+        h.counts.resize(m.num_slots);
+        for (std::size_t i = 0; i < m.num_slots; ++i) {
+          h.counts[i] = slot_value_locked(m, i, false);
+          h.total += h.counts[i];
+        }
+        snap.histograms[m.name] = std::move(h);
+        break;
+      }
+      case Kind::kSpan: {
+        SpanStats s;
+        s.count = slot_value_locked(m, 0, false);
+        s.total_ns = slot_value_locked(m, 1, false);
+        s.max_ns = slot_value_locked(m, 2, true);
+        if (s.count > 0) snap.spans[m.name] = s;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t slot = 0; slot < next_slot_; ++slot) {
+    if (retired_) (*retired_)[slot].store(0, std::memory_order_relaxed);
+    for (Shard* shard : shards_) {
+      shard->slots[slot].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Histogram(const std::string& name, std::vector<double> bounds)
+    : bounds_(bounds) {
+  first_slot_ = Registry::global().register_histogram(name, std::move(bounds));
+}
+
+void Histogram::observe(double sample) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Registry::global().add(first_slot_ + bucket, 1);
+}
+
+}  // namespace tokenring::obs

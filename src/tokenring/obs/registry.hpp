@@ -1,0 +1,173 @@
+// Structured runtime metrics: counters, high-watermark gauges, and
+// fixed-bound histograms, with cheap thread-local sharding.
+//
+// Design constraints, in priority order:
+//  * Recording must be cheap enough to leave enabled everywhere: one
+//    relaxed atomic RMW on a thread-local cache line, no locks, no
+//    allocation on the hot path.
+//  * Aggregated values must be *deterministic* for any `--jobs` count on a
+//    fixed seed: every stored quantity is an integer combined with an
+//    order-independent operation (sum for counters and histogram buckets,
+//    max for gauges), so the manifest's counter block is bit-identical
+//    however work was sharded across the exec/ ThreadPool.
+//  * Snapshots may race with recordings from live pool workers; all slots
+//    are atomics so a concurrent snapshot is merely slightly stale, never
+//    undefined behaviour.
+//
+// Each thread lazily registers one fixed-size shard of atomic slots with
+// the process-wide Registry; on thread exit the shard's values fold into a
+// retired accumulator. snapshot() sums retired + live shards per slot.
+//
+// Handle classes (Counter / Gauge / Histogram / Span in span.hpp) resolve
+// the metric name to a slot range once; construct them as function-local
+// statics next to the code they instrument.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tokenring::obs {
+
+/// Aggregate of one RAII Span name (see span.hpp).
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double total_seconds() const { return static_cast<double>(total_ns) * 1e-9; }
+  double max_seconds() const { return static_cast<double>(max_ns) * 1e-9; }
+};
+
+/// Point-in-time aggregate of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  /// High-watermark gauges: largest value ever recorded (0 if never).
+  std::map<std::string, std::uint64_t> gauges;
+  struct HistogramData {
+    /// Upper bounds of the first bounds.size() buckets; bucket i counts
+    /// samples <= bounds[i], the final bucket counts the overflow.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t total = 0;
+  };
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, SpanStats> spans;
+};
+
+/// Process-wide metric registry. Use the handle classes below rather than
+/// calling the registry directly.
+class Registry {
+ public:
+  /// The singleton every handle records into.
+  static Registry& global();
+
+  /// Register (or look up) a metric; returns the first slot index. A name
+  /// may be registered repeatedly with the same kind/shape and resolves to
+  /// the same slots; re-registering with a different kind is an error.
+  std::size_t register_counter(const std::string& name);
+  std::size_t register_gauge(const std::string& name);
+  std::size_t register_histogram(const std::string& name,
+                                 std::vector<double> bounds);
+  std::size_t register_span(const std::string& name);
+
+  /// Hot-path slot operations (relaxed atomics on this thread's shard).
+  void add(std::size_t slot, std::uint64_t delta);
+  void record_max(std::size_t slot, std::uint64_t value);
+
+  /// Sum/ max-merge all shards into one deterministic snapshot.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every recorded value (metric registrations survive). Meant for
+  /// tests and between independent runs in one process; concurrent
+  /// recordings may survive the reset.
+  void reset_values();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+  ~Registry() = default;
+
+  friend class ShardHolder;
+
+  enum class Kind { kCounter, kGauge, kHistogram, kSpan };
+
+  struct Metric {
+    std::string name;
+    Kind kind{};
+    std::size_t first_slot = 0;
+    std::size_t num_slots = 0;
+    std::vector<double> bounds;  // histograms only
+  };
+
+  /// Fixed shard size: registering past this many slots is a precondition
+  /// error (raise it if the instrumentation ever legitimately outgrows it).
+  static constexpr std::size_t kMaxSlots = 1024;
+
+  struct Shard;
+  Shard& local_shard();
+  std::size_t register_metric(const std::string& name, Kind kind,
+                              std::size_t num_slots,
+                              std::vector<double> bounds);
+  std::uint64_t slot_value_locked(const Metric& m, std::size_t offset,
+                                  bool max_merge) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Metric> metrics_;
+  std::map<std::string, std::size_t> by_name_;  // name -> metrics_ index
+  std::size_t next_slot_ = 0;
+  /// Slots combined by max (gauges, span max_ns) instead of sum; consulted
+  /// when a retiring thread folds its shard into the accumulator.
+  std::array<bool, kMaxSlots> max_merge_slot_{};
+  std::vector<Shard*> shards_;                  // live per-thread shards
+  std::vector<std::atomic<std::uint64_t>>* retired_ = nullptr;  // lazily built
+};
+
+/// Monotonically increasing event count; aggregate = sum.
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : slot_(Registry::global().register_counter(name)) {}
+  void add(std::uint64_t delta = 1) const {
+    Registry::global().add(slot_, delta);
+  }
+
+ private:
+  std::size_t slot_;
+};
+
+/// High-watermark gauge; aggregate = max of recorded values.
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name)
+      : slot_(Registry::global().register_gauge(name)) {}
+  void record(std::uint64_t value) const {
+    Registry::global().record_max(slot_, value);
+  }
+
+ private:
+  std::size_t slot_;
+};
+
+/// Fixed-bound histogram; bucket i counts samples <= bounds[i], the last
+/// bucket the overflow. Bucket counts are integers, so aggregation is
+/// deterministic regardless of which thread observed each sample.
+class Histogram {
+ public:
+  Histogram(const std::string& name, std::vector<double> bounds);
+  void observe(double sample) const;
+
+ private:
+  std::size_t first_slot_;
+  std::vector<double> bounds_;
+};
+
+}  // namespace tokenring::obs

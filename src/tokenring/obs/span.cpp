@@ -1,0 +1,45 @@
+#include "tokenring/obs/span.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "tokenring/common/table.hpp"
+
+namespace tokenring::obs {
+
+std::map<std::string, SpanStats> span_profile() {
+  return Registry::global().snapshot().spans;
+}
+
+std::string format_span_profile() {
+  const auto spans = span_profile();
+  if (spans.empty()) return {};
+
+  std::vector<std::pair<std::string, SpanStats>> rows(spans.begin(),
+                                                      spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns) {
+      return a.second.total_ns > b.second.total_ns;
+    }
+    return a.first < b.first;
+  });
+
+  Table table({"span", "count", "total_ms", "mean_us", "max_us"});
+  for (const auto& [name, stats] : rows) {
+    const double total_ms = static_cast<double>(stats.total_ns) * 1e-6;
+    const double mean_us = stats.count == 0
+                               ? 0.0
+                               : static_cast<double>(stats.total_ns) /
+                                     static_cast<double>(stats.count) * 1e-3;
+    const double max_us = static_cast<double>(stats.max_ns) * 1e-3;
+    table.add_row({name, fmt(static_cast<long long>(stats.count)),
+                   fmt(total_ms, 3), fmt(mean_us, 3), fmt(max_us, 3)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace tokenring::obs

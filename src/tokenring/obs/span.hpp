@@ -1,0 +1,72 @@
+// RAII wall-time spans feeding the process-wide profile report.
+//
+// A Span measures one scope with steady_clock and records (count, total_ns,
+// max_ns) into the metric Registry under its name, so the profile aggregates
+// across threads and repeated entries. Span names are registered once per
+// call site; construct the handle as a function-local static when the scope
+// is hot:
+//
+//   void run_stage() {
+//     static const obs::SpanHandle handle("experiments/fig1_pdp");
+//     obs::Span span(handle);
+//     ...
+//   }
+//
+// The one-argument Span(name) convenience constructor does the registry
+// lookup on every entry; fine for per-run stages, wrong for per-trial loops.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::obs {
+
+/// Resolved slot range for a named span; cheap to copy, safe to share.
+class SpanHandle {
+ public:
+  explicit SpanHandle(const std::string& name)
+      : first_slot_(Registry::global().register_span(name)) {}
+  std::size_t first_slot() const { return first_slot_; }
+
+ private:
+  std::size_t first_slot_;
+};
+
+/// RAII timer: records one sample into the handle's span on destruction.
+class Span {
+ public:
+  explicit Span(const SpanHandle& handle)
+      : slot_(handle.first_slot()), start_(std::chrono::steady_clock::now()) {}
+  explicit Span(const std::string& name) : Span(SpanHandle(name)) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    Registry& reg = Registry::global();
+    reg.add(slot_ + 0, 1);
+    reg.add(slot_ + 1, ns);
+    reg.record_max(slot_ + 2, ns);
+  }
+
+ private:
+  std::size_t slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Current span aggregates (empty for spans never entered).
+std::map<std::string, SpanStats> span_profile();
+
+/// Aligned human-readable profile report, sorted by total time descending.
+/// Empty string when no span has fired.
+std::string format_span_profile();
+
+}  // namespace tokenring::obs

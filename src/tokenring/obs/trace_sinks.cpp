@@ -1,0 +1,96 @@
+#include "tokenring/obs/trace_sinks.hpp"
+
+#include <sstream>
+
+#include "tokenring/obs/json.hpp"
+
+namespace tokenring::obs {
+
+const char* json_kind_name(sim::TraceEventKind kind) {
+  switch (kind) {
+    case sim::TraceEventKind::kMessageArrival:
+      return "message_arrival";
+    case sim::TraceEventKind::kSyncFrameStart:
+      return "sync_frame_start";
+    case sim::TraceEventKind::kMessageComplete:
+      return "message_complete";
+    case sim::TraceEventKind::kDeadlineMiss:
+      return "deadline_miss";
+    case sim::TraceEventKind::kAsyncFrame:
+      return "async_frame";
+    case sim::TraceEventKind::kTokenArrival:
+      return "token_arrival";
+  }
+  return "unknown";
+}
+
+const char* json_detail_field(sim::TraceEventKind kind) {
+  switch (kind) {
+    case sim::TraceEventKind::kMessageArrival:
+      return "payload_bits";
+    case sim::TraceEventKind::kSyncFrameStart:
+    case sim::TraceEventKind::kAsyncFrame:
+      return "frame_time_s";
+    case sim::TraceEventKind::kMessageComplete:
+    case sim::TraceEventKind::kDeadlineMiss:
+      return "response_time_s";
+    case sim::TraceEventKind::kTokenArrival:
+      return "earliness_s";
+  }
+  return "detail";
+}
+
+std::string trace_record_json(const sim::TraceRecord& record) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("at_s").value_number(record.at);
+  w.key("kind").value_string(json_kind_name(record.kind));
+  w.key("station").value_int(record.station);
+  w.key(json_detail_field(record.kind)).value_number(record.detail);
+  w.end_object();
+  return os.str();
+}
+
+void FormatterSink::emit(const sim::TraceRecord& record) {
+  os_ << sim::format_trace_record(record) << '\n';
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(path), os_(&file_) {}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::emit(const sim::TraceRecord& record) {
+  buffer_ += trace_record_json(record);
+  buffer_ += '\n';
+  // Flush in coarse chunks so tracing a long run is not one write() per
+  // event.
+  if (buffer_.size() >= 64 * 1024) flush();
+}
+
+void JsonlTraceSink::flush() {
+  if (os_ == nullptr || buffer_.empty()) return;
+  os_->write(buffer_.data(),
+             static_cast<std::streamsize>(buffer_.size()));
+  os_->flush();
+  buffer_.clear();
+}
+
+void RingBufferSink::emit(const sim::TraceRecord& record) {
+  if (first_miss_) return;  // frozen
+  if (record.kind == sim::TraceEventKind::kDeadlineMiss) {
+    first_miss_ = record;
+    return;
+  }
+  window_.push_back(record);
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+std::vector<sim::TraceRecord> RingBufferSink::before_miss() const {
+  return std::vector<sim::TraceRecord>(window_.begin(), window_.end());
+}
+
+}  // namespace tokenring::obs

@@ -1,0 +1,111 @@
+// Concrete TraceSink implementations for the simulators.
+//
+//  * FormatterSink   — human-readable timeline lines to any ostream.
+//  * JsonlTraceSink  — buffered JSONL: one compact JSON object per record
+//                      with stable, kind-specific field names.
+//  * RingBufferSink  — failure forensics: retains the last N records seen
+//                      before the first deadline miss, then freezes.
+//  * FanOutSink      — broadcasts each record to several sinks.
+//
+// All sinks are synchronous and single-threaded like the simulators that
+// feed them; share one sink across concurrent sims only with external
+// locking (or give each trial its own).
+
+#pragma once
+
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tokenring/sim/trace.hpp"
+
+namespace tokenring::obs {
+
+/// Stable lower_snake_case kind name used in JSONL output (to_string() is
+/// the human display name and is not part of the schema).
+const char* json_kind_name(sim::TraceEventKind kind);
+
+/// JSON field name carrying the record's kind-specific quantity, e.g.
+/// "response_time_s" for completions and misses, "payload_bits" for
+/// arrivals. See sim::TraceRecord's accessors for the unit conventions.
+const char* json_detail_field(sim::TraceEventKind kind);
+
+/// Render one record as a single-line JSON object (no trailing newline):
+///   {"at_s":0.00125,"kind":"message_complete","station":3,
+///    "response_time_s":0.0004}
+std::string trace_record_json(const sim::TraceRecord& record);
+
+/// Writes format_trace_record() lines to an ostream.
+class FormatterSink final : public sim::TraceSink {
+ public:
+  explicit FormatterSink(std::ostream& os) : os_(os) {}
+  void emit(const sim::TraceRecord& record) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Buffered JSONL writer: one JSON object per line. Lines are buffered and
+/// flushed when the buffer passes a threshold, on flush(), and at
+/// destruction.
+class JsonlTraceSink final : public sim::TraceSink {
+ public:
+  /// Write to a file (truncates). Check ok() before running the sim.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Write to an existing stream (tests).
+  explicit JsonlTraceSink(std::ostream& os);
+  ~JsonlTraceSink() override;
+
+  bool ok() const { return os_ != nullptr && os_->good(); }
+  void emit(const sim::TraceRecord& record) override;
+  void flush();
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  std::string buffer_;
+};
+
+/// Retains a sliding window of the most recent records; on the first
+/// kDeadlineMiss the window freezes, preserving exactly the `capacity`
+/// events (fewer if the sim was younger) that preceded the miss. The miss
+/// record itself is captured separately.
+class RingBufferSink final : public sim::TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity) : capacity_(capacity) {}
+
+  void emit(const sim::TraceRecord& record) override;
+
+  /// Records preceding the first miss, oldest first (the live window if no
+  /// miss has occurred yet).
+  std::vector<sim::TraceRecord> before_miss() const;
+  const std::optional<sim::TraceRecord>& first_miss() const {
+    return first_miss_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<sim::TraceRecord> window_;
+  std::optional<sim::TraceRecord> first_miss_;
+};
+
+/// Broadcasts each record to every registered sink, in order. Sinks are
+/// borrowed, not owned.
+class FanOutSink final : public sim::TraceSink {
+ public:
+  FanOutSink() = default;
+  explicit FanOutSink(std::vector<sim::TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void add(sim::TraceSink* sink) { sinks_.push_back(sink); }
+  void emit(const sim::TraceRecord& record) override {
+    for (sim::TraceSink* sink : sinks_) sink->emit(record);
+  }
+
+ private:
+  std::vector<sim::TraceSink*> sinks_;
+};
+
+}  // namespace tokenring::obs

@@ -3,8 +3,30 @@
 #include <sstream>
 
 #include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
 
 namespace tokenring::sim {
+
+void record_run_observability(const SimMetrics& metrics, std::size_t events) {
+  static const obs::Counter runs("sim.runs");
+  static const obs::Counter sim_events("sim.events");
+  static const obs::Counter released("sim.messages_released");
+  static const obs::Counter completed("sim.messages_completed");
+  static const obs::Counter misses("sim.deadline_misses");
+  static const obs::Counter rotations("sim.token_rotations");
+  static const obs::Counter async_frames("sim.async_frames_sent");
+  static const obs::Counter recoveries("sim.recovery_invocations");
+  static const obs::Gauge queue_depth("sim.max_queue_depth");
+  runs.add();
+  sim_events.add(events);
+  released.add(metrics.messages_released);
+  completed.add(metrics.messages_completed);
+  misses.add(metrics.deadline_misses);
+  rotations.add(metrics.token_rotation.count());
+  async_frames.add(metrics.async_frames_sent);
+  recoveries.add(metrics.faults_injected());
+  queue_depth.record(metrics.max_queue_depth);
+}
 
 void SimMetrics::on_release(int station) {
   ++messages_released;

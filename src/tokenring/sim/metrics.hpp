@@ -70,6 +70,8 @@ struct SimMetrics {
   std::vector<OutageWindow> outages;
   /// Per-station breakdown (only stations carrying a stream appear).
   std::map<int, StationStats> per_station;
+  /// Deepest backlog any single stream queue reached during the run.
+  std::size_t max_queue_depth = 0;
 
   /// Record one released message at `station`.
   void on_release(int station);
@@ -87,6 +89,10 @@ struct SimMetrics {
   /// [begin, end] (begin == end for faults with no outage, e.g. a
   /// corruption hitting an idle medium).
   void on_fault(fault::FaultKind kind, Seconds begin, Seconds end);
+  /// Record one stream queue's depth after an enqueue (high watermark).
+  void on_queue_depth(std::size_t depth) {
+    if (depth > max_queue_depth) max_queue_depth = depth;
+  }
 
   /// Total faults injected across all kinds.
   std::size_t faults_injected() const;
@@ -111,5 +117,11 @@ struct SimMetrics {
   /// recent overlapping outage, if any.
   void attribute_miss(Seconds begin, Seconds end);
 };
+
+/// Fold one finished run into the process-wide obs counters (sim.runs,
+/// sim.events, message/rotation/fault tallies, the queue-depth gauge). Both
+/// simulators call this exactly once at the end of run(), so instrumentation
+/// costs one bump per trial, never per event.
+void record_run_observability(const SimMetrics& metrics, std::size_t events);
 
 }  // namespace tokenring::sim

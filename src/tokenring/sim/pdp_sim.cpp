@@ -83,7 +83,9 @@ int PdpSimulation::first_alive() const {
 
 void PdpSimulation::emit(TraceEventKind kind, int station,
                          double detail) const {
-  if (cfg_.trace) cfg_.trace(TraceRecord{sim_.now(), kind, station, detail});
+  if (cfg_.trace) {
+    cfg_.trace->emit(TraceRecord{sim_.now(), kind, station, detail});
+  }
 }
 
 Seconds PdpSimulation::hops_time(int from, int to) const {
@@ -121,6 +123,7 @@ void PdpSimulation::on_arrival(int station, std::size_t stream_idx) {
     local.queue.push_back(
         PendingMessage{sim_.now(), local.spec.payload_bits});
     metrics_.on_release(station);
+    metrics_.on_queue_depth(local.queue.size());
     emit(TraceEventKind::kMessageArrival, station, local.spec.payload_bits);
   }
   Seconds gap = local.spec.period;
@@ -470,6 +473,7 @@ SimMetrics PdpSimulation::run() {
       }
     }
   }
+  record_run_observability(metrics_, sim_.events_executed());
   return metrics_;
 }
 

@@ -74,8 +74,9 @@ struct PdpSimConfig {
   double arrival_jitter = 0.0;
   /// Seed for random phasing, Poisson arrivals and sporadic jitter.
   std::uint64_t seed = 1;
-  /// Optional event trace (see trace.hpp); empty = no tracing.
-  TraceHook trace;
+  /// Optional event sink (see trace.hpp); null = no tracing. The sink must
+  /// outlive the run and is invoked synchronously on the simulation thread.
+  TraceSink* trace = nullptr;
   /// Failure injection: every fault in the plan is applied with the 802.5
   /// recovery machinery (fault/recovery.hpp). Token loss / noise /
   /// duplicate token trigger the active monitor; a corrupted frame is

@@ -1,14 +1,17 @@
 // Optional event tracing for the protocol simulators.
 //
-// Install a TraceHook in a simulation config to receive every notable
-// protocol event with its timestamp; the ring_simulation example uses this
-// to print a human-readable timeline. Tracing is off (empty hook) by
-// default and costs nothing when disabled.
+// Point a simulation config's `trace` at a TraceSink to receive every
+// notable protocol event with its timestamp. Tracing is off (null sink) by
+// default and costs nothing when disabled. Concrete sinks — human-readable
+// formatter, buffered JSONL file, ring buffer, fan-out — live in
+// tokenring/obs/trace_sinks.hpp; CallbackSink below adapts an arbitrary
+// lambda for tests and examples.
 
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "tokenring/common/units.hpp"
 
@@ -33,20 +36,47 @@ enum class TraceEventKind {
 /// Display name for a trace event kind.
 const char* to_string(TraceEventKind kind);
 
-/// One traced event.
+/// One traced event. The raw `detail` field is kind-overloaded; prefer the
+/// named accessors, which document the unit and which kinds carry them.
 struct TraceRecord {
   Seconds at = 0.0;
   TraceEventKind kind{};
   int station = -1;
-  /// Kind-specific quantity: response time for kMessageComplete /
-  /// kDeadlineMiss, frame time for frame events, earliness for
-  /// kTokenArrival (TTP). 0 when not applicable.
+  /// Kind-specific quantity; see the accessors below for the mapping.
   double detail = 0.0;
+
+  /// Message response time in seconds (release -> last bit). Meaningful for
+  /// kMessageComplete and kDeadlineMiss.
+  Seconds response_time() const { return detail; }
+  /// Frame transmission time in seconds. Meaningful for kSyncFrameStart and
+  /// kAsyncFrame.
+  Seconds frame_time() const { return detail; }
+  /// Token earliness in seconds (TTRT minus observed rotation time; TTP
+  /// timed-token protocol only). Meaningful for kTokenArrival.
+  Seconds earliness() const { return detail; }
+  /// Message payload size in bits. Meaningful for kMessageArrival.
+  double payload_bits() const { return detail; }
 };
 
-/// Callback invoked synchronously for each event; must not re-enter the
-/// simulation.
-using TraceHook = std::function<void(const TraceRecord&)>;
+/// Receives simulator events synchronously. Implementations must not
+/// re-enter the simulation from emit().
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceRecord& record) = 0;
+};
+
+/// Adapts a callable (lambda, std::function) as a TraceSink; the idiom for
+/// tests and one-off examples that just collect records.
+class CallbackSink final : public TraceSink {
+ public:
+  explicit CallbackSink(std::function<void(const TraceRecord&)> fn)
+      : fn_(std::move(fn)) {}
+  void emit(const TraceRecord& record) override { fn_(record); }
+
+ private:
+  std::function<void(const TraceRecord&)> fn_;
+};
 
 /// Render one record as a fixed-width line ("[  1.234 ms] station  3 ...").
 std::string format_trace_record(const TraceRecord& record);

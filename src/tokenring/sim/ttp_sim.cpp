@@ -72,7 +72,9 @@ int TtpSimulation::first_alive() const {
 
 void TtpSimulation::emit(TraceEventKind kind, int station,
                          double detail) const {
-  if (cfg_.trace) cfg_.trace(TraceRecord{sim_.now(), kind, station, detail});
+  if (cfg_.trace) {
+    cfg_.trace->emit(TraceRecord{sim_.now(), kind, station, detail});
+  }
 }
 
 void TtpSimulation::materialize_arrivals(int station, Station& st,
@@ -83,10 +85,11 @@ void TtpSimulation::materialize_arrivals(int station, Station& st,
         local.queue.push_back(
             PendingMessage{local.next_release, local.spec.payload_bits});
         metrics_.on_release(station);
+        metrics_.on_queue_depth(local.queue.size());
         if (cfg_.trace) {
-          cfg_.trace(TraceRecord{local.next_release,
-                                 TraceEventKind::kMessageArrival, station,
-                                 local.spec.payload_bits});
+          cfg_.trace->emit(TraceRecord{local.next_release,
+                                       TraceEventKind::kMessageArrival, station,
+                                       local.spec.payload_bits});
         }
       }
       local.next_release += local.spec.period;
@@ -131,11 +134,11 @@ Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
       metrics_.on_completion(station, head.arrival, response,
                              stream.spec.period, deadline, kDeadlineSlack);
       if (cfg_.trace) {
-        cfg_.trace(TraceRecord{completion, TraceEventKind::kMessageComplete,
-                               station, response});
+        cfg_.trace->emit(TraceRecord{
+            completion, TraceEventKind::kMessageComplete, station, response});
         if (response > deadline + kDeadlineSlack) {
-          cfg_.trace(TraceRecord{completion, TraceEventKind::kDeadlineMiss,
-                                 station, response});
+          cfg_.trace->emit(TraceRecord{
+              completion, TraceEventKind::kDeadlineMiss, station, response});
         }
       }
       stream.queue.pop_front();
@@ -391,6 +394,7 @@ SimMetrics TtpSimulation::run() {
       }
     }
   }
+  record_run_observability(metrics_, sim_.events_executed());
   return metrics_;
 }
 

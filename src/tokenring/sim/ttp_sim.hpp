@@ -68,8 +68,9 @@ struct TtpSimConfig {
   /// periodic (the paper's model); the analyses stay valid upper bounds.
   double arrival_jitter = 0.0;
   std::uint64_t seed = 1;
-  /// Optional event trace (see trace.hpp); empty = no tracing.
-  TraceHook trace;
+  /// Optional event sink (see trace.hpp); null = no tracing. The sink must
+  /// outlive the run and is invoked synchronously on the simulation thread.
+  TraceSink* trace = nullptr;
   /// Failure injection: every fault in the plan is applied with the FDDI
   /// recovery machinery (fault/recovery.hpp). Token loss is detected when a
   /// rotation timer expires with Late_Ct already set (up to 2*TTRT after

@@ -47,7 +47,8 @@ TtpSimConfig ttp_config(int stations, BitsPerSecond bw, Seconds ttrt) {
 TEST(Trace, PdpEmitsLifecycleEvents) {
   auto cfg = pdp_config(2, mbps(10));
   std::vector<TraceRecord> records;
-  cfg.trace = [&](const TraceRecord& r) { records.push_back(r); };
+  CallbackSink sink([&](const TraceRecord& r) { records.push_back(r); });
+  cfg.trace = &sink;
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 1'024.0, 0));
   run_pdp_simulation(set, cfg);
@@ -73,7 +74,8 @@ TEST(Trace, PdpEmitsLifecycleEvents) {
 TEST(Trace, TtpEmitsTokenArrivals) {
   auto cfg = ttp_config(4, mbps(100), milliseconds(2));
   std::vector<TraceRecord> records;
-  cfg.trace = [&](const TraceRecord& r) { records.push_back(r); };
+  CallbackSink sink([&](const TraceRecord& r) { records.push_back(r); });
+  cfg.trace = &sink;
   TtpSimulation sim(msg::MessageSet{}, cfg);
   sim.run();
   const auto tokens = std::count_if(

@@ -3,6 +3,7 @@
 // executable (path injected by CMake as TOKENRING_TOOL_PATH).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
@@ -37,7 +38,11 @@ RunResult run_tool(const std::string& args) {
 }
 
 std::string temp_path(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // ctest runs each gtest case as its own process, possibly in parallel;
+  // the pid keeps concurrent cases from clobbering each other's files.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "_" + name))
+      .string();
 }
 
 void write_scenario(const std::string& path, const std::string& body) {
@@ -171,7 +176,7 @@ TEST_F(ToolTest, FaultcheckRequiresFileFlag) {
 TEST_F(ToolTest, GenerateRoundTripsThroughCheck) {
   const std::string path = temp_path("tool_test_generated.csv");
   const auto gen = run_tool("generate --stations=8 --utilization=0.2 "
-                            "--bandwidth-mbps=100 --out=" + path);
+                            "--bandwidth-mbps=100 --file=" + path);
   EXPECT_EQ(gen.exit_code, 0) << gen.output;
   const auto check = run_tool("check --file=" + path +
                               " --protocol=fddi --bandwidth-mbps=100");
@@ -183,6 +188,76 @@ TEST_F(ToolTest, GenerateToStdoutIsValidCsv) {
   const auto r = run_tool("generate --stations=4 --utilization=0.1");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_EQ(r.output.rfind("station,period_ms,payload_bits", 0), 0u);
+}
+
+TEST_F(ToolTest, HelpListsEveryCommand) {
+  const auto r = run_tool("help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* cmd :
+       {"check", "faultcheck", "plan", "simulate", "advise", "generate"}) {
+    EXPECT_NE(r.output.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(ToolTest, HelpForOneCommandShowsItsFlags) {
+  const auto r = run_tool("help simulate");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--trace-jsonl"), std::string::npos);
+  EXPECT_NE(r.output.find("--format"), std::string::npos);
+}
+
+TEST_F(ToolTest, JsonFormatEmitsManifestOnStdout) {
+  const auto r = run_tool("check --file=" + light_ +
+                          " --protocol=fddi --format=json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.rfind("{", 0), 0u) << r.output;
+  EXPECT_NE(r.output.find("\"schema\": \"tokenring.run_manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"tool\": \"tokenring_tool check\""),
+            std::string::npos);
+  // Human banner is suppressed: nothing outside the JSON document.
+  EXPECT_EQ(r.output.find("SCHEDULABLE ("), std::string::npos);
+}
+
+TEST_F(ToolTest, ManifestFileIsWrittenInTableMode) {
+  const std::string path = temp_path("tool_test_manifest.json");
+  const auto r = run_tool("check --file=" + light_ +
+                          " --protocol=fddi --out=" + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("SCHEDULABLE"), std::string::npos);  // still human
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string manifest((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(manifest.find("tokenring.run_manifest/1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, SimulateWritesJsonlTrace) {
+  const std::string path = temp_path("tool_test_trace.jsonl");
+  const auto r = run_tool("simulate --file=" + light_ +
+                          " --protocol=fddi --horizon-ms=50 "
+                          "--trace-jsonl=" + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"at_s\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ToolTest, BadFormatValueFails) {
+  const auto r = run_tool("check --file=" + light_ + " --format=xml");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --format"), std::string::npos);
 }
 
 }  // namespace

@@ -7,17 +7,23 @@
 //   tokenring_tool advise   --stations=100 --mean-period-ms=100
 //                                       --bandwidths-mbps=4,16,100
 //   tokenring_tool generate --stations=32 --utilization=0.4
-//                                       --bandwidth-mbps=100 --out=set.csv
+//                                       --bandwidth-mbps=100 --file=set.csv
 //   tokenring_tool faultcheck --file=set.csv --protocol=fddi
 //                                       --bandwidth-mbps=100
+//   tokenring_tool help [command]
+//
+// Every command also takes the shared observability flags: --format
+// (table|csv|json), --out <manifest.json>, --profile. `generate` writes its
+// scenario with --file; --out is always the run-manifest path.
 //
 // Exit codes: 0 = success / schedulable, 2 = not schedulable (check,
-// faultcheck), 1 = usage or input error.
+// faultcheck, plan, simulate), 1 = usage or input error.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "tokenring/analysis/async_capacity.hpp"
@@ -31,6 +37,8 @@
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/msg/io.hpp"
 #include "tokenring/net/standards.hpp"
+#include "tokenring/obs/report.hpp"
+#include "tokenring/obs/trace_sinks.hpp"
 #include "tokenring/planner/advisor.hpp"
 #include "tokenring/sim/pdp_sim.hpp"
 #include "tokenring/sim/ttp_sim.hpp"
@@ -39,15 +47,6 @@
 using namespace tokenring;
 
 namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: tokenring_tool <check|faultcheck|plan|simulate|advise|generate> "
-      "[--flag=value ...]\n"
-      "run a command with --help for its flags\n");
-  return 1;
-}
 
 struct ParsedProtocol {
   bool is_ttp = false;
@@ -86,15 +85,28 @@ msg::MessageSet load_or_die(const std::string& path) {
   return msg::load_message_set(path);
 }
 
+/// Record a table in the manifest and print it the way this tool always
+/// has in table mode (aligned, no trailing CSV block); print only the CSV
+/// form in csv mode.
+void emit_table(obs::RunReport& report, const std::string& name,
+                const Table& table) {
+  report.record_table(name, table);
+  if (report.verbose()) {
+    table.print(std::cout);
+  } else if (report.format() == obs::OutputFormat::kCsv) {
+    table.print_csv(std::cout);
+  }
+}
+
 // ---- check -------------------------------------------------------------------
 
-int cmd_check(int argc, char** argv) {
-  CliFlags flags;
+void flags_check(CliFlags& flags) {
   flags.declare("file", "", "scenario CSV (station,period_ms,payload_bits)");
   flags.declare("protocol", "fddi", "ieee8025 | modified8025 | fddi");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
-  if (!flags.parse(argc, argv)) return 1;
+}
 
+int cmd_check(const CliFlags& flags, obs::RunReport& report) {
   ParsedProtocol proto;
   if (!parse_protocol(flags.get_string("protocol"), proto)) return 1;
   const auto set = load_or_die(flags.get_string("file"));
@@ -102,13 +114,14 @@ int cmd_check(int argc, char** argv) {
   const int n = ring_size_for(set);
 
   bool ok;
+  Table verdict({"protocol", "schedulable"});
   if (proto.is_ttp) {
     analysis::TtpParams p;
     p.ring = net::fddi_ring(n);
     p.frame = p.async_frame = net::paper_frame_format();
     const auto v = analysis::ttp_schedulable(set, p, bw);
     ok = v.schedulable;
-    std::printf("%s: %s (TTRT %.3f ms, allocated %.3f / available %.3f ms)\n",
+    report.note("%s: %s (TTRT %.3f ms, allocated %.3f / available %.3f ms)\n",
                 flags.get_string("protocol").c_str(),
                 ok ? "SCHEDULABLE" : "NOT SCHEDULABLE",
                 to_milliseconds(v.ttrt), to_milliseconds(v.allocated),
@@ -120,31 +133,36 @@ int cmd_check(int argc, char** argv) {
     p.variant = proto.variant;
     const auto v = analysis::pdp_schedulable(set, p, bw);
     ok = v.schedulable;
-    std::printf("%s: %s (blocking %.1f us)\n",
+    report.note("%s: %s (blocking %.1f us)\n",
                 flags.get_string("protocol").c_str(),
                 ok ? "SCHEDULABLE" : "NOT SCHEDULABLE",
                 to_microseconds(v.blocking));
     for (const auto& r : v.reports) {
       if (!r.schedulable) {
-        std::printf("  station %d misses: C'=%.3f ms in P=%.1f ms\n",
+        report.note("  station %d misses: C'=%.3f ms in P=%.1f ms\n",
                     r.stream.station, to_milliseconds(r.augmented_length),
                     to_milliseconds(r.stream.period));
       }
     }
+  }
+  verdict.add_row({flags.get_string("protocol"), ok ? "yes" : "no"});
+  report.record_table("verdict", verdict);
+  if (report.format() == obs::OutputFormat::kCsv) {
+    verdict.print_csv(std::cout);
   }
   return ok ? 0 : 2;
 }
 
 // ---- faultcheck --------------------------------------------------------------
 
-int cmd_faultcheck(int argc, char** argv) {
-  CliFlags flags;
+void flags_faultcheck(CliFlags& flags) {
   flags.declare("file", "", "scenario CSV (station,period_ms,payload_bits)");
   flags.declare("protocol", "fddi", "ieee8025 | modified8025 | fddi");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("noise-ms", "1", "noise burst duration [ms]");
-  if (!flags.parse(argc, argv)) return 1;
+}
 
+int cmd_faultcheck(const CliFlags& flags, obs::RunReport& report) {
   ParsedProtocol proto;
   if (!parse_protocol(flags.get_string("protocol"), proto)) return 1;
   const auto set = load_or_die(flags.get_string("file"));
@@ -157,13 +175,12 @@ int cmd_faultcheck(int argc, char** argv) {
   bool fault_free = false;
   Table table({"fault_kind", "recovery_us", "margin"});
   const auto add_row = [&](fault::FaultKind kind,
-                           const fault::FaultMarginReport& report) {
-    fault_free = report.fault_free_schedulable;
+                           const fault::FaultMarginReport& fmr) {
+    fault_free = fmr.fault_free_schedulable;
     table.add_row({fault::to_string(kind),
-                   fmt(to_microseconds(report.recovery_per_fault), 1),
-                   report.margin < 0 ? std::string("-")
-                                     : fmt(static_cast<long long>(
-                                           report.margin))});
+                   fmt(to_microseconds(fmr.recovery_per_fault), 1),
+                   fmr.margin < 0 ? std::string("-")
+                                  : fmt(static_cast<long long>(fmr.margin))});
   };
 
   if (proto.is_ttp) {
@@ -187,11 +204,11 @@ int cmd_faultcheck(int argc, char** argv) {
     }
   }
 
-  std::printf("%s at %.0f Mbps: %s fault-free\n",
+  report.note("%s at %.0f Mbps: %s fault-free\n",
               flags.get_string("protocol").c_str(), to_mbps(bw),
               fault_free ? "SCHEDULABLE" : "NOT SCHEDULABLE");
-  table.print(std::cout);
-  std::printf(
+  emit_table(report, "fault_margins", table);
+  report.note(
       "(margin = max faults of that kind per period the fault-aware\n"
       " criterion still guarantees; '-' = infeasible even fault-free)\n");
   return fault_free ? 0 : 2;
@@ -199,12 +216,12 @@ int cmd_faultcheck(int argc, char** argv) {
 
 // ---- plan --------------------------------------------------------------------
 
-int cmd_plan(int argc, char** argv) {
-  CliFlags flags;
+void flags_plan(CliFlags& flags) {
   flags.declare("file", "", "scenario CSV");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
-  if (!flags.parse(argc, argv)) return 1;
+}
 
+int cmd_plan(const CliFlags& flags, obs::RunReport& report) {
   const auto set = load_or_die(flags.get_string("file"));
   const BitsPerSecond bw = mbps(flags.get_double("bandwidth-mbps"));
   const int n = ring_size_for(set);
@@ -213,7 +230,7 @@ int cmd_plan(int argc, char** argv) {
   ttp.ring = net::fddi_ring(n);
   ttp.frame = ttp.async_frame = net::paper_frame_format();
   const auto v = analysis::ttp_schedulable(set, ttp, bw);
-  std::printf("FDDI plan at %.0f Mbps: TTRT %.3f ms (%s)\n", to_mbps(bw),
+  report.note("FDDI plan at %.0f Mbps: TTRT %.3f ms (%s)\n", to_mbps(bw),
               to_milliseconds(v.ttrt),
               v.schedulable ? "schedulable" : "NOT schedulable");
 
@@ -231,16 +248,15 @@ int cmd_plan(int argc, char** argv) {
                    fmt(to_milliseconds(b.response_bound), 2),
                    fmt(to_milliseconds(b.slack), 2)});
   }
-  table.print(std::cout);
-  std::printf("async capacity left: %.1f%%\n",
+  emit_table(report, "latency_plan", table);
+  report.note("async capacity left: %.1f%%\n",
               100.0 * analysis::ttp_async_capacity(set, ttp, bw));
   return v.schedulable ? 0 : 2;
 }
 
 // ---- simulate ------------------------------------------------------------------
 
-int cmd_simulate(int argc, char** argv) {
-  CliFlags flags;
+void flags_simulate(CliFlags& flags) {
   flags.declare("file", "", "scenario CSV");
   flags.declare("protocol", "fddi", "ieee8025 | modified8025 | fddi");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
@@ -248,8 +264,11 @@ int cmd_simulate(int argc, char** argv) {
   flags.declare("async", "saturating", "none|saturating|poisson");
   flags.declare("async-fps", "1000", "Poisson async frames/s per station");
   flags.declare("seed", "1", "simulation seed");
-  if (!flags.parse(argc, argv)) return 1;
+  flags.declare("trace-jsonl", "",
+                "write every trace event to this file as JSON Lines");
+}
 
+int cmd_simulate(const CliFlags& flags, obs::RunReport& report) {
   ParsedProtocol proto;
   if (!parse_protocol(flags.get_string("protocol"), proto)) return 1;
   const auto set = load_or_die(flags.get_string("file"));
@@ -269,6 +288,16 @@ int cmd_simulate(int argc, char** argv) {
     return 1;
   }
 
+  const std::string trace_path = flags.get_string("trace-jsonl");
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::JsonlTraceSink>(trace_path);
+    if (!trace->ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
   sim::SimMetrics m;
   if (proto.is_ttp) {
     analysis::TtpParams p;
@@ -279,6 +308,7 @@ int cmd_simulate(int argc, char** argv) {
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.trace = trace.get();
     m = sim::run_ttp_simulation(set, cfg);
   } else {
     analysis::PdpParams p;
@@ -290,16 +320,36 @@ int cmd_simulate(int argc, char** argv) {
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.trace = trace.get();
     m = sim::run_pdp_simulation(set, cfg);
   }
-  std::printf("%s", m.summary().c_str());
+  report.note("%s", m.summary().c_str());
+
+  Table table({"released", "completed", "misses", "miss_ratio",
+               "mean_response_ms", "token_rotation_ms", "async_frames",
+               "max_queue_depth"});
+  table.add_row({fmt(static_cast<long long>(m.messages_released)),
+                 fmt(static_cast<long long>(m.messages_completed)),
+                 fmt(static_cast<long long>(m.deadline_misses)),
+                 fmt(m.miss_ratio(), 4),
+                 fmt(m.response_time.count() > 0
+                         ? to_milliseconds(m.response_time.mean())
+                         : 0.0,
+                     4),
+                 fmt(m.token_rotation.count() > 0
+                         ? to_milliseconds(m.token_rotation.mean())
+                         : 0.0,
+                     4),
+                 fmt(static_cast<long long>(m.async_frames_sent)),
+                 fmt(static_cast<long long>(m.max_queue_depth))});
+  report.record_table("metrics", table);
+  if (report.format() == obs::OutputFormat::kCsv) table.print_csv(std::cout);
   return m.deadline_misses == 0 ? 0 : 2;
 }
 
 // ---- advise --------------------------------------------------------------------
 
-int cmd_advise(int argc, char** argv) {
-  CliFlags flags;
+void flags_advise(CliFlags& flags) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("mean-period-ms", "100", "average period [ms]");
   flags.declare("period-ratio", "10", "max/min period ratio");
@@ -307,8 +357,9 @@ int cmd_advise(int argc, char** argv) {
   flags.declare("sets", "50", "Monte Carlo sets per estimate");
   flags.declare("seed", "1", "RNG seed");
   declare_jobs_flag(flags);
-  if (!flags.parse(argc, argv)) return 1;
+}
 
+int cmd_advise(const CliFlags& flags, obs::RunReport& report) {
   planner::TrafficProfile profile;
   profile.num_stations = static_cast<int>(flags.get_int("stations"));
   profile.mean_period = milliseconds(flags.get_double("mean-period-ms"));
@@ -325,8 +376,8 @@ int cmd_advise(int argc, char** argv) {
                    fmt(rec.fddi, 3), fmt(rec.modified8025_resilience, 1),
                    fmt(rec.fddi_resilience, 1), planner::to_string(rec.best)});
   }
-  table.print(std::cout);
-  std::printf(
+  emit_table(report, "recommendations", table);
+  report.note(
       "(resil_* = mean token losses per period absorbed at 70%% of each\n"
       " sampled set's schedulability boundary)\n");
   return 0;
@@ -334,8 +385,7 @@ int cmd_advise(int argc, char** argv) {
 
 // ---- generate ------------------------------------------------------------------
 
-int cmd_generate(int argc, char** argv) {
-  CliFlags flags;
+void flags_generate(CliFlags& flags) {
   flags.declare("stations", "32", "stations / streams");
   flags.declare("mean-period-ms", "100", "average period [ms]");
   flags.declare("period-ratio", "10", "max/min period ratio");
@@ -344,9 +394,12 @@ int cmd_generate(int argc, char** argv) {
   flags.declare("deadline-fraction", "1.0",
                 "relative deadline as a fraction of the period (1 = paper model)");
   flags.declare("seed", "1", "RNG seed");
-  flags.declare("out", "", "output file (empty = stdout)");
-  if (!flags.parse(argc, argv)) return 1;
+  flags.declare("file", "",
+                "output scenario file (empty = stdout; required with "
+                "--format=json, whose stdout is the manifest)");
+}
 
+int cmd_generate(const CliFlags& flags, obs::RunReport& report) {
   msg::GeneratorConfig g;
   g.num_streams = static_cast<int>(flags.get_int("stations"));
   g.mean_period = milliseconds(flags.get_double("mean-period-ms"));
@@ -360,14 +413,83 @@ int cmd_generate(int argc, char** argv) {
   const double target = flags.get_double("utilization");
   set = set.scaled(target / set.utilization(bw));
 
-  const std::string out = flags.get_string("out");
+  const std::string out = flags.get_string("file");
   if (out.empty()) {
-    std::printf("%s", msg::to_csv(set).c_str());
+    if (report.format() == obs::OutputFormat::kJson) {
+      std::fprintf(stderr,
+                   "generate --format=json needs --file: stdout carries the "
+                   "run manifest\n");
+      return 1;
+    }
+    // The scenario itself is the payload, so it prints in csv mode too.
+    std::fputs(msg::to_csv(set).c_str(), stdout);
   } else {
     msg::save_message_set(out, set);
-    std::printf("wrote %zu streams (U=%.3f at %.0f Mbps) to %s\n", set.size(),
+    report.note("wrote %zu streams (U=%.3f at %.0f Mbps) to %s\n", set.size(),
                 set.utilization(bw), to_mbps(bw), out.c_str());
   }
+  return 0;
+}
+
+// ---- registry ------------------------------------------------------------------
+
+struct Command {
+  const char* name;
+  const char* summary;
+  void (*declare_flags)(CliFlags&);
+  int (*run)(const CliFlags&, obs::RunReport&);
+};
+
+constexpr Command kCommands[] = {
+    {"check", "schedulability verdict for one scenario", flags_check,
+     cmd_check},
+    {"faultcheck", "fault margins per fault kind for one scenario",
+     flags_faultcheck, cmd_faultcheck},
+    {"plan", "FDDI TTRT plan with per-station latency bounds", flags_plan,
+     cmd_plan},
+    {"simulate", "event-driven simulation of one scenario", flags_simulate,
+     cmd_simulate},
+    {"advise", "recommend a protocol per candidate bandwidth", flags_advise,
+     cmd_advise},
+    {"generate", "draw a random scenario at a target utilization",
+     flags_generate, cmd_generate},
+};
+
+const Command* find_command(const std::string& name) {
+  for (const Command& c : kCommands) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: tokenring_tool <command> [--flag=value ...]\n");
+  for (const Command& c : kCommands) {
+    std::fprintf(stderr, "  %-10s %s\n", c.name, c.summary);
+  }
+  std::fprintf(stderr,
+               "  %-10s %s\n"
+               "shared flags on every command: --format=table|csv|json, "
+               "--out=<manifest.json>, --profile\n"
+               "run `tokenring_tool help <command>` for its flags\n",
+               "help", "list commands, or show one command's flags");
+  return 1;
+}
+
+int cmd_help(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 0;  // explicit help request: not an error
+  }
+  const Command* c = find_command(argv[1]);
+  if (!c) {
+    std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+    return usage();
+  }
+  CliFlags flags;
+  c->declare_flags(flags);
+  obs::declare_report_flags(flags);
+  flags.print_usage(std::string("tokenring_tool ") + c->name);
   return 0;
 }
 
@@ -376,15 +498,26 @@ int cmd_generate(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  // Shift argv so each command's CliFlags sees its own flags.
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    return cmd_help(argc - 1, argv + 1);
+  }
+  const Command* c = find_command(cmd);
+  if (!c) return usage();
+
+  CliFlags flags;
+  c->declare_flags(flags);
+  obs::declare_report_flags(flags);
+  // Shift argv so the command's CliFlags sees its own flags.
   argv[1] = argv[0];
+  if (!flags.parse(argc - 1, argv + 1)) return 1;
+
+  obs::RunReport report(std::string("tokenring_tool ") + c->name);
+  if (!report.init(flags)) return 1;
+
   try {
-    if (cmd == "check") return cmd_check(argc - 1, argv + 1);
-    if (cmd == "faultcheck") return cmd_faultcheck(argc - 1, argv + 1);
-    if (cmd == "plan") return cmd_plan(argc - 1, argv + 1);
-    if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
-    if (cmd == "advise") return cmd_advise(argc - 1, argv + 1);
-    if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+    const int rc = c->run(flags, report);
+    const int finish_rc = report.finish();
+    return rc != 0 ? rc : finish_rc;
   } catch (const msg::ParseError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -392,5 +525,4 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  return usage();
 }
