@@ -4,6 +4,12 @@
 // cheap. Compares the exact scheduling-point test (Theorem 4.1 as printed)
 // against the equivalent response-time analysis, the O(n) TTP criterion,
 // and one full breakdown-saturation search.
+//
+// Benchmarks come in reference/fast pairs: every *Kernel / *Fast /
+// *ScaledInto variant has a same-shaped reference benchmark in the same
+// run, so scripts/check_perf_baseline.py can gate both absolute regressions
+// (against the checked-in BENCH_kernels.json) and the in-run speedup of the
+// fast path over its reference.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "tokenring/analysis/fixed_priority.hpp"
+#include "tokenring/analysis/kernels.hpp"
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/breakdown/saturation.hpp"
@@ -121,6 +129,115 @@ void BM_SaturationSearchTtp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaturationSearchTtp)->Arg(10)->Arg(100)->Arg(1000);
+
+// Kernel-path saturation searches: identical probe sequence and result to
+// the predicate pairs above (pinned by tests), but the scale-invariant work
+// is hoisted out of the probe loop and no probe allocates.
+void BM_SaturationSearchPdpKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const BitsPerSecond bw = mbps(16);
+  const auto params = setup.pdp_params(analysis::PdpVariant::kModified8025);
+  const auto base = make_set(n, 3, 1.0);
+  for (auto _ : state) {
+    const analysis::PdpScaleKernel kernel(base, params, bw);
+    benchmark::DoNotOptimize(
+        breakdown::find_saturation_scaled(base, kernel, bw)
+            .breakdown_utilization);
+  }
+}
+BENCHMARK(BM_SaturationSearchPdpKernel)->Arg(10)->Arg(100);
+
+void BM_SaturationSearchTtpKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto setup = setup_for(n);
+  const BitsPerSecond bw = mbps(100);
+  const auto params = setup.ttp_params();
+  const auto base = make_set(n, 3, 1.0);
+  for (auto _ : state) {
+    const analysis::TtpScaleKernel kernel(base, params, bw);
+    benchmark::DoNotOptimize(
+        breakdown::find_saturation_scaled(base, kernel, bw)
+            .breakdown_utilization);
+  }
+}
+BENCHMARK(BM_SaturationSearchTtpKernel)->Arg(10)->Arg(100)->Arg(1000);
+
+// Allocation cost of one payload scaling: fresh copy vs reuse of one
+// workspace buffer (what every saturation probe used to pay vs pays now).
+void BM_ScaledCopy(benchmark::State& state) {
+  const auto base = make_set(static_cast<int>(state.range(0)), 3, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.scaled(1.5));
+  }
+}
+BENCHMARK(BM_ScaledCopy)->Arg(100);
+
+void BM_ScaledInto(benchmark::State& state) {
+  const auto base = make_set(static_cast<int>(state.range(0)), 3, 1.0);
+  msg::MessageSet buffer;
+  for (auto _ : state) {
+    base.scaled_into(1.5, buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_ScaledInto)->Arg(100);
+
+// Screened boolean verdicts vs the full exact analyses they wrap, on a
+// prebuilt task list (the shape of one saturation probe after hoisting).
+void BM_RtaExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto tasks = analysis::pdp_tasks(make_set(n, 1, 20.0), params, bw);
+  const Seconds blocking = analysis::pdp_blocking(params, bw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::response_time_analysis(tasks, blocking).schedulable);
+  }
+}
+BENCHMARK(BM_RtaExact)->Arg(100);
+
+void BM_RtaScreened(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto tasks = analysis::pdp_tasks(make_set(n, 1, 20.0), params, bw);
+  const Seconds blocking = analysis::pdp_blocking(params, bw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::rta_feasible_fast(tasks, blocking));
+  }
+}
+BENCHMARK(BM_RtaScreened)->Arg(100);
+
+void BM_LsdExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto tasks = analysis::pdp_tasks(make_set(n, 1, 20.0), params, bw);
+  const Seconds blocking = analysis::pdp_blocking(params, bw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::lsd_point_test_all(tasks, blocking).schedulable);
+  }
+}
+BENCHMARK(BM_LsdExact)->Arg(100);
+
+void BM_LsdIncremental(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto params =
+      setup_for(n).pdp_params(analysis::PdpVariant::kStandard8025);
+  const BitsPerSecond bw = mbps(16);
+  const auto tasks = analysis::pdp_tasks(make_set(n, 1, 20.0), params, bw);
+  const Seconds blocking = analysis::pdp_blocking(params, bw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::lsd_feasible_fast(tasks, blocking));
+  }
+}
+BENCHMARK(BM_LsdIncremental)->Arg(100);
 
 void BM_PdpSimulation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare a micro_schedulability run manifest against the checked-in baseline.
+
+Usage:
+  check_perf_baseline.py --baseline bench/BENCH_kernels.json \
+                         --current /tmp/bench.json [--max-regression 1.5]
+
+Two gates:
+
+1. Regression gate. For every benchmark present in the baseline, the ratio
+   current/baseline cpu_time is computed, then normalized by the median
+   ratio across all benchmarks. The median absorbs uniform machine-speed
+   differences (CI runners are not the machine the baseline was recorded
+   on); what remains is per-benchmark drift. Any normalized ratio above
+   --max-regression (default 1.5) fails.
+
+2. Pair gate. The bench suite contains reference/fast pairs measured in the
+   same run (same machine, same load), so their ratio is machine
+   independent. Each fast variant must beat its reference by the factor
+   listed in PAIRS; this pins the point of the PR — the kernel path being
+   faster than the predicate path — not just the absence of regressions.
+
+Exit code 0 when both gates pass, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# (fast benchmark prefix, reference prefix, required speedup). Matched per
+# /arg suffix: BM_SaturationSearchPdpKernel/10 pairs with
+# BM_SaturationSearchPdp/10. Required speedups are set well below the
+# locally measured factors (2.1-4.0x for the saturation searches, >100x for
+# the screened verdicts) so the gate trips on real behaviour changes, not
+# timer noise.
+PAIRS = [
+    ("BM_SaturationSearchPdpKernel", "BM_SaturationSearchPdp", 1.5),
+    ("BM_SaturationSearchTtpKernel", "BM_SaturationSearchTtp", 1.5),
+    ("BM_RtaScreened", "BM_RtaExact", 2.0),
+    ("BM_LsdIncremental", "BM_LsdExact", 2.0),
+    ("BM_ScaledInto", "BM_ScaledCopy", 1.0),
+]
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_timings(path):
+    """Manifest -> {benchmark name: cpu_time in ns}."""
+    with open(path) as f:
+        manifest = json.load(f)
+    tables = [t for t in manifest.get("results", []) if t.get("name") == "benchmarks"]
+    if not tables:
+        sys.exit(f"error: {path}: no 'benchmarks' table in manifest")
+    timings = {}
+    for row in tables[0]["rows"]:
+        # Complexity aggregates (_BigO/_RMS) report iterations == 0 and are
+        # fit artefacts, not timings; skip them.
+        if int(row["iterations"]) == 0:
+            continue
+        timings[row["name"]] = float(row["cpu_time"]) * TIME_UNIT_NS[row["time_unit"]]
+    if not timings:
+        sys.exit(f"error: {path}: 'benchmarks' table is empty")
+    return timings
+
+
+def split_arg(name):
+    """'BM_Foo/100' -> ('BM_Foo', '/100'); no-arg names get an empty suffix."""
+    head, sep, tail = name.partition("/")
+    return head, sep + tail
+
+
+def check_regressions(baseline, current, max_regression):
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"FAIL: benchmarks in baseline but not in current run: {missing}")
+        return False
+    ratios = {name: current[name] / baseline[name] for name in baseline}
+    median = statistics.median(ratios.values())
+    print(f"median current/baseline ratio: {median:.3f} "
+          f"(machine-speed normalizer)")
+    ok = True
+    for name in sorted(ratios):
+        normalized = ratios[name] / median
+        flag = ""
+        if normalized > max_regression:
+            flag = f"  <-- FAIL (> {max_regression:.2f}x median)"
+            ok = False
+        print(f"  {name:45s} {baseline[name]:>12.1f} -> {current[name]:>12.1f} ns"
+              f"  x{normalized:.2f}{flag}")
+    return ok
+
+
+def check_pairs(current):
+    by_prefix = {}
+    for name in current:
+        head, suffix = split_arg(name)
+        by_prefix.setdefault(head, {})[suffix] = current[name]
+    ok = True
+    for fast, ref, required in PAIRS:
+        fast_runs = by_prefix.get(fast, {})
+        ref_runs = by_prefix.get(ref, {})
+        suffixes = sorted(set(fast_runs) & set(ref_runs))
+        if not suffixes:
+            print(f"FAIL: pair {fast} vs {ref}: no common runs in current manifest")
+            ok = False
+            continue
+        for suffix in suffixes:
+            speedup = ref_runs[suffix] / fast_runs[suffix]
+            flag = ""
+            if speedup < required:
+                flag = f"  <-- FAIL (< {required:.1f}x)"
+                ok = False
+            print(f"  {fast + suffix:45s} {speedup:6.2f}x faster than "
+                  f"{ref + suffix}{flag}")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    args = parser.parse_args()
+
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+
+    print("== regression gate ==")
+    regressions_ok = check_regressions(baseline, current, args.max_regression)
+    print("== reference-vs-fast pair gate ==")
+    pairs_ok = check_pairs(current)
+
+    if regressions_ok and pairs_ok:
+        print("perf baseline check: PASS")
+        return 0
+    print("perf baseline check: FAIL")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

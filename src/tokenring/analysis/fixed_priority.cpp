@@ -4,10 +4,23 @@
 #include <cmath>
 
 #include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
 
 namespace tokenring::analysis {
 
 namespace {
+
+// Activations of a period-P stream interfering in [0, t]: the mathematical
+// ceil(t/P), which excludes an arrival landing exactly at t. The scheduling
+// points are generated as fl(l * P), and that product divided back by P can
+// round one ulp *above* l — a plain ceil would then count the arrival at t
+// as interference and wrongly reject the point. Snap back whenever the
+// previous multiple already reaches t.
+double activations(Seconds t, Seconds period) {
+  double c = std::ceil(t / period);
+  if ((c - 1.0) * period >= t) c -= 1.0;
+  return c;
+}
 
 // Workload of task i and all higher-priority tasks released in [0, t],
 // plus blocking: W_i(t) = B + C'_i + sum_{j<i} C'_j * ceil(t / P_j).
@@ -15,10 +28,53 @@ Seconds workload(const std::vector<FpTask>& tasks, std::size_t i,
                  Seconds blocking, Seconds t) {
   Seconds w = blocking + tasks[i].cost;
   for (std::size_t j = 0; j < i; ++j) {
-    w += tasks[j].cost * std::ceil(t / tasks[j].period);
+    w += tasks[j].cost * activations(t, tasks[j].period);
   }
   return w;
 }
+
+// Safety margin for the pre-filter screens: the mathematical conditions
+// are evaluated in floating point, so a raw comparison could fire inside
+// the rounding noise of the exact test it short-circuits. 1e-9 relative is
+// ~1e5 times the accumulated rounding of a 100-task sum, and far below any
+// slack a real workload exhibits.
+constexpr double kFilterMargin = 1e-9;
+
+// Necessary condition (quick-reject): feasibility of the lowest-priority
+// task requires r = B + C_n + r * U_{<n} <= D_n <= P_n at some r, which
+// rearranges to sum_j U_j + B/P_n <= 1. Utilization beyond that (with
+// margin) proves the set infeasible without any fixpoint iteration. Valid
+// for constrained deadlines too, since D_n <= P_n only strengthens it.
+bool utilization_quick_reject(const std::vector<FpTask>& tasks,
+                              Seconds blocking) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.cost / t.period;
+  return u + blocking / tasks.back().period > 1.0 + kFilterMargin;
+}
+
+// Incremental prefix state for the per-task hyperbolic quick-accept
+// (Bini-Buttazzo, extended with the blocking term folded into the task
+// under test): while every deadline seen so far is implicit (so deadline
+// order == period order == RM order), task i is schedulable if
+//   prod_{j<i} (1 + U_j) * (1 + (C_i + B)/P_i) <= 2.
+struct HyperbolicScreen {
+  double prefix_product = 1.0;  // prod (1 + U_j) over tasks before i
+  bool all_implicit = true;
+
+  // Must be called for tasks in order; returns true if task i is proven
+  // schedulable. Call advance() afterwards whether or not it fired.
+  bool accepts(const FpTask& task, Seconds blocking) const {
+    return all_implicit &&
+           task.effective_deadline() == task.period &&
+           prefix_product * (1.0 + (task.cost + blocking) / task.period) <=
+               2.0 * (1.0 - kFilterMargin);
+  }
+
+  void advance(const FpTask& task) {
+    all_implicit = all_implicit && task.effective_deadline() == task.period;
+    prefix_product *= 1.0 + task.cost / task.period;
+  }
+};
 
 }  // namespace
 
@@ -38,21 +94,38 @@ void validate_sorted_tasks(const std::vector<FpTask>& tasks) {
 }
 
 bool lsd_point_test(const std::vector<FpTask>& tasks, std::size_t i,
-                    Seconds blocking) {
+                    Seconds blocking, std::size_t* workload_evals) {
   TR_EXPECTS(i < tasks.size());
   const Seconds d = tasks[i].effective_deadline();
   // Scheduling points { l * P_k : k <= i, l*P_k <= D_i } union { D_i }.
   // (With D_i = P_i the union adds t = P_i via k = i, l = 1 and this is
-  // exactly the paper's R_i.)
+  // exactly the paper's R_i.) Harmonic periods generate the same t through
+  // several (k, l) pairs; sorting and deduplicating evaluates each
+  // distinct point once — the workload at a given t does not depend on how
+  // the point was generated, so the existential verdict is unchanged.
+  std::vector<Seconds> points;
   for (std::size_t k = 0; k <= i; ++k) {
     const auto lmax =
         static_cast<std::int64_t>(std::floor(d / tasks[k].period));
     for (std::int64_t l = 1; l <= lmax; ++l) {
-      const Seconds t = static_cast<double>(l) * tasks[k].period;
-      if (workload(tasks, i, blocking, t) <= t) return true;
+      points.push_back(static_cast<double>(l) * tasks[k].period);
     }
   }
-  return workload(tasks, i, blocking, d) <= d;
+  points.push_back(d);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  std::size_t evals = 0;
+  bool ok = false;
+  for (const Seconds t : points) {
+    ++evals;
+    if (workload(tasks, i, blocking, t) <= t) {
+      ok = true;
+      break;
+    }
+  }
+  if (workload_evals) *workload_evals = evals;
+  return ok;
 }
 
 FpSetVerdict lsd_point_test_all(const std::vector<FpTask>& tasks,
@@ -74,24 +147,35 @@ FpSetVerdict lsd_point_test_all(const std::vector<FpTask>& tasks,
 }
 
 std::optional<Seconds> response_time(const std::vector<FpTask>& tasks,
-                                     std::size_t i, Seconds blocking) {
+                                     std::size_t i, Seconds blocking,
+                                     RtaStatus* status) {
   TR_EXPECTS(i < tasks.size());
   const Seconds deadline = tasks[i].effective_deadline();
   Seconds r = blocking + tasks[i].cost;
-  if (r > deadline) return std::nullopt;
-  // The iteration is monotone non-decreasing and bounded by the deadline
-  // when schedulable, so it terminates; cap iterations defensively against
-  // floating-point stalls.
-  for (int iter = 0; iter < 10'000; ++iter) {
+  if (r > deadline) {
+    if (status) *status = RtaStatus::kDeadlineExceeded;
+    return std::nullopt;
+  }
+  for (int iter = 0; iter < kMaxRtaIterations; ++iter) {
     Seconds next = blocking + tasks[i].cost;
     for (std::size_t j = 0; j < i; ++j) {
       next += tasks[j].cost * std::ceil(r / tasks[j].period);
     }
-    if (next > deadline) return std::nullopt;
-    if (next <= r) return next;  // fixpoint (next == r up to fp noise)
+    if (next > deadline) {
+      if (status) *status = RtaStatus::kDeadlineExceeded;
+      return std::nullopt;
+    }
+    if (next <= r) {  // fixpoint (next == r up to fp noise)
+      if (status) *status = RtaStatus::kConverged;
+      return next;
+    }
     r = next;
   }
-  // Did not converge within the cap: treat as unschedulable (conservative).
+  // Iteration cap: treat as unschedulable (conservative) but tell the
+  // caller — and the run manifest — that this was a bailout, not a proof.
+  static const obs::Counter cap_hits("analysis.rta_cap_hits");
+  cap_hits.add();
+  if (status) *status = RtaStatus::kIterationCapReached;
   return std::nullopt;
 }
 
@@ -103,9 +187,11 @@ FpSetVerdict response_time_analysis(const std::vector<FpTask>& tasks,
   v.schedulable = true;
   v.tasks.resize(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    auto r = response_time(tasks, i, blocking);
+    RtaStatus status = RtaStatus::kConverged;
+    auto r = response_time(tasks, i, blocking, &status);
     v.tasks[i].schedulable = r.has_value();
     v.tasks[i].response_time = r;
+    if (status == RtaStatus::kIterationCapReached) ++v.iteration_cap_hits;
     if (!r && v.schedulable) {
       v.schedulable = false;
       v.first_failure = i;
@@ -113,6 +199,102 @@ FpSetVerdict response_time_analysis(const std::vector<FpTask>& tasks,
     }
   }
   return v;
+}
+
+bool rta_feasible_fast(const std::vector<FpTask>& tasks, Seconds blocking,
+                       std::size_t* failed_hint) {
+  if (tasks.empty()) return true;
+  // Failed-task-first: inside a saturation bisection, the unschedulable
+  // side usually fails at the same task as the previous probe; testing it
+  // first turns most "false" evaluations into a single fixpoint run.
+  const std::size_t hint =
+      failed_hint ? *failed_hint : static_cast<std::size_t>(-1);
+  if (hint < tasks.size()) {
+    if (!response_time(tasks, hint, blocking)) return false;
+  }
+  if (utilization_quick_reject(tasks, blocking)) {
+    // The proof names the lowest-priority task as the infeasible one.
+    if (failed_hint) *failed_hint = tasks.size() - 1;
+    return false;
+  }
+  HyperbolicScreen screen;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i != hint && !screen.accepts(tasks[i], blocking)) {
+      if (!response_time(tasks, i, blocking)) {
+        if (failed_hint) *failed_hint = i;
+        return false;
+      }
+    }
+    screen.advance(tasks[i]);
+  }
+  return true;
+}
+
+namespace {
+
+// One scheduling point for the incremental walk: `t` is the l-th multiple
+// of stream `k`'s period (bitwise the same value the reference generates).
+struct PointEvent {
+  Seconds t;
+  std::size_t k;
+};
+
+// Incremental Lehoczky-Sha-Ding test for one task: walk the merged,
+// deduplicated point list in ascending order keeping W_i(t) as a running
+// value — each event advances exactly one stream's ceil term by one, so
+// the whole walk costs O(points) instead of O(i * points).
+bool lsd_point_test_incremental(const std::vector<FpTask>& tasks,
+                                std::size_t i, Seconds blocking,
+                                std::vector<PointEvent>& events) {
+  const Seconds d = tasks[i].effective_deadline();
+  events.clear();
+  for (std::size_t k = 0; k <= i; ++k) {
+    const auto lmax =
+        static_cast<std::int64_t>(std::floor(d / tasks[k].period));
+    for (std::int64_t l = 1; l <= lmax; ++l) {
+      events.push_back({static_cast<double>(l) * tasks[k].period, k});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PointEvent& a, const PointEvent& b) { return a.t < b.t; });
+
+  // At any t no larger than the first point, every ceil term is 1.
+  Seconds w = blocking + tasks[i].cost;
+  for (std::size_t j = 0; j < i; ++j) w += tasks[j].cost;
+
+  std::size_t e = 0;
+  while (e < events.size()) {
+    const Seconds t = events[e].t;
+    if (w <= t) return true;
+    // Advance every stream whose multiple this point is (duplicates from
+    // harmonic periods collapse into one evaluation, several bumps): past
+    // t, stream k's ceil is one higher. Events of the task itself (k == i)
+    // mark evaluation points but add no interference term.
+    for (; e < events.size() && events[e].t == t; ++e) {
+      if (events[e].k < i) w += tasks[events[e].k].cost;
+    }
+  }
+  // Final point t = D_i. If D_i coincides with the last multiple the loop
+  // already evaluated it with the exact ceil values; the re-check here
+  // uses the advanced (larger) workload and so can only stay negative.
+  return w <= d;
+}
+
+}  // namespace
+
+bool lsd_feasible_fast(const std::vector<FpTask>& tasks, Seconds blocking) {
+  if (tasks.empty()) return true;
+  if (utilization_quick_reject(tasks, blocking)) return false;
+  std::vector<PointEvent> events;
+  HyperbolicScreen screen;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!screen.accepts(tasks[i], blocking) &&
+        !lsd_point_test_incremental(tasks, i, blocking, events)) {
+      return false;
+    }
+    screen.advance(tasks[i]);
+  }
+  return true;
 }
 
 double liu_layland_bound(std::size_t n) {

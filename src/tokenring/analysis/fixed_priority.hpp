@@ -60,6 +60,33 @@ struct FpSetVerdict {
   std::optional<std::size_t> first_failure;
   /// Per-task verdicts, same order as the input.
   std::vector<FpTaskVerdict> tasks;
+  /// How many tasks hit the RTA iteration cap (kMaxRtaIterations) instead
+  /// of converging or provably missing their deadline. Non-zero means the
+  /// "unschedulable" verdicts for those tasks are conservative, not exact;
+  /// tools surface this as a warning.
+  std::size_t iteration_cap_hits = 0;
+};
+
+/// Upper bound on RTA fixpoint iterations. The iteration is monotone
+/// non-decreasing and bounded by the deadline when schedulable, so in
+/// exact arithmetic it always terminates; the cap only guards against
+/// floating-point stalls (e.g. `next` creeping by sub-ulp amounts near the
+/// deadline). 10'000 is orders of magnitude above the iteration counts
+/// seen in practice (tens at most), so hitting it signals numerical
+/// trouble, not a hard problem instance.
+inline constexpr int kMaxRtaIterations = 10'000;
+
+/// Why `response_time` returned what it did.
+enum class RtaStatus {
+  /// Fixpoint reached within the deadline: the returned response time is
+  /// exact.
+  kConverged,
+  /// The iteration crossed the deadline: the task provably misses it.
+  kDeadlineExceeded,
+  /// kMaxRtaIterations reached without a fixpoint: the task is *treated*
+  /// as unschedulable (conservative). Also tallied in the obs counter
+  /// "analysis.rta_cap_hits".
+  kIterationCapReached,
 };
 
 /// Paper Theorem 4.1 / Lehoczky-Sha-Ding scheduling-point test for task `i`
@@ -68,10 +95,16 @@ struct FpSetVerdict {
 ///   B + C'_i + sum_{j<i} C'_j * ceil(t/P_j)  <=  t ?
 /// (With implicit deadlines this is exactly the paper's R_i.)
 /// `blocking` is the B term (2*max(F, Theta) for PDP).
+/// Points are sorted and deduplicated before testing, so harmonic periods
+/// (where l*P_k collides across k) evaluate each distinct t once; the
+/// verdict is unchanged because the workload at a given t is the same
+/// however the point was generated. `workload_evals`, when non-null, is
+/// set to the number of workload evaluations performed (early exit on the
+/// first passing point included).
 /// Preconditions: tasks sorted by effective deadline; costs/periods
 /// positive or zero cost; i < tasks.size().
 bool lsd_point_test(const std::vector<FpTask>& tasks, std::size_t i,
-                    Seconds blocking);
+                    Seconds blocking, std::size_t* workload_evals = nullptr);
 
 /// Scheduling-point test over the whole set (every task must pass).
 FpSetVerdict lsd_point_test_all(const std::vector<FpTask>& tasks,
@@ -80,14 +113,44 @@ FpSetVerdict lsd_point_test_all(const std::vector<FpTask>& tasks,
 /// Response-time analysis for task `i`:
 ///   r^{m+1} = B + C'_i + sum_{j<i} ceil(r^m / P_j) * C'_j
 /// starting from r^0 = B + C'_i, until fixpoint or r > D_i.
-/// Returns the response time if schedulable.
+/// Returns the response time if schedulable; `status`, when non-null,
+/// distinguishes deadline misses from iteration-cap bailouts.
 std::optional<Seconds> response_time(const std::vector<FpTask>& tasks,
-                                     std::size_t i, Seconds blocking);
+                                     std::size_t i, Seconds blocking,
+                                     RtaStatus* status = nullptr);
 
 /// RTA over the whole set. Same verdict as `lsd_point_test_all` (both are
 /// exact for this model); this one is the fast path.
 FpSetVerdict response_time_analysis(const std::vector<FpTask>& tasks,
                                     Seconds blocking);
+
+/// Boolean RTA verdict with cheap screens around the exact per-task test:
+///  * quick-reject: sum(cost/period) + blocking/P_last > 1 means the
+///    lowest-priority task cannot fit (necessary condition, margin-guarded
+///    against rounding), so the whole set fails without any iteration;
+///  * per-task hyperbolic quick-accept (Bini-Buttazzo with the blocking
+///    term folded into the task under test): while every deadline so far
+///    is implicit, prod_{j<i}(1+U_j) * (1 + (C_i+B)/P_i) <= 2 proves task
+///    i schedulable without running its fixpoint;
+///  * failed-task-first: `failed_hint` (in/out, optional) names the task
+///    that failed last time; re-testing it first lets the unschedulable
+///    side of a bisection exit after one fixpoint run.
+/// Tasks that no screen decides get the exact `response_time` fixpoint, so
+/// the verdict matches `response_time_analysis` (screens are margin-guarded
+/// sufficient/necessary conditions; the differential property test pins
+/// the agreement).
+bool rta_feasible_fast(const std::vector<FpTask>& tasks, Seconds blocking,
+                       std::size_t* failed_hint = nullptr);
+
+/// Boolean scheduling-point verdict with the same screens as
+/// `rta_feasible_fast` plus an incremental point walk: per-task point
+/// lists are sorted and deduplicated once, and the workload is updated in
+/// O(1) per point (each point bumps exactly its own stream's ceil term)
+/// instead of recomputed in O(i). The incremental sum associates additions
+/// in point order rather than task order, so workload values can differ
+/// from the reference by ulps; verdicts agree except on exact
+/// workload == t ties (measure zero, pinned by the differential test).
+bool lsd_feasible_fast(const std::vector<FpTask>& tasks, Seconds blocking);
 
 /// Liu-Layland utilization bound n*(2^{1/n} - 1): a *sufficient* condition
 /// on sum(cost/period) for schedulability with zero blocking. Provided for

@@ -1,0 +1,86 @@
+// Allocation-free schedulability kernels in scale space.
+//
+// A saturation search (breakdown/saturation.hpp) probes one base message
+// set at ~40-60 scale factors per trial. The plain predicates re-derive
+// everything from the scaled set on every probe: copy the streams, sort
+// them, re-select the TTRT, recompute blocking. All of that is invariant
+// under uniform payload scaling — periods, deadlines, the priority
+// permutation, Theta, frame geometry, TTRT bids, per-station visit counts
+// and the blocking term depend only on quantities scaling leaves
+// untouched. These kernels hoist the invariant work into construction
+// (once per trial) and leave only the genuinely scale-dependent arithmetic
+// in operator() — no allocation, no sort, no sqrt in the probe loop.
+//
+// Contract: kernel(a) returns the same verdict as the predicate it
+// replaces evaluated on base.scaled(a), for every a. The scale-dependent
+// arithmetic replays the reference implementations operation for
+// operation (same multiplies, same divides, same accumulation order), and
+// the screens in rta_feasible_fast are margin-guarded exact conditions, so
+// bisection trajectories — and Monte Carlo breakdown utilizations — are
+// bit-identical to the predicate path. The differential property test and
+// the kernel-vs-predicate saturation tests pin this.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/msg/message_set.hpp"
+
+namespace tokenring::analysis {
+
+/// Scale-space form of `pdp_feasible`: kernel(a) == pdp_feasible(
+/// base.scaled(a), params, bw). Hoists the rate-monotonic sort and the
+/// blocking bound; per probe it recomputes the augmented lengths (frame
+/// counts depend on the scaled payload) and runs the screened RTA with a
+/// failed-task-first hint carried across probes.
+class PdpScaleKernel {
+ public:
+  PdpScaleKernel(const msg::MessageSet& base, const PdpParams& params,
+                 BitsPerSecond bw);
+
+  bool operator()(double scale) const;
+
+ private:
+  PdpParams params_;
+  BitsPerSecond bw_ = 0.0;
+  Seconds blocking_ = 0.0;
+  std::vector<msg::SyncStream> sorted_;  // base streams, deadline order
+  mutable std::vector<FpTask> tasks_;    // costs rewritten per probe
+  mutable std::size_t failed_hint_ = static_cast<std::size_t>(-1);
+};
+
+/// Scale-space form of `ttp_feasible` / `ttp_feasible_at`: kernel(a) ==
+/// ttp_feasible_at(base.scaled(a), params, bw, ttrt) with the TTRT either
+/// pinned or chosen by the paper rule on the base set (the rule reads only
+/// periods and deadlines, so it is scale-invariant). Hoists the TTRT
+/// selection, Lambda, the per-frame overhead and every per-station visit
+/// count; a probe is one multiply-divide-accumulate pass with the same
+/// early exits as the reference.
+class TtpScaleKernel {
+ public:
+  /// Paper TTRT selection rule (matches `ttp_feasible`).
+  TtpScaleKernel(const msg::MessageSet& base, const TtpParams& params,
+                 BitsPerSecond bw);
+  /// Pinned TTRT (matches `ttp_feasible_at`).
+  TtpScaleKernel(const msg::MessageSet& base, const TtpParams& params,
+                 BitsPerSecond bw, Seconds ttrt);
+
+  bool operator()(double scale) const;
+
+ private:
+  struct Station {
+    double base_payload_bits = 0.0;
+    double usable_visits = 0.0;  // q_i - 1 as a double, ready to divide by
+  };
+
+  BitsPerSecond bw_ = 0.0;
+  Seconds available_ = 0.0;  // TTRT - Lambda
+  Seconds frame_overhead_ = 0.0;
+  bool any_deadline_infeasible_ = false;  // some q_i < 2: false at any scale
+  std::vector<Station> stations_;  // base stream order
+};
+
+}  // namespace tokenring::analysis

@@ -104,4 +104,21 @@ BreakdownEstimate estimate_breakdown_utilization(
     std::uint64_t master_seed, const exec::Executor& executor,
     const MonteCarloOptions& options = {});
 
+/// Kernel-factory forms: each trial builds one ScaleKernel for its drawn
+/// set (hoisting the scale-invariant work once) and bisects in scale space
+/// with no per-probe allocation. A factory whose kernels agree with a
+/// predicate yields bit-identical estimates to the predicate overloads —
+/// the probe sequence depends only on the verdicts. The factory is shared
+/// across worker threads and must be const-callable and thread-safe.
+BreakdownEstimate estimate_breakdown_utilization(
+    const msg::MessageSetGenerator& generator,
+    const ScaleKernelFactory& kernel_factory, BitsPerSecond bw, Rng& rng,
+    const MonteCarloOptions& options = {});
+
+BreakdownEstimate estimate_breakdown_utilization(
+    const msg::MessageSetGenerator& generator,
+    const ScaleKernelFactory& kernel_factory, BitsPerSecond bw,
+    std::uint64_t master_seed, const exec::Executor& executor,
+    const MonteCarloOptions& options = {});
+
 }  // namespace tokenring::breakdown

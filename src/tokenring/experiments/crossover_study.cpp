@@ -17,11 +17,11 @@ namespace {
 bool ttp_wins(const PaperSetup& setup, BitsPerSecond bw, std::size_t sets,
               std::uint64_t seed, const exec::Executor& executor) {
   const double ttp =
-      estimate_point(setup, setup.ttp_predicate(bw), bw, sets, seed, executor)
+      estimate_point(setup, setup.ttp_kernel_factory(bw), bw, sets, seed, executor)
           .mean();
   const double pdp =
       estimate_point(setup,
-                     setup.pdp_predicate(analysis::PdpVariant::kModified8025,
+                     setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025,
                                          bw),
                      bw, sets, seed, executor)
           .mean();
@@ -75,12 +75,12 @@ std::vector<CrossoverStudyRow> run_crossover_study(
       if (std::isfinite(row.crossover_mbps) && row.crossover_mbps > 0.0) {
         const BitsPerSecond bw = mbps(row.crossover_mbps);
         row.ttp_at_crossover =
-            estimate_point(setup, setup.ttp_predicate(bw), bw,
+            estimate_point(setup, setup.ttp_kernel_factory(bw), bw,
                            config.sets_per_point, config.seed, executor)
                 .mean();
         row.pdp_at_crossover =
             estimate_point(setup,
-                           setup.pdp_predicate(
+                           setup.pdp_kernel_factory(
                                analysis::PdpVariant::kModified8025, bw),
                            bw, config.sets_per_point, config.seed, executor)
                 .mean();

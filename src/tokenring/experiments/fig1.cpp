@@ -20,14 +20,14 @@ std::vector<Fig1Row> run_fig1(const Fig1Config& config) {
     const BitsPerSecond bw = mbps(bw_mbps);
     const auto std8025 = estimate_point(
         config.setup,
-        config.setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw),
+        config.setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bw),
         bw, config.sets_per_point, config.seed, executor);
     const auto mod8025 = estimate_point(
         config.setup,
-        config.setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw),
+        config.setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw),
         bw, config.sets_per_point, config.seed, executor);
     const auto fddi =
-        estimate_point(config.setup, config.setup.ttp_predicate(bw), bw,
+        estimate_point(config.setup, config.setup.ttp_kernel_factory(bw), bw,
                        config.sets_per_point, config.seed, executor);
 
     Fig1Row row;

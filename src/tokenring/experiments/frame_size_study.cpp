@@ -25,13 +25,13 @@ std::vector<FrameSizeStudyRow> run_frame_size_study(
       row.bandwidth_mbps = bw_mbps;
       row.ieee8025 =
           estimate_point(setup,
-                         setup.pdp_predicate(
+                         setup.pdp_kernel_factory(
                              analysis::PdpVariant::kStandard8025, bw),
                          bw, config.sets_per_point, config.seed, executor)
               .mean();
       row.modified8025 =
           estimate_point(setup,
-                         setup.pdp_predicate(
+                         setup.pdp_kernel_factory(
                              analysis::PdpVariant::kModified8025, bw),
                          bw, config.sets_per_point, config.seed, executor)
               .mean();

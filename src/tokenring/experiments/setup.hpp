@@ -52,6 +52,17 @@ struct PaperSetup {
   /// study).
   breakdown::SchedulablePredicate ttp_predicate_at(BitsPerSecond bw,
                                                    Seconds ttrt) const;
+
+  /// Scale-kernel factories matching the predicates above verdict for
+  /// verdict (analysis/kernels.hpp): per trial, the scale-invariant work is
+  /// hoisted once and each saturation probe is allocation-free. These are
+  /// what the experiment drivers use; the predicates remain the reference
+  /// path (tests pin that both produce bit-identical estimates).
+  breakdown::ScaleKernelFactory pdp_kernel_factory(analysis::PdpVariant variant,
+                                                   BitsPerSecond bw) const;
+  breakdown::ScaleKernelFactory ttp_kernel_factory(BitsPerSecond bw) const;
+  breakdown::ScaleKernelFactory ttp_kernel_factory_at(BitsPerSecond bw,
+                                                      Seconds ttrt) const;
 };
 
 /// Estimate the average breakdown utilization of one predicate at one
@@ -70,5 +81,16 @@ breakdown::BreakdownEstimate estimate_point(
 breakdown::BreakdownEstimate estimate_point(
     const PaperSetup& setup, const breakdown::SchedulablePredicate& predicate,
     BitsPerSecond bw, std::size_t num_sets, std::uint64_t seed);
+
+/// Kernel-factory forms: same estimates, allocation-free probe loop.
+breakdown::BreakdownEstimate estimate_point(
+    const PaperSetup& setup,
+    const breakdown::ScaleKernelFactory& kernel_factory, BitsPerSecond bw,
+    std::size_t num_sets, std::uint64_t seed, const exec::Executor& executor);
+
+breakdown::BreakdownEstimate estimate_point(
+    const PaperSetup& setup,
+    const breakdown::ScaleKernelFactory& kernel_factory, BitsPerSecond bw,
+    std::size_t num_sets, std::uint64_t seed);
 
 }  // namespace tokenring::experiments

@@ -23,15 +23,15 @@ std::vector<StationCountStudyRow> run_station_count_study(
     row.stations = n;
     row.ieee8025 =
         estimate_point(
-            setup, setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw),
+            setup, setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bw),
             bw, config.sets_per_point, config.seed, executor)
             .mean();
     row.modified8025 =
         estimate_point(
-            setup, setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw),
+            setup, setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw),
             bw, config.sets_per_point, config.seed, executor)
             .mean();
-    row.fddi = estimate_point(setup, setup.ttp_predicate(bw), bw,
+    row.fddi = estimate_point(setup, setup.ttp_kernel_factory(bw), bw,
                               config.sets_per_point, config.seed, executor)
                    .mean();
     rows.push_back(row);

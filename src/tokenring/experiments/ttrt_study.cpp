@@ -26,7 +26,7 @@ TtrtStudyResult run_ttrt_study(const TtrtStudyConfig& config) {
     TR_EXPECTS(fraction > 0.0 && fraction <= 1.0);
     const Seconds ttrt = fraction * max_ttrt;
     const auto est =
-        estimate_point(config.setup, config.setup.ttp_predicate_at(bw, ttrt),
+        estimate_point(config.setup, config.setup.ttp_kernel_factory_at(bw, ttrt),
                        bw, config.sets_per_point, config.seed, executor);
     TtrtStudyRow row;
     row.fraction = fraction;
@@ -39,7 +39,7 @@ TtrtStudyResult run_ttrt_study(const TtrtStudyConfig& config) {
   const Seconds theta = config.setup.ttp_params().ring.theta(bw);
   result.sqrt_rule_ttrt = std::min(std::sqrt(theta * p_min), max_ttrt);
   result.sqrt_rule_breakdown =
-      estimate_point(config.setup, config.setup.ttp_predicate(bw), bw,
+      estimate_point(config.setup, config.setup.ttp_kernel_factory(bw), bw,
                      config.sets_per_point, config.seed, executor)
           .mean();
 

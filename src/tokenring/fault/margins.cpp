@@ -49,6 +49,78 @@ int hopeless_faults(const msg::MessageSet& set, Seconds outage) {
   return static_cast<int>(std::ceil(longest / outage)) + 2;
 }
 
+/// Exact RTA verdict over the whole set without building a per-probe
+/// FpSetVerdict: same per-task optionals as response_time_analysis, early
+/// exit on the first failure.
+bool all_tasks_feasible(const std::vector<analysis::FpTask>& tasks,
+                        Seconds blocking) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!analysis::response_time(tasks, i, blocking)) return false;
+  }
+  return true;
+}
+
+/// PDP probe with the augmented task list and per-fault recovery hoisted
+/// out of the margin binary search: only the blocking term depends on k.
+bool pdp_probe(const std::vector<analysis::FpTask>& tasks,
+               Seconds base_blocking, Seconds recovery_with_repeat,
+               int faults_per_period) {
+  const Seconds blocking =
+      base_blocking +
+      static_cast<double>(faults_per_period) * recovery_with_repeat;
+  return all_tasks_feasible(tasks, blocking);
+}
+
+/// Scale-invariant per-stream TTP state for the margin search: payload
+/// times and deadlines don't change with k, only the debit does.
+struct TtpProbeState {
+  Seconds available = 0.0;
+  Seconds frame_overhead = 0.0;
+  Seconds ttrt = 0.0;
+  Seconds recovery_with_rotation = 0.0;
+  struct Station {
+    Seconds deadline = 0.0;
+    Seconds payload_time = 0.0;
+  };
+  std::vector<Station> stations;
+};
+
+TtpProbeState make_ttp_probe_state(const msg::MessageSet& set,
+                                   const analysis::TtpParams& params,
+                                   BitsPerSecond bw, Seconds ttrt,
+                                   const FaultBudget& budget) {
+  TtpProbeState st;
+  st.ttrt = ttrt;
+  // Each outage also wastes the rotation in progress when it strikes (the
+  // aborted visit plus the fresh ramp-up), so charge one TTRT on top.
+  st.recovery_with_rotation =
+      ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration) +
+      ttrt;
+  st.available = ttrt - analysis::ttp_lambda(params, bw);
+  st.frame_overhead = params.frame.overhead_time(bw);
+  st.stations.reserve(set.size());
+  for (const auto& s : set.streams()) {
+    st.stations.push_back({s.deadline(), s.payload_time(bw)});
+  }
+  return st;
+}
+
+bool ttp_probe(const TtpProbeState& st, int faults_per_period) {
+  const Seconds debit =
+      static_cast<double>(faults_per_period) * st.recovery_with_rotation;
+  Seconds allocated = 0.0;
+  for (const auto& s : st.stations) {
+    const Seconds window = s.deadline - debit;
+    if (window <= 0.0) return false;
+    const auto q = static_cast<std::int64_t>(std::floor(window / st.ttrt));
+    if (q < 2) return false;
+    allocated += s.payload_time / static_cast<double>(q - 1) +
+                 st.frame_overhead;
+    if (allocated > st.available) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool pdp_schedulable_with_faults(const msg::MessageSet& set,
@@ -63,9 +135,8 @@ bool pdp_schedulable_with_faults(const msg::MessageSet& set,
   const Seconds recovery =
       pdp_fault_outage(budget.kind, params, bw, budget.noise_duration) +
       params.frame.frame_time(bw);
-  const Seconds blocking = analysis::pdp_blocking(params, bw) +
-                           static_cast<double>(faults_per_period) * recovery;
-  return analysis::response_time_analysis(tasks, blocking).schedulable;
+  return pdp_probe(tasks, analysis::pdp_blocking(params, bw), recovery,
+                   faults_per_period);
 }
 
 bool ttp_schedulable_with_faults(const msg::MessageSet& set,
@@ -77,25 +148,8 @@ bool ttp_schedulable_with_faults(const msg::MessageSet& set,
   TR_EXPECTS(bw > 0.0);
   TR_EXPECTS(!set.empty());
   if (ttrt <= 0.0) ttrt = analysis::select_ttrt(set, params.ring, bw);
-  // Each outage also wastes the rotation in progress when it strikes (the
-  // aborted visit plus the fresh ramp-up), so charge one TTRT on top.
-  const Seconds recovery =
-      ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration) +
-      ttrt;
-  const Seconds debit = static_cast<double>(faults_per_period) * recovery;
-
-  const Seconds available = ttrt - analysis::ttp_lambda(params, bw);
-  const Seconds f_ovhd = params.frame.overhead_time(bw);
-  Seconds allocated = 0.0;
-  for (const auto& s : set.streams()) {
-    const Seconds window = s.deadline() - debit;
-    if (window <= 0.0) return false;
-    const auto q = static_cast<std::int64_t>(std::floor(window / ttrt));
-    if (q < 2) return false;
-    allocated += s.payload_time(bw) / static_cast<double>(q - 1) + f_ovhd;
-    if (allocated > available) return false;
-  }
-  return true;
+  return ttp_probe(make_ttp_probe_state(set, params, bw, ttrt, budget),
+                   faults_per_period);
 }
 
 FaultMarginReport pdp_fault_margin(const msg::MessageSet& set,
@@ -105,13 +159,17 @@ FaultMarginReport pdp_fault_margin(const msg::MessageSet& set,
   FaultMarginReport report;
   report.recovery_per_fault =
       pdp_fault_outage(budget.kind, params, bw, budget.noise_duration);
-  report.fault_free_schedulable =
-      pdp_schedulable_with_faults(set, params, bw, budget, 0);
+  // Everything except the blocking term is independent of the fault count,
+  // so the augmented task list is built once for the whole binary search
+  // instead of once per probe.
+  const auto tasks = analysis::pdp_tasks(set, params, bw);
+  const Seconds base_blocking = analysis::pdp_blocking(params, bw);
+  const Seconds recovery =
+      report.recovery_per_fault + params.frame.frame_time(bw);
+  report.fault_free_schedulable = pdp_probe(tasks, base_blocking, recovery, 0);
   if (report.fault_free_schedulable) {
     report.margin = largest_feasible(
-        [&](int k) {
-          return pdp_schedulable_with_faults(set, params, bw, budget, k);
-        },
+        [&](int k) { return pdp_probe(tasks, base_blocking, recovery, k); },
         hopeless_faults(set, report.recovery_per_fault));
   }
   count_margin_query(report);
@@ -123,17 +181,19 @@ FaultMarginReport ttp_fault_margin(const msg::MessageSet& set,
                                    BitsPerSecond bw, Seconds ttrt,
                                    const FaultBudget& budget) {
   TR_EXPECTS(!set.empty());
+  TR_EXPECTS(bw > 0.0);
   if (ttrt <= 0.0) ttrt = analysis::select_ttrt(set, params.ring, bw);
   FaultMarginReport report;
   report.recovery_per_fault =
       ttp_fault_outage(budget.kind, params, bw, ttrt, budget.noise_duration);
-  report.fault_free_schedulable =
-      ttp_schedulable_with_faults(set, params, bw, ttrt, budget, 0);
+  // Payload times, deadlines and the Theorem 5.1 constants are hoisted
+  // once; each probe only re-derives the k-dependent visit counts.
+  const TtpProbeState state =
+      make_ttp_probe_state(set, params, bw, ttrt, budget);
+  report.fault_free_schedulable = ttp_probe(state, 0);
   if (report.fault_free_schedulable) {
     report.margin = largest_feasible(
-        [&](int k) {
-          return ttp_schedulable_with_faults(set, params, bw, ttrt, budget, k);
-        },
+        [&](int k) { return ttp_probe(state, k); },
         hopeless_faults(set, report.recovery_per_fault));
   }
   count_margin_query(report);

@@ -51,6 +51,13 @@ MessageSet MessageSet::scaled(double factor) const {
   return MessageSet(std::move(copy));
 }
 
+void MessageSet::scaled_into(double factor, MessageSet& out) const {
+  TR_EXPECTS(factor >= 0.0);
+  TR_EXPECTS(&out != this);
+  out.streams_.assign(streams_.begin(), streams_.end());
+  for (auto& s : out.streams_) s.payload_bits *= factor;
+}
+
 void MessageSet::validate() const {
   for (const auto& s : streams_) s.validate();
 }

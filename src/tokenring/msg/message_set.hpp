@@ -50,6 +50,13 @@ class MessageSet {
   /// Lehoczky-Sha-Ding saturation procedure.
   MessageSet scaled(double factor) const;
 
+  /// Allocation-free form of `scaled`: writes the scaled copy into `out`,
+  /// reusing its stream storage when the capacity suffices. Produces values
+  /// bit-identical to `scaled(factor)` (same multiply, same order), so the
+  /// saturation search can swap between them freely. Aliasing with *this is
+  /// not allowed.
+  void scaled_into(double factor, MessageSet& out) const;
+
   /// Validates every stream and that stations are within [0, limit).
   void validate() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "tokenring/analysis/kernels.hpp"
 #include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/checks.hpp"
 #include "tokenring/exec/seed_stream.hpp"
@@ -37,24 +38,16 @@ ResilienceSample estimate_resilience(const experiments::PaperSetup& setup,
     const auto base = generator.generate(rng);
     ResilienceSample s{-1.0, -1.0};
     {
-      const auto sat = breakdown::find_saturation(
-          base,
-          [&](const msg::MessageSet& m) {
-            return analysis::pdp_feasible(m, pdp_params, bw);
-          },
-          bw);
+      const auto sat = breakdown::find_saturation_scaled(
+          base, analysis::PdpScaleKernel(base, pdp_params, bw), bw);
       if (sat.found) {
         const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
         s.pdp = fault::pdp_fault_margin(set, pdp_params, bw).margin;
       }
     }
     {
-      const auto sat = breakdown::find_saturation(
-          base,
-          [&](const msg::MessageSet& m) {
-            return analysis::ttp_feasible(m, ttp_params, bw);
-          },
-          bw);
+      const auto sat = breakdown::find_saturation_scaled(
+          base, analysis::TtpScaleKernel(base, ttp_params, bw), bw);
       if (sat.found) {
         const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
         s.fddi = fault::ttp_fault_margin(set, ttp_params, bw).margin;
@@ -108,16 +101,16 @@ Recommendation recommend_protocol(const TrafficProfile& profile,
   rec.ieee8025 =
       experiments::estimate_point(
           setup,
-          setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bandwidth),
+          setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bandwidth),
           bandwidth, num_sets, seed, executor)
           .mean();
   rec.modified8025 =
       experiments::estimate_point(
           setup,
-          setup.pdp_predicate(analysis::PdpVariant::kModified8025, bandwidth),
+          setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bandwidth),
           bandwidth, num_sets, seed, executor)
           .mean();
-  rec.fddi = experiments::estimate_point(setup, setup.ttp_predicate(bandwidth),
+  rec.fddi = experiments::estimate_point(setup, setup.ttp_kernel_factory(bandwidth),
                                          bandwidth, num_sets, seed, executor)
                  .mean();
 

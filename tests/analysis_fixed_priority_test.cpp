@@ -6,6 +6,7 @@
 
 #include "tokenring/common/checks.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/obs/registry.hpp"
 
 namespace tokenring::analysis {
 namespace {
@@ -228,6 +229,63 @@ TEST_P(RtaMonotonicity, ShrinkingCostsPreservesSchedulability) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RtaMonotonicity,
                          ::testing::Values(7, 11, 19, 29, 41));
+
+// ---- scheduling-point deduplication ---------------------------------------------
+
+TEST(LsdPointDedup, HarmonicPeriodsEvaluateEachDistinctPointOnce) {
+  // Periods {2, 4, 8}: for task 2 (D = 8) the raw point multiset is
+  // {2,4,6,8} from P=2, {4,8} from P=4, {8} from P=8, plus D=8 — nine
+  // generated entries but only four distinct instants. An unschedulable
+  // set (no early exit) must therefore evaluate the workload exactly four
+  // times; pre-dedup the same walk cost nine evaluations.
+  const std::vector<FpTask> tasks = {{2.0, 1.5}, {4.0, 1.5}, {8.0, 2.0}};
+  std::size_t evals = 0;
+  EXPECT_FALSE(lsd_point_test(tasks, 2, 0.0, &evals));
+  EXPECT_EQ(evals, 4u);
+}
+
+TEST(LsdPointDedup, EarlyExitStopsAtFirstPassingPoint) {
+  // Lightly loaded harmonic set: task 2's workload already fits at the
+  // first point t = 2, so exactly one evaluation happens despite four
+  // distinct points being available.
+  const std::vector<FpTask> tasks = {{2.0, 0.5}, {4.0, 0.5}, {8.0, 0.5}};
+  std::size_t evals = 0;
+  EXPECT_TRUE(lsd_point_test(tasks, 2, 0.0, &evals));
+  EXPECT_EQ(evals, 1u);
+}
+
+// ---- RTA convergence diagnostics ------------------------------------------------
+
+TEST(RtaDiagnostics, StatusDistinguishesConvergenceFromDeadlineMiss) {
+  const std::vector<FpTask> ok = {{4.0, 1.0}, {5.0, 1.5}};
+  RtaStatus status = RtaStatus::kIterationCapReached;
+  ASSERT_TRUE(response_time(ok, 1, 0.0, &status).has_value());
+  EXPECT_EQ(status, RtaStatus::kConverged);
+
+  const std::vector<FpTask> overloaded = {{2.0, 1.5}, {3.0, 1.5}};
+  EXPECT_FALSE(response_time(overloaded, 1, 0.0, &status).has_value());
+  EXPECT_EQ(status, RtaStatus::kDeadlineExceeded);
+}
+
+TEST(RtaDiagnostics, IterationCapIsReportedNotSilent) {
+  // U just under 1 with a huge deadline makes the fixpoint creep ~1 time
+  // unit per iteration toward r* ~ 50'000, so kMaxRtaIterations (10'000)
+  // trips long before convergence or the deadline. The bailout must be
+  // visible three ways: RtaStatus, the set verdict's counter, and the
+  // obs registry counter the CLI warning reads.
+  obs::Registry::global().reset_values();
+  const std::vector<FpTask> tasks = {{1.0, 0.99999}, {100'000.0, 0.5}};
+  RtaStatus status = RtaStatus::kConverged;
+  EXPECT_FALSE(response_time(tasks, 1, 0.0, &status).has_value());
+  EXPECT_EQ(status, RtaStatus::kIterationCapReached);
+
+  const auto verdict = response_time_analysis(tasks, 0.0);
+  EXPECT_FALSE(verdict.schedulable);
+  EXPECT_EQ(verdict.iteration_cap_hits, 1u);
+
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_GE(snap.counters.at("analysis.rta_cap_hits"), 2u);
+}
 
 }  // namespace
 }  // namespace tokenring::analysis

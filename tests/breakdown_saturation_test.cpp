@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "tokenring/analysis/kernels.hpp"
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/msg/generator.hpp"
 #include "tokenring/net/standards.hpp"
 
 namespace tokenring::breakdown {
@@ -128,6 +131,107 @@ TEST(Saturation, WorksAgainstRealTtpCriterion) {
   ASSERT_TRUE(res.found);
   EXPECT_GT(res.breakdown_utilization, 0.3);
   EXPECT_LT(res.breakdown_utilization, 1.0);
+}
+
+// ---- scale-space kernel path -------------------------------------------------
+
+TEST(SaturationKernel, PdpKernelPathIsBitIdenticalToPredicatePath) {
+  // Same bisection, same verdicts => same probe sequence: critical scale,
+  // utilization and probe count must match the predicate path exactly, not
+  // approximately, over a corpus of random sets.
+  analysis::PdpParams p;
+  p.ring = net::ieee8025_ring(8);
+  p.frame = net::paper_frame_format();
+  p.variant = analysis::PdpVariant::kModified8025;
+  const BitsPerSecond bw = mbps(16);
+  const auto predicate = [&](const msg::MessageSet& m) {
+    return analysis::pdp_feasible(m, p, bw);
+  };
+  msg::GeneratorConfig g;
+  g.num_streams = 8;
+  g.mean_period = milliseconds(100);
+  msg::MessageSetGenerator gen(g);
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto base = gen.generate(rng);
+    const auto ref = find_saturation(base, predicate, bw);
+    const auto fast = find_saturation_scaled(
+        base, analysis::PdpScaleKernel(base, p, bw), bw);
+    ASSERT_EQ(ref.found, fast.found) << "trial " << trial;
+    EXPECT_EQ(ref.critical_scale, fast.critical_scale) << "trial " << trial;
+    EXPECT_EQ(ref.breakdown_utilization, fast.breakdown_utilization)
+        << "trial " << trial;
+    EXPECT_EQ(ref.degenerate_zero, fast.degenerate_zero);
+    EXPECT_EQ(ref.predicate_evals, fast.predicate_evals) << "trial " << trial;
+  }
+}
+
+TEST(SaturationKernel, TtpKernelPathIsBitIdenticalToPredicatePath) {
+  analysis::TtpParams p;
+  p.ring = net::fddi_ring(8);
+  p.frame = net::paper_frame_format();
+  p.async_frame = net::paper_frame_format();
+  const BitsPerSecond bw = mbps(100);
+  const auto predicate = [&](const msg::MessageSet& m) {
+    return analysis::ttp_feasible(m, p, bw);
+  };
+  msg::GeneratorConfig g;
+  g.num_streams = 8;
+  g.mean_period = milliseconds(100);
+  msg::MessageSetGenerator gen(g);
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto base = gen.generate(rng);
+    const auto ref = find_saturation(base, predicate, bw);
+    const auto fast = find_saturation_scaled(
+        base, analysis::TtpScaleKernel(base, p, bw), bw);
+    ASSERT_EQ(ref.found, fast.found) << "trial " << trial;
+    EXPECT_EQ(ref.critical_scale, fast.critical_scale) << "trial " << trial;
+    EXPECT_EQ(ref.breakdown_utilization, fast.breakdown_utilization)
+        << "trial " << trial;
+    EXPECT_EQ(ref.predicate_evals, fast.predicate_evals) << "trial " << trial;
+  }
+}
+
+TEST(SaturationKernel, PredicateEvalsCountsEveryProbe) {
+  // The analytic-threshold search must report a plausible probe count:
+  // at least the bracketing probes plus ~log2(1/tol) bisection steps.
+  const BitsPerSecond bw = mbps(1);
+  const auto predicate = [bw](const msg::MessageSet& m) {
+    return m.utilization(bw) <= 0.8;
+  };
+  const auto res = find_saturation(simple_set(), predicate, bw);
+  ASSERT_TRUE(res.found);
+  EXPECT_GE(res.predicate_evals, 20);
+  EXPECT_LE(res.predicate_evals, 200);
+}
+
+TEST(SaturationKernel, WorkspaceScalingIsBitIdenticalToScaledCopies) {
+  const auto base = simple_set();
+  ScaledWorkspace workspace;
+  for (const double factor : {0.0, 0.25, 1.0, 3.5, 1e6}) {
+    const auto& scaled = workspace.at_scale(base, factor);
+    const auto copy = base.scaled(factor);
+    ASSERT_EQ(scaled.size(), copy.size());
+    for (std::size_t i = 0; i < copy.size(); ++i) {
+      EXPECT_EQ(scaled[i].payload_bits, copy[i].payload_bits);
+      EXPECT_EQ(scaled[i].period, copy[i].period);
+    }
+  }
+}
+
+TEST(SaturationKernel, KernelOverWorkspaceMatchesDirectPredicate) {
+  const auto base = simple_set();
+  const BitsPerSecond bw = mbps(1);
+  const SchedulablePredicate predicate = [bw](const msg::MessageSet& m) {
+    return m.utilization(bw) <= 0.8;
+  };
+  ScaledWorkspace workspace;
+  const ScaleKernel kernel = kernel_over_workspace(base, predicate, workspace);
+  for (const double factor : {0.1, 1.0, 2.6, 2.7, 10.0}) {
+    EXPECT_EQ(kernel(factor), predicate(base.scaled(factor)))
+        << "factor " << factor;
+  }
 }
 
 TEST(Saturation, Preconditions) {

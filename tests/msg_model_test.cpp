@@ -104,6 +104,37 @@ TEST(MessageSet, ScaledByZeroAndIdentity) {
   EXPECT_THROW(set.scaled(-0.5), PreconditionError);
 }
 
+TEST(MessageSet, ScaledIntoMatchesScaledBitForBit) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1'000.0, 0));
+  set.add(make(milliseconds(30), 12'345.0, 1));
+  MessageSet buffer;
+  for (const double factor : {0.0, 0.3777, 1.0, 17.5}) {
+    set.scaled_into(factor, buffer);
+    const MessageSet copy = set.scaled(factor);
+    ASSERT_EQ(buffer.size(), copy.size());
+    for (std::size_t i = 0; i < copy.size(); ++i) {
+      EXPECT_EQ(buffer[i].payload_bits, copy[i].payload_bits);
+      EXPECT_EQ(buffer[i].period, copy[i].period);
+      EXPECT_EQ(buffer[i].station, copy[i].station);
+    }
+  }
+  // The buffer shrinks and grows with the source set.
+  MessageSet one;
+  one.add(make(milliseconds(5), 7.0, 2));
+  one.scaled_into(2.0, buffer);
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer[0].payload_bits, 14.0);
+}
+
+TEST(MessageSet, ScaledIntoRejectsAliasingAndNegativeFactor) {
+  MessageSet set;
+  set.add(make(milliseconds(10), 1'000.0, 0));
+  MessageSet buffer;
+  EXPECT_THROW(set.scaled_into(-1.0, buffer), PreconditionError);
+  EXPECT_THROW(set.scaled_into(1.0, set), PreconditionError);
+}
+
 TEST(MessageSet, ValidatePropagatesToStreams) {
   MessageSet set;
   set.add(make(0.0, 1.0, 0));

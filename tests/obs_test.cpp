@@ -10,9 +10,13 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tokenring/breakdown/monte_carlo.hpp"
 #include "tokenring/exec/executor.hpp"
+#include "tokenring/experiments/setup.hpp"
+#include "tokenring/msg/generator.hpp"
 #include "tokenring/obs/json.hpp"
 #include "tokenring/obs/manifest.hpp"
 #include "tokenring/obs/registry.hpp"
@@ -114,6 +118,37 @@ TEST(Registry, CounterAggregationIsDeterministicAcrossJobs) {
   const auto& h8 = par.histograms.at("obs_test.util");
   EXPECT_EQ(h1.counts, h8.counts);
   EXPECT_EQ(h1.total, 64u);
+}
+
+TEST(Registry, PredicateEvalCounterIsDeterministicAcrossJobs) {
+  // The saturation search bumps "breakdown.predicate_evals" once per probe.
+  // The probe sequence depends only on verdicts (never on timing or thread
+  // placement), so the same Monte Carlo run under 1 worker and 4 workers
+  // must land on the exact same total — this is the counter the run
+  // manifest exposes as the search-effort metric.
+  experiments::PaperSetup setup;
+  setup.num_stations = 6;
+  const BitsPerSecond bw = mbps(16);
+  const auto factory =
+      setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw);
+
+  auto run_workload = [&](std::size_t jobs) {
+    obs::Registry::global().reset_values();
+    const exec::Executor executor(jobs);
+    breakdown::MonteCarloOptions options;
+    options.num_sets = 12;
+    msg::MessageSetGenerator generator(setup.generator_config());
+    const auto estimate = breakdown::estimate_breakdown_utilization(
+        generator, factory, bw, 7, executor, options);
+    const auto snap = obs::Registry::global().snapshot();
+    return std::pair(estimate.mean(), snap.counters.at("breakdown.predicate_evals"));
+  };
+
+  const auto [mean1, evals1] = run_workload(1);
+  const auto [mean4, evals4] = run_workload(4);
+  EXPECT_EQ(mean1, mean4);
+  EXPECT_EQ(evals1, evals4);
+  EXPECT_GT(evals1, 0u);
 }
 
 TEST(Registry, GaugeSurvivesWorkerThreadRetirement) {

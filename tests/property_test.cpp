@@ -7,11 +7,14 @@
 #include <algorithm>
 
 #include "tokenring/analysis/async_capacity.hpp"
+#include "tokenring/analysis/fixed_priority.hpp"
+#include "tokenring/analysis/kernels.hpp"
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/rng.hpp"
+#include "tokenring/exec/seed_stream.hpp"
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/msg/io.hpp"
 #include "tokenring/net/standards.hpp"
@@ -263,6 +266,110 @@ TEST_P(CsvRoundTrip, RandomSetsSurviveSerialization) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTrip, ::testing::Values(17, 19, 23));
+
+// ---- fast-kernel differential --------------------------------------------------------
+//
+// The screened verdicts (rta_feasible_fast, lsd_feasible_fast) and the
+// scale-space kernels (PdpScaleKernel, TtpScaleKernel) are drop-in
+// replacements for the exact analyses; these tests pin verdict-for-verdict
+// agreement on a large randomized corpus drawn from the exec/ seed stream
+// (fixed master seeds, so every run and every machine sees the same sets).
+
+std::vector<analysis::FpTask> random_task_set(Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  // Total utilization straddling the feasibility boundary so both verdicts
+  // appear, plus occasional zero-cost (degenerate payload) tasks.
+  double remaining = rng.uniform(0.1, 1.4);
+  const bool constrained = rng.uniform01() < 0.3;
+  std::vector<analysis::FpTask> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& t = tasks[i];
+    t.period = rng.uniform(0.01, 0.1);
+    const double share =
+        i + 1 == n ? remaining : rng.uniform(0.0, remaining);
+    remaining -= share;
+    t.cost = share * t.period;
+    if (rng.uniform01() < 0.1) t.cost = 0.0;
+    if (constrained) t.deadline = t.period * rng.uniform(0.5, 1.0);
+  }
+  std::sort(tasks.begin(), tasks.end(),
+            [](const analysis::FpTask& a, const analysis::FpTask& b) {
+              return a.effective_deadline() < b.effective_deadline();
+            });
+  return tasks;
+}
+
+TEST(FastKernelDifferential, ScreenedVerdictsMatchExactOn10kTaskSets) {
+  int schedulable = 0;
+  int infeasible = 0;
+  for (std::uint64_t trial = 0; trial < 10'000; ++trial) {
+    Rng rng = exec::make_trial_rng(0xFA57, trial);
+    const auto tasks = random_task_set(rng);
+    const Seconds blocking =
+        rng.uniform01() < 0.3 ? 0.0 : rng.uniform(0.0, 0.02);
+
+    const bool exact_rta =
+        analysis::response_time_analysis(tasks, blocking).schedulable;
+    const bool exact_lsd =
+        analysis::lsd_point_test_all(tasks, blocking).schedulable;
+    ASSERT_EQ(exact_rta, exact_lsd) << "exact analyses split at trial "
+                                    << trial;
+    ASSERT_EQ(exact_rta, analysis::rta_feasible_fast(tasks, blocking))
+        << "rta_feasible_fast disagrees at trial " << trial;
+    ASSERT_EQ(exact_lsd, analysis::lsd_feasible_fast(tasks, blocking))
+        << "lsd_feasible_fast disagrees at trial " << trial;
+    (exact_rta ? schedulable : infeasible) += 1;
+  }
+  // The corpus must exercise both verdicts, or the agreement is vacuous.
+  EXPECT_GT(schedulable, 100);
+  EXPECT_GT(infeasible, 100);
+}
+
+TEST(FastKernelDifferential, ScaleKernelsMatchPredicatesScaleForScale) {
+  int schedulable = 0;
+  int infeasible = 0;
+  for (std::uint64_t trial = 0; trial < 1'000; ++trial) {
+    Rng rng = exec::make_trial_rng(0x5CA1E, trial);
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    auto gen = generator(n, milliseconds(rng.uniform(20.0, 200.0)),
+                         rng.uniform(1.0, 10.0));
+    auto base = gen.generate(rng);
+    if (rng.uniform01() < 0.05) {
+      // Degenerate all-zero payload set: kernels must still agree.
+      std::vector<msg::SyncStream> zeroed = base.streams();
+      for (auto& s : zeroed) s.payload_bits = 0.0;
+      base = msg::MessageSet{std::move(zeroed)};
+    }
+    const BitsPerSecond bw = mbps(rng.uniform(4.0, 200.0));
+    const auto pdp = pdp_params(n, analysis::PdpVariant::kModified8025);
+    const auto ttp = ttp_params(n);
+    const Seconds pinned_ttrt = milliseconds(rng.uniform(0.5, 20.0));
+
+    const analysis::PdpScaleKernel pdp_kernel(base, pdp, bw);
+    const analysis::TtpScaleKernel ttp_kernel(base, ttp, bw);
+    const analysis::TtpScaleKernel ttp_kernel_at(base, ttp, bw, pinned_ttrt);
+
+    // Random probe order, including scale 0, exercises the PDP kernel's
+    // carried failed-task hint the way a real bisection would.
+    for (int probe = 0; probe < 5; ++probe) {
+      const double scale =
+          probe == 0 ? 0.0 : rng.uniform(0.0, 50.0);
+      const auto scaled = base.scaled(scale);
+      const bool pdp_ref = analysis::pdp_feasible(scaled, pdp, bw);
+      ASSERT_EQ(pdp_kernel(scale), pdp_ref)
+          << "PDP kernel disagrees at trial " << trial << " scale " << scale;
+      ASSERT_EQ(ttp_kernel(scale), analysis::ttp_feasible(scaled, ttp, bw))
+          << "TTP kernel disagrees at trial " << trial << " scale " << scale;
+      ASSERT_EQ(ttp_kernel_at(scale),
+                analysis::ttp_feasible_at(scaled, ttp, bw, pinned_ttrt))
+          << "pinned-TTRT kernel disagrees at trial " << trial << " scale "
+          << scale;
+      (pdp_ref ? schedulable : infeasible) += 1;
+    }
+  }
+  EXPECT_GT(schedulable, 100);
+  EXPECT_GT(infeasible, 100);
+}
 
 // ---- TTRT scaling ---------------------------------------------------------------------
 

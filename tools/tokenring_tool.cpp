@@ -37,6 +37,7 @@
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/msg/io.hpp"
 #include "tokenring/net/standards.hpp"
+#include "tokenring/obs/registry.hpp"
 #include "tokenring/obs/report.hpp"
 #include "tokenring/obs/trace_sinks.hpp"
 #include "tokenring/planner/advisor.hpp"
@@ -380,6 +381,19 @@ int cmd_advise(const CliFlags& flags, obs::RunReport& report) {
   report.note(
       "(resil_* = mean token losses per period absorbed at 70%% of each\n"
       " sampled set's schedulability boundary)\n");
+  // The RTA treats an iteration-cap bailout as "unschedulable" to stay
+  // conservative; if any probe hit the cap, the estimates above lean
+  // pessimistic and the numerics deserve a look.
+  const auto metrics = obs::Registry::global().snapshot();
+  const auto cap_hits = metrics.counters.find("analysis.rta_cap_hits");
+  if (cap_hits != metrics.counters.end() && cap_hits->second > 0) {
+    report.note(
+        "warning: %llu response-time iterations hit the %d-step cap without\n"
+        " converging; the affected sets were conservatively treated as\n"
+        " unschedulable (see analysis.rta_cap_hits in the manifest)\n",
+        static_cast<unsigned long long>(cap_hits->second),
+        analysis::kMaxRtaIterations);
+  }
   return 0;
 }
 
