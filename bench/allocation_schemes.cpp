@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   wc.num_sets = config.sets_per_point;
   wc.seed = config.seed;
   wc.jobs = config.jobs;
+  wc.batch = get_batch(flags, wc.num_sets);
   const auto worst = experiments::run_worst_case_study(wc);
 
   report.note("\n# Worst-case guarantee (local scheme)\n");

@@ -21,13 +21,15 @@ namespace {
 
 breakdown::BreakdownEstimate estimate_with_samples(
     const experiments::PaperSetup& setup,
-    const breakdown::SchedulablePredicate& predicate, BitsPerSecond bw,
-    std::size_t sets, std::uint64_t seed, const exec::Executor& executor) {
+    const breakdown::BatchScaleKernelFactory& factory, BitsPerSecond bw,
+    std::size_t sets, std::uint64_t seed, std::size_t batch,
+    const exec::Executor& executor) {
   msg::MessageSetGenerator gen(setup.generator_config());
   breakdown::MonteCarloOptions options;
   options.num_sets = sets;
   options.keep_samples = true;
-  return breakdown::estimate_breakdown_utilization(gen, predicate, bw, seed,
+  options.batch_size = batch;
+  return breakdown::estimate_breakdown_utilization(gen, factory, bw, seed,
                                                    executor, options);
 }
 
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidths-mbps", "5,20,100", "bandwidth list [Mbit/s]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   setup.num_stations = static_cast<int>(flags.get_int("stations"));
   const auto sets = static_cast<std::size_t>(flags.get_int("sets"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto batch = get_batch(flags, sets);
   const exec::Executor executor(get_jobs(flags));
 
   report.note(
@@ -61,26 +65,28 @@ int main(int argc, char** argv) {
 
   struct Proto {
     const char* name;
-    std::function<breakdown::SchedulablePredicate(BitsPerSecond)> predicate;
+    std::function<breakdown::BatchScaleKernelFactory(BitsPerSecond)> factory;
   };
   const Proto protos[] = {
       {"ieee8025",
        [&](BitsPerSecond bw) {
-         return setup.pdp_predicate(analysis::PdpVariant::kStandard8025, bw);
+         return setup.pdp_batch_kernel_factory(analysis::PdpVariant::kStandard8025,
+                                               bw);
        }},
       {"modified8025",
        [&](BitsPerSecond bw) {
-         return setup.pdp_predicate(analysis::PdpVariant::kModified8025, bw);
+         return setup.pdp_batch_kernel_factory(analysis::PdpVariant::kModified8025,
+                                               bw);
        }},
       {"fddi",
-       [&](BitsPerSecond bw) { return setup.ttp_predicate(bw); }},
+       [&](BitsPerSecond bw) { return setup.ttp_batch_kernel_factory(bw); }},
   };
 
   for (double bw_mbps : parse_double_list(flags.get_string("bandwidths-mbps"))) {
     const BitsPerSecond bw = mbps(bw_mbps);
     for (const auto& proto : protos) {
-      const auto est = estimate_with_samples(setup, proto.predicate(bw), bw,
-                                             sets, seed, executor);
+      const auto est = estimate_with_samples(setup, proto.factory(bw), bw,
+                                             sets, seed, batch, executor);
       table.add_row({proto.name, fmt(bw_mbps, 0), fmt(est.quantile(0.05)),
                      fmt(est.quantile(0.25)), fmt(est.quantile(0.5)),
                      fmt(est.quantile(0.75)), fmt(est.quantile(0.95)),

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("stations", "25,50,100", "ring sizes");
   flags.declare("mean-periods-ms", "20,100,500", "mean periods [ms]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   config.station_counts.clear();
   for (double v : parse_double_list(flags.get_string("stations"))) {
     config.station_counts.push_back(static_cast<int>(v));

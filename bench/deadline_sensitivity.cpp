@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   flags.declare("fractions", "1.0,0.8,0.6,0.4,0.2",
                 "deadline fractions D/P to sweep");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.deadline_fractions = parse_double_list(flags.get_string("fractions"));
 

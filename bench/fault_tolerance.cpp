@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   flags.declare("counts", "0,1,2,5,10", "faults injected per run");
   flags.declare("noise-ms", "1", "noise burst duration [ms]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   config.kinds = parse_kinds(flags.get_string("kinds"));
   config.noise_duration = milliseconds(flags.get_double("noise-ms"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   config.fault_counts.clear();
   for (double c : parse_double_list(flags.get_string("counts"))) {
     config.fault_counts.push_back(static_cast<int>(c));

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "1,2,5,10,20,50,100,200,500,1000",
                 "bandwidth sweep [Mbit/s]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
 
   report.note(

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("payload-bytes", "16,32,64,128,256,512,1024,4096",
                 "frame payload sizes [bytes]");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   config.bandwidths_mbps = parse_double_list(flags.get_string("bandwidths-mbps"));
   config.payload_bytes = parse_double_list(flags.get_string("payload-bytes"));
 

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("equal-periods", "false",
                 "use equal periods (the paper's analytical special case)");
   declare_jobs_flag(flags);
+  declare_batch_flag(flags);
   obs::declare_report_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.jobs = get_jobs(flags);
+  config.batch = get_batch(flags, config.sets_per_point);
   if (flags.get_bool("equal-periods")) {
     config.setup.period_dist = msg::PeriodDistribution::kEqual;
   }

@@ -34,12 +34,26 @@ import sys
 # locally measured factors (2.1-4.0x for the saturation searches, >100x for
 # the screened verdicts) so the gate trips on real behaviour changes, not
 # timer noise.
+#
+# The SoA batch pairs (B = 8/64/256 lanes in lockstep vs the same searches
+# one scalar kernel at a time) are gated on locally measured factors too:
+# the TTP probe loop is divide-throughput-bound (two divpd per element, and
+# per-element divide throughput is the same at every SIMD width), so ~2x is
+# the hardware ceiling for the bit-identical evaluate — measured 1.95x raw
+# (BM_TtpEvaluate*) and ~1.8x across a whole search, where the scalar
+# reference keeps its early exits. The PDP searches are dominated by the
+# exact response-time analysis both paths share, so the batch pair there is
+# an anti-regression gate (lockstep bookkeeping must not cost), not a
+# speedup claim.
 PAIRS = [
     ("BM_SaturationSearchPdpKernel", "BM_SaturationSearchPdp", 1.5),
     ("BM_SaturationSearchTtpKernel", "BM_SaturationSearchTtp", 1.5),
     ("BM_RtaScreened", "BM_RtaExact", 2.0),
     ("BM_LsdIncremental", "BM_LsdExact", 2.0),
     ("BM_ScaledInto", "BM_ScaledCopy", 1.0),
+    ("BM_SaturationBatchPdp", "BM_SaturationScalarPdp", 0.85),
+    ("BM_SaturationBatchTtp", "BM_SaturationScalarTtp", 1.4),
+    ("BM_TtpEvaluateBatch", "BM_TtpEvaluateScalar", 1.5),
 ]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -116,12 +130,38 @@ def check_pairs(current):
     return ok
 
 
+def update_baseline(baseline_path, current_path):
+    """Replace the checked-in baseline with the current manifest verbatim.
+
+    The pair gate still runs first: a refreshed baseline must not smuggle in
+    a run where the fast variants stopped beating their references.
+    """
+    current = load_timings(current_path)  # validates the manifest shape
+    print("== reference-vs-fast pair gate (pre-update) ==")
+    if not check_pairs(current):
+        print("baseline NOT updated: pair gate failed on the new manifest")
+        return 1
+    with open(current_path) as f:
+        manifest = f.read()
+    with open(baseline_path, "w") as f:
+        f.write(manifest)
+    print(f"baseline updated: {current_path} -> {baseline_path} "
+          f"({len(current)} benchmarks)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--max-regression", type=float, default=1.5)
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the baseline from --current instead "
+                             "of comparing against it (pair gate still runs)")
     args = parser.parse_args()
+
+    if args.update:
+        return update_baseline(args.baseline, args.current)
 
     baseline = load_timings(args.baseline)
     current = load_timings(args.current)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Verify the batch-kernel hot loops still autovectorize.
+
+Usage:
+  check_vectorization.py [--source src/tokenring/analysis/batch_kernels.cpp]
+                         [--cxx g++] [--include src]
+
+Recompiles the batch-kernel translation unit with the same scoped options
+the build uses (-O3 -march=x86-64-v2 -fno-trapping-math) plus the
+compiler's vectorization report, and requires at least one "loop
+vectorized" remark inside every VEC-HOT-BEGIN(name)/VEC-HOT-END(name)
+marker range in the source. The SoA layout only pays while the compiler
+keeps vectorizing across lanes, so a refactor that silently breaks the
+report (a new branch, an aliasing hazard, a libm call GCC will not
+vectorize without -fno-trapping-math) fails CI here instead of landing as
+a quiet 2x slowdown.
+
+Supports GCC (-fopt-info-vec-optimized: "<file>:<line>:<col>: optimized:
+loop vectorized ...") and Clang (-Rpass=loop-vectorize: "<file>:<line>:
+<col>: remark: vectorized loop ..."). Exit 0 when every marked range has a
+vectorized loop, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+MARKER_BEGIN = re.compile(r"VEC-HOT-BEGIN\((?P<name>[\w-]+)\)")
+MARKER_END = re.compile(r"VEC-HOT-END\((?P<name>[\w-]+)\)")
+
+# GCC: "optimized: loop vectorized using 16 byte vectors"
+# Clang: "remark: vectorized loop (vectorization width: 2, ...)"
+REMARK = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):\d+:\s*"
+    r"(?:optimized:\s*loop vectorized|remark:\s*vectorized loop)")
+
+
+def parse_marker_ranges(source):
+    """Source path -> {name: (begin_line, end_line)}, 1-indexed exclusive."""
+    ranges = {}
+    open_markers = {}
+    with open(source) as f:
+        for lineno, line in enumerate(f, start=1):
+            begin = MARKER_BEGIN.search(line)
+            if begin:
+                name = begin.group("name")
+                if name in ranges or name in open_markers:
+                    sys.exit(f"error: duplicate VEC-HOT marker '{name}'")
+                open_markers[name] = lineno
+                continue
+            end = MARKER_END.search(line)
+            if end:
+                name = end.group("name")
+                if name not in open_markers:
+                    sys.exit(f"error: VEC-HOT-END({name}) without BEGIN")
+                ranges[name] = (open_markers.pop(name), lineno)
+    if open_markers:
+        sys.exit(f"error: unclosed VEC-HOT markers: {sorted(open_markers)}")
+    if not ranges:
+        sys.exit(f"error: no VEC-HOT marker ranges found in {source}")
+    return ranges
+
+
+def compiler_command(cxx, source, include):
+    is_clang = "clang" in os.path.basename(cxx)
+    report = (["-Rpass=loop-vectorize"] if is_clang
+              else ["-fopt-info-vec-optimized"])
+    return [cxx, "-O3", "-march=x86-64-v2", "-fno-trapping-math",
+            "-std=c++20", "-I", include, "-c", source, "-o", os.devnull,
+            *report]
+
+
+def vectorized_lines(output, source):
+    """Report text -> set of source line numbers with a vectorized loop."""
+    base = os.path.basename(source)
+    lines = set()
+    for raw in output.splitlines():
+        m = REMARK.match(raw.strip())
+        if m and os.path.basename(m.group("file")) == base:
+            lines.add(int(m.group("line")))
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--source",
+                        default="src/tokenring/analysis/batch_kernels.cpp")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "g++"))
+    parser.add_argument("--include", default="src")
+    args = parser.parse_args()
+
+    ranges = parse_marker_ranges(args.source)
+    cmd = compiler_command(args.cxx, args.source, args.include)
+    print("compile:", " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(f"error: compilation failed ({proc.returncode})")
+
+    report = proc.stderr + proc.stdout
+    hits = vectorized_lines(report, args.source)
+
+    ok = True
+    for name, (begin, end) in sorted(ranges.items()):
+        inside = sorted(line for line in hits if begin < line < end)
+        if inside:
+            print(f"  {name:20s} lines {begin}-{end}: vectorized at "
+                  f"{', '.join(map(str, inside))}")
+        else:
+            print(f"  {name:20s} lines {begin}-{end}: NO vectorized loop "
+                  f"<-- FAIL")
+            ok = False
+    if ok:
+        print("vectorization check: PASS")
+        return 0
+    print("vectorization check: FAIL (see compiler report below)")
+    print(report, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,18 @@
 // bit-identical to the predicate path. The differential property test and
 // the kernel-vs-predicate saturation tests pin this.
 
+// The batch kernels below are the structure-of-arrays siblings: one kernel
+// evaluates B independent trials ("lanes") per pass. Because each lane must
+// replay the scalar accumulation order bit for bit, the vectorization
+// dimension is *across* lanes: per-station values are stored station-major
+// x lane-minor (index = station * lanes + lane), so the inner loop walks a
+// contiguous run of independent lanes the compiler can autovectorize.
+
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tokenring/analysis/pdp.hpp"
@@ -81,6 +90,101 @@ class TtpScaleKernel {
   Seconds frame_overhead_ = 0.0;
   bool any_deadline_infeasible_ = false;  // some q_i < 2: false at any scale
   std::vector<Station> stations_;  // base stream order
+};
+
+/// Batched form of `PdpScaleKernel`: lane l answers, for the base set
+/// bases[l] it was built from, the same verdict `PdpScaleKernel(bases[l],
+/// params, bw)(scales[l])` would — bit-identical, probe for probe. All
+/// bases must be non-empty and share one station count (Monte Carlo
+/// batches do: the generator's stream count is fixed per experiment).
+///
+/// The augmented-length stage (the multiply-divide-floor-ceil arithmetic
+/// of `pdp_augmented_length`) runs full-width over a station-major x
+/// lane-minor SoA of base payloads in branch-light loops; the screened RTA
+/// stage then runs per *active* lane with a per-lane failed-task hint (the
+/// hint steers which task is tested first and never changes the verdict).
+/// Frame counts are assumed to stay below 2^53, matching the int64 domain
+/// of the scalar path.
+class PdpBatchKernel {
+ public:
+  PdpBatchKernel(std::span<const msg::MessageSet> bases,
+                 const PdpParams& params, BitsPerSecond bw);
+
+  std::size_t lanes() const { return lanes_; }
+
+  /// verdicts[l] = lane l's verdict at scales[l], for every lane with
+  /// active[l] != 0 (other verdict entries are left untouched). The cost
+  /// stage always computes full width — masking keeps the hot loops
+  /// branch-free; converged lanes simply carry a stale scale.
+  void evaluate(std::span<const double> scales,
+                std::span<const std::uint8_t> active,
+                std::span<std::uint8_t> verdicts) const;
+
+  /// All-lanes convenience overload.
+  void evaluate(std::span<const double> scales,
+                std::span<std::uint8_t> verdicts) const;
+
+ private:
+  std::size_t lanes_ = 0;
+  std::size_t stations_ = 0;
+  BitsPerSecond bw_ = 0.0;
+  Seconds blocking_ = 0.0;
+  Seconds theta_ = 0.0;
+  Seconds frame_time_ = 0.0;
+  Seconds info_time_ = 0.0;
+  Seconds overhead_time_ = 0.0;
+  double info_bits_ = 0.0;
+  bool standard_variant_ = false;   // token passed per frame, not per message
+  bool frame_dominated_ = false;    // frame_time <= theta for this geometry
+  std::vector<double> base_payload_;  // station-major x lane-minor, RM order
+  mutable std::vector<double> cost_;  // same layout; scratch per evaluate
+  mutable std::vector<std::vector<FpTask>> tasks_;      // per lane, RM order
+  mutable std::vector<std::size_t> failed_hint_;        // per lane
+};
+
+/// Batched form of `TtpScaleKernel`: lane l replays
+/// `TtpScaleKernel(bases[l], params, bw[, ttrt])(scales[l])` bit for bit.
+/// The TTRT (and hence the per-lane available time TTRT - Lambda and the
+/// per-station usable visit counts q_i - 1) is selected per lane on the
+/// base set; lanes with some q_i < 2 are deadline-infeasible at every
+/// scale and their verdict is forced false, exactly like the scalar
+/// kernel. The per-station allocation sum accumulates in station order per
+/// lane; since every term is non-negative the scalar early exit decides
+/// exactly when the full sum exceeds the available time, so the batched
+/// full-sum verdict is identical.
+class TtpBatchKernel {
+ public:
+  /// Paper TTRT selection rule, applied per lane (matches `ttp_feasible`).
+  TtpBatchKernel(std::span<const msg::MessageSet> bases,
+                 const TtpParams& params, BitsPerSecond bw);
+  /// Pinned TTRT shared by all lanes (matches `ttp_feasible_at`).
+  TtpBatchKernel(std::span<const msg::MessageSet> bases,
+                 const TtpParams& params, BitsPerSecond bw, Seconds ttrt);
+
+  std::size_t lanes() const { return lanes_; }
+
+  void evaluate(std::span<const double> scales,
+                std::span<const std::uint8_t> active,
+                std::span<std::uint8_t> verdicts) const;
+  void evaluate(std::span<const double> scales,
+                std::span<std::uint8_t> verdicts) const;
+
+ private:
+  TtpBatchKernel(std::span<const msg::MessageSet> bases,
+                 const TtpParams& params, BitsPerSecond bw,
+                 const Seconds* pinned_ttrt);
+
+  std::size_t lanes_ = 0;
+  std::size_t stations_ = 0;
+  BitsPerSecond bw_ = 0.0;
+  Seconds frame_overhead_ = 0.0;
+  std::vector<double> available_;         // per lane: TTRT_l - Lambda
+  std::vector<std::uint8_t> infeasible_;  // per lane: some q_i < 2
+  std::vector<double> base_payload_;      // station-major x lane-minor
+  std::vector<double> usable_visits_;     // same layout; 1.0 dummy rows for
+                                          // infeasible lanes keep the full-
+                                          // width divide finite
+  mutable std::vector<double> allocated_;  // per-lane accumulators; scratch
 };
 
 }  // namespace tokenring::analysis

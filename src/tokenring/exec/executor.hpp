@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -86,11 +87,16 @@ class Executor {
 /// Deterministic parallel map + ordered fold: results[i] = map_fn(i) are
 /// computed in parallel, then folded left-to-right in index order as
 /// acc = reduce_fn(acc, results[i]). The fold order (and therefore any
-/// floating-point rounding) is independent of the jobs count.
+/// floating-point rounding) is independent of the jobs count. The mapped
+/// type may differ from the accumulator type (e.g. a map_fn returning a
+/// *vector* of partials per index, with the reducer folding each element
+/// in order — how the batched Monte Carlo path keeps the per-shard merge
+/// tree while dispatching whole batch groups).
 template <typename T, typename MapFn, typename ReduceFn>
 T map_reduce(const Executor& executor, std::size_t n, T init, MapFn&& map_fn,
              ReduceFn&& reduce_fn, const ParallelForOptions& options = {}) {
-  std::vector<std::optional<T>> results(n);
+  using Mapped = std::decay_t<std::invoke_result_t<MapFn&, std::size_t>>;
+  std::vector<std::optional<Mapped>> results(n);
   executor.parallel_for(
       n, [&](std::size_t i) { results[i].emplace(map_fn(i)); }, options);
   T acc = std::move(init);

@@ -26,18 +26,21 @@ std::vector<DeadlineStudyRow> run_deadline_study(
       row.deadline_fraction = fraction;
       row.ieee8025 =
           estimate_point(setup,
-                         setup.pdp_kernel_factory(
+                         setup.pdp_batch_kernel_factory(
                              analysis::PdpVariant::kStandard8025, bw),
-                         bw, config.sets_per_point, config.seed, executor)
+                         bw, config.sets_per_point, config.seed, executor,
+                         config.batch)
               .mean();
       row.modified8025 =
           estimate_point(setup,
-                         setup.pdp_kernel_factory(
+                         setup.pdp_batch_kernel_factory(
                              analysis::PdpVariant::kModified8025, bw),
-                         bw, config.sets_per_point, config.seed, executor)
+                         bw, config.sets_per_point, config.seed, executor,
+                         config.batch)
               .mean();
-      row.fddi = estimate_point(setup, setup.ttp_kernel_factory(bw), bw,
-                                config.sets_per_point, config.seed, executor)
+      row.fddi = estimate_point(setup, setup.ttp_batch_kernel_factory(bw), bw,
+                                config.sets_per_point, config.seed, executor,
+                                config.batch)
                      .mean();
       rows.push_back(row);
     }

@@ -20,15 +20,17 @@ std::vector<Fig1Row> run_fig1(const Fig1Config& config) {
     const BitsPerSecond bw = mbps(bw_mbps);
     const auto std8025 = estimate_point(
         config.setup,
-        config.setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bw),
-        bw, config.sets_per_point, config.seed, executor);
+        config.setup.pdp_batch_kernel_factory(analysis::PdpVariant::kStandard8025,
+                                              bw),
+        bw, config.sets_per_point, config.seed, executor, config.batch);
     const auto mod8025 = estimate_point(
         config.setup,
-        config.setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw),
-        bw, config.sets_per_point, config.seed, executor);
-    const auto fddi =
-        estimate_point(config.setup, config.setup.ttp_kernel_factory(bw), bw,
-                       config.sets_per_point, config.seed, executor);
+        config.setup.pdp_batch_kernel_factory(analysis::PdpVariant::kModified8025,
+                                              bw),
+        bw, config.sets_per_point, config.seed, executor, config.batch);
+    const auto fddi = estimate_point(
+        config.setup, config.setup.ttp_batch_kernel_factory(bw), bw,
+        config.sets_per_point, config.seed, executor, config.batch);
 
     Fig1Row row;
     row.bandwidth_mbps = bw_mbps;

@@ -25,15 +25,17 @@ std::vector<FrameSizeStudyRow> run_frame_size_study(
       row.bandwidth_mbps = bw_mbps;
       row.ieee8025 =
           estimate_point(setup,
-                         setup.pdp_kernel_factory(
+                         setup.pdp_batch_kernel_factory(
                              analysis::PdpVariant::kStandard8025, bw),
-                         bw, config.sets_per_point, config.seed, executor)
+                         bw, config.sets_per_point, config.seed, executor,
+                         config.batch)
               .mean();
       row.modified8025 =
           estimate_point(setup,
-                         setup.pdp_kernel_factory(
+                         setup.pdp_batch_kernel_factory(
                              analysis::PdpVariant::kModified8025, bw),
-                         bw, config.sets_per_point, config.seed, executor)
+                         bw, config.sets_per_point, config.seed, executor,
+                         config.batch)
               .mean();
       rows.push_back(row);
     }

@@ -22,17 +22,22 @@ std::vector<StationCountStudyRow> run_station_count_study(
     StationCountStudyRow row;
     row.stations = n;
     row.ieee8025 =
-        estimate_point(
-            setup, setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bw),
-            bw, config.sets_per_point, config.seed, executor)
+        estimate_point(setup,
+                       setup.pdp_batch_kernel_factory(
+                           analysis::PdpVariant::kStandard8025, bw),
+                       bw, config.sets_per_point, config.seed, executor,
+                       config.batch)
             .mean();
     row.modified8025 =
-        estimate_point(
-            setup, setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw),
-            bw, config.sets_per_point, config.seed, executor)
+        estimate_point(setup,
+                       setup.pdp_batch_kernel_factory(
+                           analysis::PdpVariant::kModified8025, bw),
+                       bw, config.sets_per_point, config.seed, executor,
+                       config.batch)
             .mean();
-    row.fddi = estimate_point(setup, setup.ttp_kernel_factory(bw), bw,
-                              config.sets_per_point, config.seed, executor)
+    row.fddi = estimate_point(setup, setup.ttp_batch_kernel_factory(bw), bw,
+                              config.sets_per_point, config.seed, executor,
+                              config.batch)
                    .mean();
     rows.push_back(row);
   }

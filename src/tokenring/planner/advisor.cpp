@@ -1,7 +1,9 @@
 #include "tokenring/planner/advisor.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "tokenring/analysis/kernels.hpp"
 #include "tokenring/breakdown/saturation.hpp"
@@ -24,42 +26,74 @@ struct ResilienceSample {
 };
 
 /// Mean token-loss resilience margins over `num_sets` sets drawn from
-/// per-trial seed streams (deterministic for any executor jobs count).
+/// per-trial seed streams (deterministic for any executor jobs count). The
+/// boundary searches run in lockstep SoA batches of `batch` lanes; groups
+/// map to the executor and their per-trial samples fold in trial order, so
+/// the means are bit-identical for every (jobs, batch) combination.
 ResilienceSample estimate_resilience(const experiments::PaperSetup& setup,
                                      BitsPerSecond bw, std::size_t num_sets,
                                      std::uint64_t seed,
-                                     const exec::Executor& executor) {
+                                     const exec::Executor& executor,
+                                     std::size_t batch) {
+  TR_EXPECTS(batch >= 1);
   const auto pdp_params =
       setup.pdp_params(analysis::PdpVariant::kModified8025);
   const auto ttp_params = setup.ttp_params();
-  const auto sample_one = [&](std::size_t i) {
+  const std::size_t groups = (num_sets + batch - 1) / batch;
+  const auto sample_group = [&](std::size_t g) {
+    const std::size_t lo = g * batch;
+    const std::size_t count = std::min(batch, num_sets - lo);
     msg::MessageSetGenerator generator(setup.generator_config());
-    Rng rng = exec::make_trial_rng(seed, i);
-    const auto base = generator.generate(rng);
-    ResilienceSample s{-1.0, -1.0};
-    {
-      const auto sat = breakdown::find_saturation_scaled(
-          base, analysis::PdpScaleKernel(base, pdp_params, bw), bw);
-      if (sat.found) {
-        const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
+    std::vector<msg::MessageSet> bases;
+    bases.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      Rng rng = exec::make_trial_rng(seed, lo + j);
+      bases.push_back(generator.generate(rng));
+    }
+    const analysis::PdpBatchKernel pdp_kernel(bases, pdp_params, bw);
+    const auto pdp_sats = breakdown::find_saturation_batch(
+        bases,
+        [&pdp_kernel](std::span<const double> scales,
+                      std::span<const std::uint8_t> active,
+                      std::span<std::uint8_t> verdicts) {
+          pdp_kernel.evaluate(scales, active, verdicts);
+        },
+        bw);
+    const analysis::TtpBatchKernel ttp_kernel(bases, ttp_params, bw);
+    const auto ttp_sats = breakdown::find_saturation_batch(
+        bases,
+        [&ttp_kernel](std::span<const double> scales,
+                      std::span<const std::uint8_t> active,
+                      std::span<std::uint8_t> verdicts) {
+          ttp_kernel.evaluate(scales, active, verdicts);
+        },
+        bw);
+    std::vector<ResilienceSample> samples(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      ResilienceSample s{-1.0, -1.0};
+      if (pdp_sats[j].found) {
+        const auto set =
+            bases[j].scaled(pdp_sats[j].critical_scale * kResilienceLoad);
         s.pdp = fault::pdp_fault_margin(set, pdp_params, bw).margin;
       }
-    }
-    {
-      const auto sat = breakdown::find_saturation_scaled(
-          base, analysis::TtpScaleKernel(base, ttp_params, bw), bw);
-      if (sat.found) {
-        const auto set = base.scaled(sat.critical_scale * kResilienceLoad);
+      if (ttp_sats[j].found) {
+        const auto set =
+            bases[j].scaled(ttp_sats[j].critical_scale * kResilienceLoad);
         s.fddi = fault::ttp_fault_margin(set, ttp_params, bw).margin;
       }
+      samples[j] = s;
     }
-    return s;
+    return samples;
   };
   const auto total = exec::map_reduce(
-      executor, num_sets, ResilienceSample{},
-      sample_one, [](ResilienceSample acc, ResilienceSample s) {
-        acc.pdp += s.pdp;
-        acc.fddi += s.fddi;
+      executor, groups, ResilienceSample{}, sample_group,
+      [](ResilienceSample acc, std::vector<ResilienceSample> samples) {
+        // Per-trial fold in trial order: the same += sequence as a scalar
+        // per-set sweep, whatever the group size.
+        for (const ResilienceSample& s : samples) {
+          acc.pdp += s.pdp;
+          acc.fddi += s.fddi;
+        }
         return acc;
       });
   const double n = static_cast<double>(num_sets);
@@ -92,30 +126,35 @@ double Recommendation::estimate(Protocol protocol) const {
 Recommendation recommend_protocol(const TrafficProfile& profile,
                                   BitsPerSecond bandwidth,
                                   std::size_t num_sets, std::uint64_t seed,
-                                  const exec::Executor& executor) {
+                                  const exec::Executor& executor,
+                                  std::size_t batch) {
   TR_EXPECTS(bandwidth > 0.0);
   TR_EXPECTS(num_sets >= 1);
+  TR_EXPECTS(batch >= 1);
 
   const auto setup = profile.to_setup();
   Recommendation rec;
   rec.ieee8025 =
       experiments::estimate_point(
           setup,
-          setup.pdp_kernel_factory(analysis::PdpVariant::kStandard8025, bandwidth),
-          bandwidth, num_sets, seed, executor)
+          setup.pdp_batch_kernel_factory(analysis::PdpVariant::kStandard8025,
+                                         bandwidth),
+          bandwidth, num_sets, seed, executor, batch)
           .mean();
   rec.modified8025 =
       experiments::estimate_point(
           setup,
-          setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bandwidth),
-          bandwidth, num_sets, seed, executor)
+          setup.pdp_batch_kernel_factory(analysis::PdpVariant::kModified8025,
+                                         bandwidth),
+          bandwidth, num_sets, seed, executor, batch)
           .mean();
-  rec.fddi = experiments::estimate_point(setup, setup.ttp_kernel_factory(bandwidth),
-                                         bandwidth, num_sets, seed, executor)
+  rec.fddi = experiments::estimate_point(
+                 setup, setup.ttp_batch_kernel_factory(bandwidth), bandwidth,
+                 num_sets, seed, executor, batch)
                  .mean();
 
   const auto resilience =
-      estimate_resilience(setup, bandwidth, num_sets, seed, executor);
+      estimate_resilience(setup, bandwidth, num_sets, seed, executor, batch);
   rec.modified8025_resilience = resilience.pdp;
   rec.fddi_resilience = resilience.fddi;
 
@@ -136,10 +175,11 @@ Recommendation recommend_protocol(const TrafficProfile& profile,
 
 Recommendation recommend_protocol(const TrafficProfile& profile,
                                   BitsPerSecond bandwidth,
-                                  std::size_t num_sets, std::uint64_t seed) {
+                                  std::size_t num_sets, std::uint64_t seed,
+                                  std::size_t batch) {
   const exec::Executor inline_executor(1);
   return recommend_protocol(profile, bandwidth, num_sets, seed,
-                            inline_executor);
+                            inline_executor, batch);
 }
 
 }  // namespace tokenring::planner

@@ -151,6 +151,67 @@ TEST(Registry, PredicateEvalCounterIsDeterministicAcrossJobs) {
   EXPECT_GT(evals1, 0u);
 }
 
+TEST(Registry, PredicateEvalCounterIsDeterministicAcrossBatchSizes) {
+  // The batched (SoA) estimator replays every scalar probe lane for lane,
+  // and its per-lane searches bump "breakdown.predicate_evals" once per
+  // probe evaluated for that lane — never once per full-width kernel pass.
+  // So the manifest's search-effort metric must agree exactly between the
+  // scalar path and the batched path at every batch size (and so must the
+  // trial tallies).
+  experiments::PaperSetup setup;
+  setup.num_stations = 6;
+  const BitsPerSecond bw = mbps(16);
+  const auto scalar_factory =
+      setup.pdp_kernel_factory(analysis::PdpVariant::kModified8025, bw);
+  const auto batch_factory =
+      setup.pdp_batch_kernel_factory(analysis::PdpVariant::kModified8025, bw);
+
+  struct Tally {
+    double mean = 0.0;
+    std::uint64_t evals = 0;
+    std::uint64_t trials = 0;
+  };
+  auto run_scalar = [&] {
+    obs::Registry::global().reset_values();
+    const exec::Executor executor(2);
+    breakdown::MonteCarloOptions options;
+    options.num_sets = 12;
+    msg::MessageSetGenerator generator(setup.generator_config());
+    const auto estimate = breakdown::estimate_breakdown_utilization(
+        generator, scalar_factory, bw, 7, executor, options);
+    const auto snap = obs::Registry::global().snapshot();
+    return Tally{estimate.mean(),
+                 snap.counters.at("breakdown.predicate_evals"),
+                 snap.counters.at("breakdown.trials")};
+  };
+  auto run_batched = [&](std::size_t batch_size) {
+    obs::Registry::global().reset_values();
+    const exec::Executor executor(2);
+    breakdown::MonteCarloOptions options;
+    options.num_sets = 12;
+    options.batch_size = batch_size;
+    msg::MessageSetGenerator generator(setup.generator_config());
+    const auto estimate = breakdown::estimate_breakdown_utilization(
+        generator, batch_factory, bw, 7, executor, options);
+    const auto snap = obs::Registry::global().snapshot();
+    return Tally{estimate.mean(),
+                 snap.counters.at("breakdown.predicate_evals"),
+                 snap.counters.at("breakdown.trials")};
+  };
+
+  const Tally scalar = run_scalar();
+  const Tally batch1 = run_batched(1);
+  const Tally batch64 = run_batched(64);
+  EXPECT_GT(scalar.evals, 0u);
+  EXPECT_EQ(scalar.trials, 12u);
+  EXPECT_EQ(batch1.mean, scalar.mean);
+  EXPECT_EQ(batch1.evals, scalar.evals);
+  EXPECT_EQ(batch1.trials, scalar.trials);
+  EXPECT_EQ(batch64.mean, scalar.mean);
+  EXPECT_EQ(batch64.evals, scalar.evals);
+  EXPECT_EQ(batch64.trials, scalar.trials);
+}
+
 TEST(Registry, GaugeSurvivesWorkerThreadRetirement) {
   // Gauges fold by max when a pool thread exits; the high watermark set on
   // a retired worker must survive into later snapshots unscaled.

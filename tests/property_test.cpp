@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "tokenring/analysis/async_capacity.hpp"
 #include "tokenring/analysis/fixed_priority.hpp"
@@ -369,6 +373,230 @@ TEST(FastKernelDifferential, ScaleKernelsMatchPredicatesScaleForScale) {
   }
   EXPECT_GT(schedulable, 100);
   EXPECT_GT(infeasible, 100);
+}
+
+// ---- batched (SoA) kernel differential -----------------------------------------------
+//
+// The batch kernels (PdpBatchKernel, TtpBatchKernel) and the lockstep
+// bisector (find_saturation_batch) claim bit-identity with the scalar
+// path. These tests pin that claim on randomized corpora: lockstep
+// verdicts verdict-for-verdict against the scalar kernels (including
+// masked lanes, zero-payload lanes and deadline-infeasible q_i < 2 TTP
+// lanes), and every field of the batched saturation results against
+// per-lane scalar searches.
+
+/// One BatchScaleKernel view over a concrete SoA kernel instance.
+template <typename Kernel>
+breakdown::BatchScaleKernel as_batch_kernel(const Kernel& kernel) {
+  return [&kernel](std::span<const double> scales,
+                   std::span<const std::uint8_t> active,
+                   std::span<std::uint8_t> verdicts) {
+    kernel.evaluate(scales, active, verdicts);
+  };
+}
+
+TEST(BatchKernelDifferential, LockstepVerdictsMatchScalarKernels) {
+  constexpr std::size_t kLanes = 6;
+  int schedulable = 0;
+  int infeasible = 0;
+  int zero_payload_lanes = 0;
+  int low_q_lanes = 0;
+  for (std::uint64_t trial = 0; trial < 300; ++trial) {
+    Rng rng = exec::make_trial_rng(0xBA7C, trial);
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    auto gen = generator(n, milliseconds(rng.uniform(20.0, 200.0)),
+                         rng.uniform(1.0, 10.0));
+    std::vector<msg::MessageSet> bases;
+    bases.reserve(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      msg::MessageSet base = gen.generate(rng);
+      if (l == 2 && rng.uniform01() < 0.5) {
+        // Degenerate zero-payload lane: the full-width SoA cost loops must
+        // keep it exactly 0 next to live lanes.
+        std::vector<msg::SyncStream> zeroed = base.streams();
+        for (auto& s : zeroed) s.payload_bits = 0.0;
+        base = msg::MessageSet{std::move(zeroed)};
+        ++zero_payload_lanes;
+      }
+      bases.push_back(std::move(base));
+    }
+    const BitsPerSecond bw = mbps(rng.uniform(4.0, 200.0));
+    // Alternate variants so both token-overhead branches of the batched
+    // cost loop (per-frame vs per-message) face the scalar kernel.
+    const auto variant = trial % 2 == 0 ? analysis::PdpVariant::kModified8025
+                                        : analysis::PdpVariant::kStandard8025;
+    const auto pdp = pdp_params(n, variant);
+    const auto ttp = ttp_params(n);
+    const Seconds pinned_ttrt = milliseconds(rng.uniform(0.5, 40.0));
+    // The PDP comparison must not be vacuous about blocking.
+    ASSERT_GT(analysis::pdp_blocking(pdp, bw), 0.0);
+    for (const auto& base : bases) {
+      double min_deadline = base.streams()[0].deadline();
+      for (const auto& s : base.streams()) {
+        min_deadline = std::min(min_deadline, s.deadline());
+      }
+      if (min_deadline / pinned_ttrt < 2.0) ++low_q_lanes;
+    }
+
+    const analysis::PdpBatchKernel pdp_batch(bases, pdp, bw);
+    const analysis::TtpBatchKernel ttp_batch(bases, ttp, bw);
+    const analysis::TtpBatchKernel ttp_batch_at(bases, ttp, bw, pinned_ttrt);
+    std::vector<analysis::PdpScaleKernel> pdp_scalar;
+    std::vector<analysis::TtpScaleKernel> ttp_scalar;
+    std::vector<analysis::TtpScaleKernel> ttp_scalar_at;
+    for (const auto& base : bases) {
+      pdp_scalar.emplace_back(base, pdp, bw);
+      ttp_scalar.emplace_back(base, ttp, bw);
+      ttp_scalar_at.emplace_back(base, ttp, bw, pinned_ttrt);
+    }
+
+    std::vector<double> scales(kLanes, 0.0);
+    std::vector<std::uint8_t> verdicts(kLanes, 0);
+    for (int probe = 0; probe < 4; ++probe) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        scales[l] = probe == 0 ? 0.0 : rng.uniform(0.0, 50.0);
+      }
+      pdp_batch.evaluate(scales, verdicts);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const bool ref = pdp_scalar[l](scales[l]);
+        ASSERT_EQ(verdicts[l] != 0, ref)
+            << "PDP lane " << l << " disagrees at trial " << trial
+            << " scale " << scales[l];
+        (ref ? schedulable : infeasible) += 1;
+      }
+      ttp_batch.evaluate(scales, verdicts);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        ASSERT_EQ(verdicts[l] != 0, ttp_scalar[l](scales[l]))
+            << "TTP lane " << l << " disagrees at trial " << trial
+            << " scale " << scales[l];
+      }
+      ttp_batch_at.evaluate(scales, verdicts);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        ASSERT_EQ(verdicts[l] != 0, ttp_scalar_at[l](scales[l]))
+            << "pinned-TTRT lane " << l << " disagrees at trial " << trial
+            << " scale " << scales[l];
+      }
+    }
+
+    // Masked evaluation: inactive lanes keep their verdict slot untouched,
+    // active lanes still match the scalar kernel.
+    constexpr std::uint8_t kSentinel = 0xEE;
+    std::vector<std::uint8_t> active(kLanes, 0);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      active[l] = l % 2 == 0 ? 1 : 0;
+      scales[l] = rng.uniform(0.0, 50.0);
+      verdicts[l] = kSentinel;
+    }
+    pdp_batch.evaluate(scales, active, verdicts);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (active[l] != 0) {
+        ASSERT_EQ(verdicts[l] != 0, pdp_scalar[l](scales[l]))
+            << "masked PDP lane " << l << " disagrees at trial " << trial;
+      } else {
+        ASSERT_EQ(verdicts[l], kSentinel)
+            << "inactive PDP lane " << l << " was written at trial " << trial;
+      }
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) verdicts[l] = kSentinel;
+    ttp_batch_at.evaluate(scales, active, verdicts);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (active[l] != 0) {
+        ASSERT_EQ(verdicts[l] != 0, ttp_scalar_at[l](scales[l]))
+            << "masked TTP lane " << l << " disagrees at trial " << trial;
+      } else {
+        ASSERT_EQ(verdicts[l], kSentinel)
+            << "inactive TTP lane " << l << " was written at trial " << trial;
+      }
+    }
+  }
+  // The corpus must exercise both verdicts and the degenerate lane shapes.
+  EXPECT_GT(schedulable, 100);
+  EXPECT_GT(infeasible, 100);
+  EXPECT_GT(zero_payload_lanes, 10);
+  EXPECT_GT(low_q_lanes, 10);
+}
+
+TEST(BatchKernelDifferential, BatchedSaturationMatchesScalarFieldForField) {
+  constexpr std::size_t kLanes = 5;
+  int found = 0;
+  int degenerate = 0;
+  int unbounded = 0;
+  for (std::uint64_t trial = 0; trial < 120; ++trial) {
+    Rng rng = exec::make_trial_rng(0x5A7B, trial);
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    auto gen = generator(n, milliseconds(rng.uniform(20.0, 200.0)),
+                         rng.uniform(1.0, 10.0));
+    std::vector<msg::MessageSet> bases;
+    bases.reserve(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) bases.push_back(gen.generate(rng));
+    const BitsPerSecond bw = mbps(rng.uniform(2.0, 500.0));
+    const auto variant = trial % 2 == 0 ? analysis::PdpVariant::kModified8025
+                                        : analysis::PdpVariant::kStandard8025;
+    const auto pdp = pdp_params(n, variant);
+    const auto ttp = ttp_params(n);
+    // A large pinned TTRT manufactures deadline-infeasible (q_i < 2) lanes,
+    // which must surface as degenerate_zero in batch and scalar alike.
+    const Seconds pinned_ttrt = milliseconds(rng.uniform(0.5, 60.0));
+    // A tight max_scale on some trials manufactures "unbounded" lanes
+    // (bracketing walks off the top), covering the third outcome class.
+    breakdown::SaturationOptions options;
+    if (trial % 3 == 0) options.max_scale = 4.0;
+
+    const auto expect_match = [&](const breakdown::SaturationResult& got,
+                                  const breakdown::SaturationResult& ref,
+                                  std::size_t lane, const char* what) {
+      EXPECT_EQ(got.found, ref.found)
+          << what << " lane " << lane << " trial " << trial;
+      EXPECT_EQ(got.degenerate_zero, ref.degenerate_zero)
+          << what << " lane " << lane << " trial " << trial;
+      EXPECT_EQ(got.critical_scale, ref.critical_scale)
+          << what << " lane " << lane << " trial " << trial;
+      EXPECT_EQ(got.breakdown_utilization, ref.breakdown_utilization)
+          << what << " lane " << lane << " trial " << trial;
+      EXPECT_EQ(got.predicate_evals, ref.predicate_evals)
+          << what << " lane " << lane << " trial " << trial;
+      found += got.found ? 1 : 0;
+      degenerate += got.degenerate_zero ? 1 : 0;
+      unbounded += (!got.found && !got.degenerate_zero) ? 1 : 0;
+    };
+
+    const analysis::PdpBatchKernel pdp_batch(bases, pdp, bw);
+    const auto pdp_results =
+        breakdown::find_saturation_batch(
+            bases, as_batch_kernel(pdp_batch), bw, options);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const analysis::PdpScaleKernel scalar(bases[l], pdp, bw);
+      const auto ref = breakdown::find_saturation_scaled(
+          bases[l], [&scalar](double s) { return scalar(s); }, bw, options);
+      expect_match(pdp_results[l], ref, l, "PDP");
+    }
+
+    const analysis::TtpBatchKernel ttp_batch(bases, ttp, bw);
+    const auto ttp_results =
+        breakdown::find_saturation_batch(
+            bases, as_batch_kernel(ttp_batch), bw, options);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const analysis::TtpScaleKernel scalar(bases[l], ttp, bw);
+      const auto ref = breakdown::find_saturation_scaled(
+          bases[l], [&scalar](double s) { return scalar(s); }, bw, options);
+      expect_match(ttp_results[l], ref, l, "TTP");
+    }
+
+    const analysis::TtpBatchKernel ttp_batch_at(bases, ttp, bw, pinned_ttrt);
+    const auto ttp_at_results = breakdown::find_saturation_batch(
+        bases, as_batch_kernel(ttp_batch_at), bw, options);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const analysis::TtpScaleKernel scalar(bases[l], ttp, bw, pinned_ttrt);
+      const auto ref = breakdown::find_saturation_scaled(
+          bases[l], [&scalar](double s) { return scalar(s); }, bw, options);
+      expect_match(ttp_at_results[l], ref, l, "pinned-TTRT");
+    }
+  }
+  // All three scalar outcome classes must appear, or bit-identity on the
+  // interesting paths is vacuous.
+  EXPECT_GT(found, 100);
+  EXPECT_GT(degenerate, 10);
+  EXPECT_GT(unbounded, 0);
 }
 
 // ---- TTRT scaling ---------------------------------------------------------------------
