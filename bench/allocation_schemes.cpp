@@ -23,13 +23,8 @@ int main(int argc, char** argv) {
   flags.declare("seed", "19", "base RNG seed");
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("allocation_schemes");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::AllocationStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

@@ -26,11 +26,11 @@ int main(int argc, char** argv) {
                 "synchronous utilization levels");
   flags.declare("sim-horizon-s", "1.0", "simulated seconds for the TTP check");
   flags.declare("seed", "31", "RNG seed");
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("async_capacity");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
+                                   {.jobs = false, .batch = false})) {
+    return *rc;
+  }
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));

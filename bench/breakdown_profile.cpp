@@ -41,13 +41,8 @@ int main(int argc, char** argv) {
   flags.declare("seed", "37", "base RNG seed");
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidths-mbps", "5,20,100", "bandwidth list [Mbit/s]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("breakdown_profile");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));

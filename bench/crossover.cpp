@@ -21,13 +21,8 @@ int main(int argc, char** argv) {
   flags.declare("seed", "43", "base RNG seed");
   flags.declare("stations", "25,50,100", "ring sizes");
   flags.declare("mean-periods-ms", "20,100,500", "mean periods [ms]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("crossover");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::CrossoverStudyConfig config;
   config.sets_per_point = static_cast<std::size_t>(flags.get_int("sets"));

@@ -22,13 +22,8 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "10,100", "bandwidth list [Mbit/s]");
   flags.declare("fractions", "1.0,0.8,0.6,0.4,0.2",
                 "deadline fractions D/P to sweep");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("deadline_sensitivity");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::DeadlineStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

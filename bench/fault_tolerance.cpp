@@ -46,13 +46,8 @@ int main(int argc, char** argv) {
                 "comma-separated fault kinds to sweep");
   flags.declare("counts", "0,1,2,5,10", "faults injected per run");
   flags.declare("noise-ms", "1", "noise burst duration [ms]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("fault_tolerance");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::FaultStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

@@ -28,13 +28,8 @@ int main(int argc, char** argv) {
   flags.declare("period-ratio", "10", "max/min period ratio");
   flags.declare("bandwidths-mbps", "1,2,5,10,20,50,100,200,500,1000",
                 "bandwidth sweep [Mbit/s]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("fig1_breakdown_vs_bandwidth");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::Fig1Config config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

@@ -21,13 +21,8 @@ int main(int argc, char** argv) {
   flags.declare("bandwidths-mbps", "4,16,100", "bandwidth list [Mbit/s]");
   flags.declare("payload-bytes", "16,32,64,128,256,512,1024,4096",
                 "frame payload sizes [bytes]");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("frame_size");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::FrameSizeStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

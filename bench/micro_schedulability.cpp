@@ -470,7 +470,6 @@ bool is_bool_token(const std::string& s) {
 int main(int argc, char** argv) {
   using namespace tokenring;
   CliFlags flags;
-  obs::declare_report_flags(flags);
 
   std::vector<char*> report_args = {argv[0]};
   std::vector<char*> bench_args = {argv[0]};
@@ -496,9 +495,12 @@ int main(int argc, char** argv) {
   }
 
   int report_argc = static_cast<int>(report_args.size());
-  if (!flags.parse(report_argc, report_args.data())) return 1;
   obs::RunReport report("micro_schedulability");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, report_argc,
+                                   report_args.data(),
+                                   {.jobs = false, .batch = false})) {
+    return *rc;
+  }
 
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());

@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
   flags.declare("stations", "100", "stations on the ring");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("jobs-list", "1,2,4,8", "worker counts to measure");
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("parallel_scaling");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
+                                   {.jobs = false, .batch = false})) {
+    return *rc;
+  }
 
   experiments::PaperSetup setup;
   setup.num_stations = static_cast<int>(flags.get_int("stations"));

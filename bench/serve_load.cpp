@@ -1,0 +1,287 @@
+// Load benchmark for the admission-control daemon: an in-process Server on
+// a loopback ephemeral port, hammered by pipelined client connections.
+//
+// The workload is the pattern the serve/ cache is designed for: a hot set
+// of distinct advise queries (operators tune a config, then re-ask), all
+// pre-warmed so the steady state measures the service path — framing,
+// parse, canonicalization, cache hit, envelope — not the Monte Carlo
+// sweep. Each client keeps `--pipeline` requests in flight, so the
+// syscall cost amortizes and the daemon sees the concurrency it was built
+// for. Per-request latency is measured send-to-receive at the client
+// (responses on one connection return in order).
+//
+// Emits the usual run manifest with a google-benchmark-shaped
+// "benchmarks" table so scripts/check_perf_baseline.py can gate it:
+//   BM_ServeAdviseThroughput  aggregate wall ns per completed query
+//   BM_ServeAdviseLatencyP50  median client-observed latency [ns]
+//   BM_ServeAdviseLatencyP99  tail latency [ns]
+// --min-qps turns the throughput target into a hard failure (CI smoke
+// runs use a modest floor; the tentpole claim is >= 100k queries/s on a
+// development machine).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tokenring/common/cli.hpp"
+#include "tokenring/common/table.hpp"
+#include "tokenring/obs/registry.hpp"
+#include "tokenring/obs/report.hpp"
+#include "tokenring/serve/server.hpp"
+
+namespace {
+
+using namespace tokenring;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One advise request line from the hot set; `slot` varies the seed so the
+/// hot set holds distinct cache entries, not one.
+std::string advise_line(int slot, int sets) {
+  return "{\"type\":\"advise\",\"id\":" + std::to_string(slot) +
+         ",\"stations\":20,\"mean_period_ms\":100,\"period_ratio\":10,"
+         "\"bandwidths_mbps\":[16,100],\"sets\":" + std::to_string(sets) +
+         ",\"seed\":" + std::to_string(slot + 1) + "}";
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct ClientResult {
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  bool ok = false;
+};
+
+/// Closed loop with a fixed pipeline depth: prime `depth` requests, then
+/// send one more for every response line read.
+void run_client(int port, const std::vector<std::string>& lines,
+                std::size_t requests, std::size_t depth, ClientResult& out) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return;
+  out.latencies_ns.reserve(requests);
+  std::vector<std::uint64_t> sent_at;
+  sent_at.reserve(requests);
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::string buffer;
+  char chunk[16384];
+  out.start_ns = now_ns();
+
+  const auto push_one = [&] {
+    const std::string& line = lines[sent % lines.size()];
+    sent_at.push_back(now_ns());
+    ++sent;
+    std::string wire = line;
+    wire.push_back('\n');
+    return send_all(fd, wire.data(), wire.size());
+  };
+
+  for (std::size_t i = 0; i < std::min(depth, requests); ++i) {
+    if (!push_one()) {
+      ::close(fd);
+      return;
+    }
+  }
+  while (received < requests) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+      out.latencies_ns.push_back(now_ns() - sent_at[received]);
+      ++received;
+      if (sent < requests && !push_one()) break;
+    }
+    buffer.erase(0, start);
+  }
+  out.end_ns = now_ns();
+  ::close(fd);
+  out.ok = received == requests;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& v, double q) {
+  if (v.empty()) return 0;
+  const std::size_t k = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("clients", "8", "concurrent client connections");
+  flags.declare("requests", "20000", "requests per client");
+  flags.declare("pipeline", "64", "requests kept in flight per client");
+  flags.declare("hot-set", "64", "distinct advise queries in the hot set");
+  flags.declare("sets", "8", "Monte Carlo sets per advise query");
+  flags.declare("min-qps", "0",
+                "fail unless aggregate throughput reaches this [queries/s]");
+  obs::RunReport report("serve_load");
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
+                                   {.batch = false})) {
+    return *rc;
+  }
+
+  serve::Server::Options opt;
+  opt.engine.jobs = get_jobs(flags);
+  serve::Server server(opt);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  const auto clients = static_cast<std::size_t>(flags.get_int("clients"));
+  const auto requests = static_cast<std::size_t>(flags.get_int("requests"));
+  const auto depth =
+      std::max<std::size_t>(1, static_cast<std::size_t>(flags.get_int("pipeline")));
+  const auto hot_set = std::max<std::size_t>(
+      1, static_cast<std::size_t>(flags.get_int("hot-set")));
+  const int sets = static_cast<int>(flags.get_int("sets"));
+
+  std::vector<std::string> lines;
+  lines.reserve(hot_set);
+  for (std::size_t i = 0; i < hot_set; ++i) {
+    lines.push_back(advise_line(static_cast<int>(i), sets));
+  }
+
+  // Warm every hot-set entry through one connection so the measured phase
+  // is all cache hits (the recurring-query steady state).
+  {
+    ClientResult warm;
+    run_client(server.port(), lines, lines.size(), 1, warm);
+    if (!warm.ok) {
+      std::fprintf(stderr, "warmup failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      run_client(server.port(), lines, requests, depth, results[c]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t first_start = UINT64_MAX;
+  std::uint64_t last_end = 0;
+  bool all_ok = true;
+  for (const ClientResult& r : results) {
+    all_ok = all_ok && r.ok;
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    first_start = std::min(first_start, r.start_ns);
+    last_end = std::max(last_end, r.end_ns);
+  }
+  if (!all_ok || latencies.empty()) {
+    std::fprintf(stderr, "load run failed: a client lost its connection\n");
+    return 1;
+  }
+
+  const std::uint64_t wall_ns = last_end - first_start;
+  const auto total = static_cast<double>(latencies.size());
+  const double ns_per_query = static_cast<double>(wall_ns) / total;
+  const double qps = 1e9 / ns_per_query;
+  const std::uint64_t p50 = percentile(latencies, 0.50);
+  const std::uint64_t p90 = percentile(latencies, 0.90);
+  const std::uint64_t p99 = percentile(latencies, 0.99);
+
+  server.request_stop();
+  server.wait();
+
+  const auto metrics = obs::Registry::global().snapshot();
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0 : it->second;
+  };
+
+  report.note(
+      "%zu clients x %zu requests (pipeline %zu, hot set %zu): "
+      "%.0f queries/s, p50 %.1f us, p99 %.1f us\n",
+      clients, requests, depth, hot_set, qps,
+      static_cast<double>(p50) * 1e-3, static_cast<double>(p99) * 1e-3);
+  report.note("cache hits %llu / misses %llu, batch groups %llu\n",
+              static_cast<unsigned long long>(counter("serve.cache.hits")),
+              static_cast<unsigned long long>(counter("serve.cache.misses")),
+              static_cast<unsigned long long>(counter("serve.batch.groups")));
+
+  Table table({"name", "iterations", "real_time", "cpu_time", "time_unit"});
+  const auto add_row = [&](const std::string& name, double ns) {
+    table.add_row({name, fmt(static_cast<long long>(latencies.size())),
+                   fmt(ns, 1), fmt(ns, 1), "ns"});
+  };
+  add_row("BM_ServeAdviseThroughput", ns_per_query);
+  add_row("BM_ServeAdviseLatencyP50", static_cast<double>(p50));
+  add_row("BM_ServeAdviseLatencyP90", static_cast<double>(p90));
+  add_row("BM_ServeAdviseLatencyP99", static_cast<double>(p99));
+  report.record_table("benchmarks", table);
+  if (report.verbose()) table.print(std::cout);
+  if (report.format() == obs::OutputFormat::kCsv) table.print_csv(std::cout);
+
+  const double min_qps = flags.get_double("min-qps");
+  if (min_qps > 0.0 && qps < min_qps) {
+    std::fprintf(stderr, "FAIL: %.0f queries/s below the %.0f floor\n", qps,
+                 min_qps);
+    return 1;
+  }
+  return report.finish();
+}

@@ -18,11 +18,11 @@ int main(int argc, char** argv) {
   flags.declare("seed", "29", "base RNG seed");
   flags.declare("stations", "12", "stations on the ring (simulation cost!)");
   flags.declare("bandwidths-mbps", "10,100", "bandwidth list [Mbit/s]");
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("sim_validation");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
+                                   {.jobs = false, .batch = false})) {
+    return *rc;
+  }
 
   experiments::SimValidationConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

@@ -19,13 +19,8 @@ int main(int argc, char** argv) {
   flags.declare("seed", "17", "base RNG seed");
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("stations", "10,25,50,100,150,200", "station counts");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("station_count");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::StationCountStudyConfig config;
   config.bandwidth_mbps = flags.get_double("bandwidth-mbps");

@@ -21,13 +21,8 @@ int main(int argc, char** argv) {
   flags.declare("bandwidth-mbps", "100", "link bandwidth [Mbit/s]");
   flags.declare("equal-periods", "false",
                 "use equal periods (the paper's analytical special case)");
-  declare_jobs_flag(flags);
-  declare_batch_flag(flags);
-  obs::declare_report_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-
   obs::RunReport report("ttrt_sensitivity");
-  if (!report.init(flags)) return 1;
+  if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
 
   experiments::TtrtStudyConfig config;
   config.setup.num_stations = static_cast<int>(flags.get_int("stations"));

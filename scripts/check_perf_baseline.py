@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
-"""Compare a micro_schedulability run manifest against the checked-in baseline.
+"""Compare bench run manifests against the checked-in baseline.
 
 Usage:
   check_perf_baseline.py --baseline bench/BENCH_kernels.json \
-                         --current /tmp/bench.json [--max-regression 1.5]
+                         --current /tmp/bench.json \
+                         [--current /tmp/serve.json ...] \
+                         [--max-regression 1.5]
+
+--current may repeat: each manifest contributes its "benchmarks" table and
+the union is compared (micro_schedulability and serve_load record into one
+baseline). Benchmark names must not collide across manifests.
 
 Two gates:
 
@@ -58,6 +64,21 @@ PAIRS = [
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Per-benchmark-prefix override of --max-regression. The serve_load rows
+# are loopback TCP measurements: closed-loop queueing latency percentiles
+# swing with scheduler jitter far more than the in-process kernel timings,
+# so they get a wider (but still bounded) regression budget.
+RELAXED_MAX_REGRESSION = {
+    "BM_Serve": 4.0,
+}
+
+
+def max_regression_for(name, default):
+    for prefix, budget in RELAXED_MAX_REGRESSION.items():
+        if name.startswith(prefix):
+            return budget
+    return default
+
 
 def load_timings(path):
     """Manifest -> {benchmark name: cpu_time in ns}."""
@@ -78,6 +99,19 @@ def load_timings(path):
     return timings
 
 
+def load_all_timings(paths):
+    """Union of every manifest's benchmarks; duplicate names are an error."""
+    merged = {}
+    for path in paths:
+        timings = load_timings(path)
+        overlap = sorted(set(merged) & set(timings))
+        if overlap:
+            sys.exit(f"error: {path}: benchmark names already seen in another "
+                     f"--current manifest: {overlap}")
+        merged.update(timings)
+    return merged
+
+
 def split_arg(name):
     """'BM_Foo/100' -> ('BM_Foo', '/100'); no-arg names get an empty suffix."""
     head, sep, tail = name.partition("/")
@@ -90,15 +124,21 @@ def check_regressions(baseline, current, max_regression):
         print(f"FAIL: benchmarks in baseline but not in current run: {missing}")
         return False
     ratios = {name: current[name] / baseline[name] for name in baseline}
-    median = statistics.median(ratios.values())
+    # The machine-speed normalizer comes from the tight-budget benchmarks
+    # only: the relaxed (wall-clock) rows would drag the median around on
+    # loaded runners and loosen every other gate.
+    tight = [r for name, r in ratios.items()
+             if max_regression_for(name, max_regression) == max_regression]
+    median = statistics.median(tight if tight else list(ratios.values()))
     print(f"median current/baseline ratio: {median:.3f} "
           f"(machine-speed normalizer)")
     ok = True
     for name in sorted(ratios):
         normalized = ratios[name] / median
+        budget = max_regression_for(name, max_regression)
         flag = ""
-        if normalized > max_regression:
-            flag = f"  <-- FAIL (> {max_regression:.2f}x median)"
+        if normalized > budget:
+            flag = f"  <-- FAIL (> {budget:.2f}x median)"
             ok = False
         print(f"  {name:45s} {baseline[name]:>12.1f} -> {current[name]:>12.1f} ns"
               f"  x{normalized:.2f}{flag}")
@@ -130,22 +170,33 @@ def check_pairs(current):
     return ok
 
 
-def update_baseline(baseline_path, current_path):
-    """Replace the checked-in baseline with the current manifest verbatim.
+def update_baseline(baseline_path, current_paths):
+    """Replace the checked-in baseline with the current manifests.
 
     The pair gate still runs first: a refreshed baseline must not smuggle in
-    a run where the fast variants stopped beating their references.
+    a run where the fast variants stopped beating their references. With
+    several --current manifests the first one is the carrier: the others'
+    benchmark rows are appended to its "benchmarks" table so the baseline
+    stays one file.
     """
-    current = load_timings(current_path)  # validates the manifest shape
+    current = load_all_timings(current_paths)  # validates the manifest shapes
     print("== reference-vs-fast pair gate (pre-update) ==")
     if not check_pairs(current):
         print("baseline NOT updated: pair gate failed on the new manifest")
         return 1
-    with open(current_path) as f:
-        manifest = f.read()
+    with open(current_paths[0]) as f:
+        manifest = json.load(f)
+    carrier = next(t for t in manifest["results"] if t["name"] == "benchmarks")
+    for path in current_paths[1:]:
+        with open(path) as f:
+            extra = json.load(f)
+        for table in extra.get("results", []):
+            if table.get("name") == "benchmarks":
+                carrier["rows"].extend(table["rows"])
     with open(baseline_path, "w") as f:
-        f.write(manifest)
-    print(f"baseline updated: {current_path} -> {baseline_path} "
+        json.dump(manifest, f, indent=1)
+        f.write("\n")
+    print(f"baseline updated: {', '.join(current_paths)} -> {baseline_path} "
           f"({len(current)} benchmarks)")
     return 0
 
@@ -153,7 +204,9 @@ def update_baseline(baseline_path, current_path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--current", required=True, action="append",
+                        help="bench run manifest; may repeat, the union of "
+                             "all 'benchmarks' tables is compared")
     parser.add_argument("--max-regression", type=float, default=1.5)
     parser.add_argument("--update", action="store_true",
                         help="regenerate the baseline from --current instead "
@@ -164,7 +217,7 @@ def main():
         return update_baseline(args.baseline, args.current)
 
     baseline = load_timings(args.baseline)
-    current = load_timings(args.current)
+    current = load_all_timings(args.current)
 
     print("== regression gate ==")
     regressions_ok = check_regressions(baseline, current, args.max_regression)

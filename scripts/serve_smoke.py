@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `tokenring_tool serve`.
+
+Boots the daemon on an ephemeral port, drives a scripted mix of good,
+malformed, oversized, cached, and rate-limited requests over real TCP,
+validates every response line as JSON against the tokenring.serve/1
+envelope, and asserts a clean SIGTERM drain (exit code 0).
+
+Usage:
+  serve_smoke.py [path/to/tokenring_tool]    # default ./build/tools/tokenring_tool
+
+Exit code 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+CHECK_QUERY = {
+    "type": "check",
+    "id": 1,
+    "protocol": "fddi",
+    "bandwidth_mbps": 100,
+    "streams": [
+        {"station": 1, "period_ms": 10, "payload_bits": 64000},
+        {"station": 2, "period_ms": 20, "payload_bits": 128000},
+    ],
+}
+
+failures = []
+
+
+def expect(cond, what):
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {what}")
+    if not cond:
+        failures.append(what)
+
+
+class ServeProcess:
+    """tokenring_tool serve wrapper: boots, scrapes the port, tears down."""
+
+    def __init__(self, tool, extra_flags=()):
+        self.proc = subprocess.Popen(
+            [tool, "serve", "--port=0", *extra_flags],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # The daemon announces "tokenring.serve/1 listening on HOST:PORT" on
+        # stderr once the socket is bound; scraping it avoids a sleep-and-hope
+        # startup race.
+        line = self.proc.stderr.readline().strip()
+        if "listening on" not in line:
+            self.proc.kill()
+            sys.exit(f"error: unexpected serve banner: {line!r}")
+        self.port = int(line.rsplit(":", 1)[1])
+
+    def connect(self):
+        sock = socket.create_connection(("127.0.0.1", self.port), timeout=10)
+        return sock, sock.makefile("rb")
+
+    def terminate(self):
+        """SIGTERM and return the exit code (the drain contract is exit 0)."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            code = self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return None
+        finally:
+            self.proc.stderr.close()
+        return code
+
+
+def ask(sock, reader, request):
+    """Send one request line (dict or raw string), return the parsed reply."""
+    line = request if isinstance(request, str) else json.dumps(request)
+    sock.sendall(line.encode() + b"\n")
+    reply = reader.readline()
+    if not reply:
+        sys.exit("error: server closed the connection mid-conversation")
+    doc = json.loads(reply)  # every response line must be valid JSON
+    if doc.get("schema") != "tokenring.serve/1":
+        sys.exit(f"error: bad response schema: {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    tool = sys.argv[1] if len(sys.argv) > 1 else "./build/tools/tokenring_tool"
+
+    print("== request mix (no rate limit, 4 KiB request cap) ==")
+    server = ServeProcess(tool, ["--max-request-bytes=4096"])
+    sock, reader = server.connect()
+
+    doc = ask(sock, reader, {"type": "ping", "id": 0})
+    expect(doc["status"] == 200 and doc["result"]["message"] == "pong", "ping -> pong")
+
+    doc = ask(sock, reader, CHECK_QUERY)
+    expect(doc["status"] == 200 and doc["cached"] is False, "check -> 200, computed")
+    expect("schedulable" in doc["result"], "check result carries a verdict")
+    miss_bytes = json.dumps(doc, sort_keys=True)
+
+    # Same query with every number respelled: canonicalization must make it
+    # a cache hit, and the response must differ only in the "cached" flag.
+    respelled = json.loads(json.dumps(CHECK_QUERY).replace("100", "1e2"))
+    doc = ask(sock, reader, respelled)
+    expect(doc["status"] == 200 and doc["cached"] is True, "respelled check -> cache hit")
+    doc["cached"] = False
+    expect(json.dumps(doc, sort_keys=True) == miss_bytes,
+           "hit response byte-identical to miss modulo cached flag")
+
+    doc = ask(sock, reader, {**CHECK_QUERY, "type": "faultcheck", "noise_ms": 1})
+    expect(doc["status"] == 200 and len(doc["result"]["margins"]) > 0,
+           "faultcheck -> 200 with per-fault margins")
+
+    doc = ask(sock, reader, {"type": "advise", "id": "q-7", "stations": 8,
+                             "sets": 2, "bandwidths_mbps": [16, 100]})
+    expect(doc["status"] == 200 and len(doc["result"]["recommendations"]) == 2,
+           "advise -> 200 with one recommendation per bandwidth")
+    expect(doc["id"] == "q-7", "string request id echoed verbatim")
+
+    doc = ask(sock, reader, '{"type": }')
+    expect(doc["status"] == 400 and doc["offset"] == 9,
+           "malformed JSON -> 400 pointing at byte offset 9")
+
+    doc = ask(sock, reader, {**CHECK_QUERY, "bandwidth": 100})
+    expect(doc["status"] == 400 and "bandwidth" in doc["error"],
+           "unknown field -> 400 naming the field")
+
+    doc = ask(sock, reader, {"type": "stats"})
+    expect(doc["status"] == 200 and doc["result"]["counters"]["serve.cache.hits"] >= 1,
+           "stats -> 200 reporting the cache hit")
+    sock.close()
+
+    # Oversized request on its own connection (the server may hang up after
+    # answering, depending on how TCP chunked the line).
+    sock, reader = server.connect()
+    huge = json.dumps({**CHECK_QUERY, "id": "x" * 8192})
+    doc = ask(sock, reader, huge)
+    expect(doc["status"] == 413, "oversized request -> 413")
+    sock.close()
+
+    # Drain: pipeline a burst of requests, then SIGTERM. Every request
+    # already on the wire must still be answered before exit 0.
+    sock, reader = server.connect()
+    burst = 5
+    payload = b"".join(json.dumps({"type": "ping", "id": i}).encode() + b"\n"
+                       for i in range(burst))
+    sock.sendall(payload)
+    answered = sum(1 for _ in range(burst)
+                   if json.loads(reader.readline())["status"] == 200)
+    expect(answered == burst, f"all {burst} pipelined requests answered")
+    code = server.terminate()
+    expect(code == 0, "SIGTERM drain exits 0")
+    expect(reader.readline() == b"", "connection closed after drain")
+    sock.close()
+
+    print("== rate limiting (1 req/s, burst 1) ==")
+    server = ServeProcess(tool, ["--rate=1", "--burst=1"])
+    sock, reader = server.connect()
+    first = ask(sock, reader, {**CHECK_QUERY, "client": "smoke"})
+    second = ask(sock, reader, {**CHECK_QUERY, "client": "smoke", "id": 2})
+    expect(first["status"] == 200, "first request within burst -> 200")
+    expect(second["status"] == 429 and second["retry_after_ms"] > 0,
+           "second immediate request -> 429 with retry hint")
+    doc = ask(sock, reader, {"type": "ping"})
+    expect(doc["status"] == 200, "ping bypasses the limiter")
+    time.sleep(1.1)  # one refill period
+    doc = ask(sock, reader, {**CHECK_QUERY, "client": "smoke", "id": 3})
+    expect(doc["status"] == 200, "bucket refills after the retry interval")
+    sock.close()
+    code = server.terminate()
+    expect(code == 0, "rate-limited server drains cleanly too")
+
+    if failures:
+        print(f"serve smoke: FAIL ({len(failures)} checks)")
+        return 1
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

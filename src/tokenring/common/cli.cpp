@@ -15,17 +15,17 @@ void CliFlags::declare(const std::string& name, const std::string& default_value
   flags_[name] = Flag{default_value, help};
 }
 
-bool CliFlags::parse(int argc, char** argv) {
+CliFlags::ParseOutcome CliFlags::parse_detailed(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_usage(argv[0]);
-      return false;
+      return ParseOutcome::kHelp;
     }
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
       print_usage(argv[0]);
-      return false;
+      return ParseOutcome::kError;
     }
     std::string name;
     std::string value;
@@ -42,7 +42,7 @@ bool CliFlags::parse(int argc, char** argv) {
     if (it == flags_.end()) {
       std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
       print_usage(argv[0]);
-      return false;
+      return ParseOutcome::kError;
     }
     if (!have_value) {
       // Boolean flags (default "true"/"false") may appear bare: `--profile`.
@@ -55,14 +55,18 @@ bool CliFlags::parse(int argc, char** argv) {
       } else if (i + 1 >= argc) {
         std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
         print_usage(argv[0]);
-        return false;
+        return ParseOutcome::kError;
       } else {
         value = argv[++i];
       }
     }
     it->second.value = value;
   }
-  return true;
+  return ParseOutcome::kOk;
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  return parse_detailed(argc, argv) == ParseOutcome::kOk;
 }
 
 std::string CliFlags::get_string(const std::string& name) const {

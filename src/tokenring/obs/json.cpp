@@ -4,6 +4,9 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <system_error>
+#include <utility>
 
 #include "tokenring/common/checks.hpp"
 
@@ -125,6 +128,8 @@ void JsonWriter::value_string(std::string_view v) {
 }
 
 void JsonWriter::value_number(double v) {
+  TR_EXPECTS_MSG(!strict_ || std::isfinite(v),
+                 "strict JSON writer rejects non-finite numbers");
   before_value();
   os_ << json_number(v);
 }
@@ -150,28 +155,165 @@ void JsonWriter::value_null() {
 }
 
 void JsonWriter::value_raw(std::string_view token) {
+  TR_EXPECTS_MSG(!strict_ || is_valid_json(token),
+                 "strict JSON writer rejects raw tokens that are not "
+                 "themselves valid JSON");
   before_value();
   os_ << token;
 }
 
-// ---- validation ---------------------------------------------------------------
+// ---- JsonValue ----------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_int64() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  std::int64_t out = 0;
+  const char* end = scalar_.data() + scalar_.size();
+  const auto res = std::from_chars(scalar_.data(), end, out);
+  TR_EXPECTS_MSG(res.ec == std::errc() && res.ptr == end,
+                 "JSON number is not a representable integer: " + scalar_);
+  return out;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  std::uint64_t out = 0;
+  const char* end = scalar_.data() + scalar_.size();
+  const auto res = std::from_chars(scalar_.data(), end, out);
+  TR_EXPECTS_MSG(res.ec == std::errc() && res.ptr == end,
+                 "JSON number is not a representable unsigned integer: " +
+                     scalar_);
+  return out;
+}
+
+const std::string& JsonValue::number_token() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return scalar_;
+}
+
+const std::string& JsonValue::as_string() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kString, "JSON value is not a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kArray, "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  TR_EXPECTS_MSG(kind_ == Kind::kObject, "JSON value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  TR_EXPECTS_MSG(kind_ == Kind::kObject, "JSON value is not an object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(std::string token) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.scalar_ = std::move(token);
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.scalar_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+// ---- parsing / validation -----------------------------------------------------
 
 namespace {
 
-/// Index-based recursive-descent validator; no allocation, bounded depth.
-class Validator {
- public:
-  explicit Validator(std::string_view text) : text_(text) {}
+/// Append one Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
 
-  bool run() {
+/// Index-based recursive-descent parser; bounded depth. With build ==
+/// false it only validates (no allocation beyond the call stack), which is
+/// what is_valid_json and the strict writer use on hot paths. On failure
+/// pos_ is left at the offending byte for the error report.
+class Parser {
+ public:
+  Parser(std::string_view text, bool build) : text_(text), build_(build) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
     skip_ws();
-    if (!value(0)) return false;
+    if (!value(0, &result.value)) return fail(std::move(result));
     skip_ws();
-    return pos_ == text_.size();
+    if (pos_ != text_.size()) {
+      error_ = "trailing garbage after JSON value";
+      return fail(std::move(result));
+    }
+    result.ok = true;
+    return result;
   }
 
  private:
   static constexpr std::size_t kMaxDepth = 256;
+
+  JsonParseResult fail(JsonParseResult&& result) {
+    result.ok = false;
+    result.value = JsonValue{};
+    result.error_offset = pos_;
+    result.error = error_.empty() ? "malformed JSON" : error_;
+    return std::move(result);
+  }
 
   bool eof() const { return pos_ >= text_.size(); }
   char peek() const { return text_[pos_]; }
@@ -187,125 +329,277 @@ class Validator {
     }
   }
   bool literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
+    if (text_.substr(pos_, lit.size()) != lit) {
+      error_ = "invalid literal";
+      return false;
+    }
     pos_ += lit.size();
     return true;
   }
 
-  bool value(std::size_t depth) {
-    if (depth > kMaxDepth || eof()) return false;
+  bool value(std::size_t depth, JsonValue* out) {
+    if (depth > kMaxDepth) {
+      error_ = "nesting deeper than 256 levels";
+      return false;
+    }
+    if (eof()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
     switch (peek()) {
       case '{':
-        return object(depth);
+        return object(depth, out);
       case '[':
-        return array(depth);
-      case '"':
-        return string();
+        return array(depth, out);
+      case '"': {
+        std::string decoded;
+        if (!string(out ? &decoded : nullptr)) return false;
+        if (out && build_) *out = JsonValue::make_string(std::move(decoded));
+        return true;
+      }
       case 't':
-        return literal("true");
+        if (!literal("true")) return false;
+        if (out && build_) *out = JsonValue::make_bool(true);
+        return true;
       case 'f':
-        return literal("false");
+        if (!literal("false")) return false;
+        if (out && build_) *out = JsonValue::make_bool(false);
+        return true;
       case 'n':
-        return literal("null");
+        if (!literal("null")) return false;
+        if (out && build_) *out = JsonValue::make_null();
+        return true;
       default:
-        return number();
+        return number(out);
     }
   }
 
-  bool object(std::size_t depth) {
+  bool object(std::size_t depth, JsonValue* out) {
     consume('{');
     skip_ws();
-    if (consume('}')) return true;
+    std::vector<JsonValue::Member> members;
+    if (consume('}')) {
+      if (out && build_) *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
     while (true) {
       skip_ws();
-      if (eof() || peek() != '"' || !string()) return false;
+      if (eof() || peek() != '"') {
+        error_ = "expected object key";
+        return false;
+      }
+      std::string key;
+      if (!string(build_ ? &key : nullptr)) return false;
       skip_ws();
-      if (!consume(':')) return false;
+      if (!consume(':')) {
+        error_ = "expected ':' after object key";
+        return false;
+      }
       skip_ws();
-      if (!value(depth + 1)) return false;
+      JsonValue member;
+      if (!value(depth + 1, out ? &member : nullptr)) return false;
+      if (build_) members.emplace_back(std::move(key), std::move(member));
       skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return false;
+      if (consume('}')) {
+        if (out && build_) *out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      if (!consume(',')) {
+        error_ = "expected ',' or '}' in object";
+        return false;
+      }
     }
   }
 
-  bool array(std::size_t depth) {
+  bool array(std::size_t depth, JsonValue* out) {
     consume('[');
     skip_ws();
-    if (consume(']')) return true;
+    std::vector<JsonValue> items;
+    if (consume(']')) {
+      if (out && build_) *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
     while (true) {
       skip_ws();
-      if (!value(depth + 1)) return false;
+      JsonValue item;
+      if (!value(depth + 1, out ? &item : nullptr)) return false;
+      if (build_) items.push_back(std::move(item));
       skip_ws();
-      if (consume(']')) return true;
-      if (!consume(',')) return false;
+      if (consume(']')) {
+        if (out && build_) *out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      if (!consume(',')) {
+        error_ = "expected ',' or ']' in array";
+        return false;
+      }
     }
   }
 
-  bool string() {
+  /// Parse one string token; when `decoded` is non-null, also unescape
+  /// into it (so validation-only passes never allocate).
+  bool string(std::string* decoded) {
     consume('"');
+    std::uint32_t pending_high = 0;  // pending high surrogate, 0 = none
     while (!eof()) {
       const unsigned char c = static_cast<unsigned char>(text_[pos_]);
       if (c == '"') {
+        if (pending_high && decoded) append_utf8(*decoded, 0xFFFD);
         ++pos_;
         return true;
       }
-      if (c < 0x20) return false;  // raw control character
+      if (c < 0x20) {
+        error_ = "raw control character in string";
+        return false;
+      }
       if (c == '\\') {
         ++pos_;
-        if (eof()) return false;
-        const char esc = text_[pos_++];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            if (eof() || !std::isxdigit(static_cast<unsigned char>(
-                             text_[pos_++]))) {
-              return false;
-            }
-          }
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        if (eof()) {
+          error_ = "unterminated escape";
           return false;
         }
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              error_ = "\\u escape needs four hex digits";
+              return false;
+            }
+            const char h = text_[pos_++];
+            cp = cp * 16 +
+                 static_cast<std::uint32_t>(
+                     h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          if (decoded) {
+            if (pending_high) {
+              if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                append_utf8(*decoded, 0x10000 +
+                                          ((pending_high - 0xD800) << 10) +
+                                          (cp - 0xDC00));
+              } else {
+                append_utf8(*decoded, 0xFFFD);
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                  pending_high = cp;
+                  continue;
+                }
+                append_utf8(*decoded, cp);
+              }
+              pending_high = 0;
+            } else if (cp >= 0xD800 && cp <= 0xDBFF) {
+              pending_high = cp;
+            } else {
+              // An unpaired low surrogate decodes to U+FFFD; everything
+              // else is a plain code point.
+              append_utf8(*decoded,
+                          cp >= 0xDC00 && cp <= 0xDFFF ? 0xFFFD : cp);
+            }
+          }
+          continue;
+        }
+        if (pending_high && decoded) {
+          append_utf8(*decoded, 0xFFFD);
+          pending_high = 0;
+        }
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            if (decoded) *decoded += esc;
+            break;
+          case 'b':
+            if (decoded) *decoded += '\b';
+            break;
+          case 'f':
+            if (decoded) *decoded += '\f';
+            break;
+          case 'n':
+            if (decoded) *decoded += '\n';
+            break;
+          case 'r':
+            if (decoded) *decoded += '\r';
+            break;
+          case 't':
+            if (decoded) *decoded += '\t';
+            break;
+          default:
+            pos_ -= 1;  // point at the bad escape character
+            error_ = "invalid escape character";
+            return false;
+        }
       } else {
+        if (pending_high && decoded) {
+          append_utf8(*decoded, 0xFFFD);
+          pending_high = 0;
+        }
+        if (decoded) *decoded += static_cast<char>(c);
         ++pos_;
       }
     }
-    return false;  // unterminated
+    error_ = "unterminated string";
+    return false;
   }
 
   bool digits() {
     if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      error_ = "expected digits";
       return false;
     }
     while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     return true;
   }
 
-  bool number() {
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
     consume('-');
     if (consume('0')) {
       // leading zero must not be followed by more digits
       if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        error_ = "leading zero in number";
         return false;
       }
     } else if (!digits()) {
+      error_ = "malformed number";
       return false;
     }
-    if (consume('.') && !digits()) return false;
+    if (consume('.') && !digits()) {
+      error_ = "malformed number fraction";
+      return false;
+    }
     if (!eof() && (peek() == 'e' || peek() == 'E')) {
       ++pos_;
       if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
-      if (!digits()) return false;
+      if (!digits()) {
+        error_ = "malformed number exponent";
+        return false;
+      }
+    }
+    if (out && build_) {
+      *out = JsonValue::make_number(
+          std::string(text_.substr(start, pos_ - start)));
     }
     return true;
   }
 
   std::string_view text_;
+  bool build_;
   std::size_t pos_ = 0;
+  std::string error_;
 };
 
 }  // namespace
 
-bool is_valid_json(std::string_view text) { return Validator(text).run(); }
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text, /*build=*/true).run();
+}
+
+JsonParseResult validate_json(std::string_view text) {
+  return Parser(text, /*build=*/false).run();
+}
+
+bool is_valid_json(std::string_view text) {
+  return Parser(text, /*build=*/false).run().ok;
+}
 
 }  // namespace tokenring::obs

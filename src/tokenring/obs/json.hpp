@@ -7,10 +7,12 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tokenring::obs {
@@ -32,6 +34,16 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& os, int indent = 0)
       : os_(os), indent_(indent) {}
+
+  /// Strict mode, for wire formats where a silently degraded document is
+  /// worse than a failed request: value_number with a non-finite value and
+  /// value_raw with a token that is not itself valid JSON throw
+  /// PreconditionError instead of emitting "null" / unvalidated bytes.
+  /// (Strings are always safe: key/value_string escape every control
+  /// character.) Off by default so manifest emission keeps rendering
+  /// non-finite metrics as null.
+  void set_strict(bool strict) { strict_ = strict; }
+  bool strict() const { return strict_; }
 
   void begin_object();
   void end_object();
@@ -67,7 +79,80 @@ class JsonWriter {
   int indent_;
   std::vector<Frame> stack_;
   bool pending_key_ = false;
+  bool strict_ = false;
 };
+
+/// Parsed JSON document node. Numbers keep their raw source token so
+/// 64-bit integers (seeds) round-trip without passing through a double.
+/// Accessors check the kind and throw PreconditionError on mismatch, so a
+/// request handler reading the wrong shape fails with a message rather
+/// than garbage.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// Integer value; requires a number whose token is integral and in
+  /// range (no silent truncation of 1.5 or 2^64).
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  /// Raw source token of a number ("1e-3", "42"), for exact round-trips.
+  const std::string& number_token() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;       // array elements
+  const std::vector<Member>& members() const;        // object members, in order
+  /// Object member lookup (first match); nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(std::string token);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;              // number token or string payload
+  std::vector<JsonValue> items_;    // array elements
+  std::vector<Member> members_;     // object members
+};
+
+/// Outcome of parse_json / validate_json. On failure `error_offset` is the
+/// byte offset into the input where parsing stopped — exactly what a
+/// malformed-request 400 needs to point the client at its bug.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;                  // valid only when ok
+  std::size_t error_offset = 0;
+  std::string error;                // short human-readable reason
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Parse exactly one complete JSON value (optional surrounding
+/// whitespace, no trailing garbage). Same strictness as is_valid_json:
+/// no raw control characters in strings, numbers per RFC 8259, bounded
+/// nesting depth. \uXXXX escapes are decoded to UTF-8 (surrogate pairs
+/// combined; an unpaired surrogate decodes to U+FFFD, matching the
+/// validator's acceptance of any hex quad).
+JsonParseResult parse_json(std::string_view text);
+
+/// Validation without keeping the document: parse_json minus the value.
+JsonParseResult validate_json(std::string_view text);
 
 /// True iff `text` is exactly one complete JSON value (with optional
 /// surrounding whitespace). Strict: no trailing garbage, no unescaped

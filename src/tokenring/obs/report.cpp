@@ -18,6 +18,24 @@ void declare_report_flags(CliFlags& flags) {
                 "print the span-profile report to stderr on exit");
 }
 
+std::optional<int> bootstrap_run(RunReport& report, CliFlags& flags,
+                                 int argc, char** argv,
+                                 const StandardFlags& standard) {
+  if (standard.jobs) declare_jobs_flag(flags);
+  if (standard.batch) declare_batch_flag(flags);
+  declare_report_flags(flags);
+  switch (flags.parse_detailed(argc, argv)) {
+    case CliFlags::ParseOutcome::kHelp:
+      return 0;
+    case CliFlags::ParseOutcome::kError:
+      return 1;
+    case CliFlags::ParseOutcome::kOk:
+      break;
+  }
+  if (!report.init(flags)) return 1;
+  return std::nullopt;
+}
+
 RunReport::RunReport(std::string tool_name) {
   manifest_.tool = std::move(tool_name);
 }

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "tokenring/common/cli.hpp"
@@ -39,6 +40,32 @@ enum class OutputFormat { kTable, kCsv, kJson };
 
 /// Declare the shared --format/--out/--profile flags.
 void declare_report_flags(CliFlags& flags);
+
+/// Which shared flag families bootstrap_run declares on top of the study
+/// flags the caller already declared. Both default on: most bench mains
+/// sweep Monte Carlo points and take --jobs/--batch; the few that manage
+/// their own worker counts (parallel_scaling's --jobs-list) turn them off.
+struct StandardFlags {
+  bool jobs = true;
+  bool batch = true;
+};
+
+/// One-call bootstrap for a bench/tool main, replacing the
+/// declare/parse/init boilerplate every binary used to repeat:
+///
+///   CliFlags flags;
+///   ... declare study flags ...
+///   obs::RunReport report("bench_fig1");
+///   if (auto rc = obs::bootstrap_run(report, flags, argc, argv)) return *rc;
+///
+/// Declares --jobs/--batch (per `standard`) and --format/--out/--profile,
+/// parses argv, and initializes `report`. Returns std::nullopt when the
+/// run should proceed; otherwise the process exit code — 0 for an explicit
+/// --help, 1 for an unknown/malformed flag or a bad --format value.
+class RunReport;
+std::optional<int> bootstrap_run(RunReport& report, CliFlags& flags,
+                                 int argc, char** argv,
+                                 const StandardFlags& standard = {});
 
 class RunReport {
  public:

@@ -1,0 +1,92 @@
+#include "tokenring/serve/batcher.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::serve {
+
+Batcher::Batcher(const exec::Executor& executor, std::size_t max_group,
+                 std::size_t max_queue)
+    : executor_(executor), max_group_(max_group), max_queue_(max_queue) {
+  TR_EXPECTS_MSG(max_group_ > 0, "batch group size must be >= 1");
+  TR_EXPECTS_MSG(max_queue_ > 0, "batch queue capacity must be >= 1");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<std::string> Batcher::submit(std::function<std::string()> job) {
+  TR_EXPECTS(job != nullptr);
+  Job item;
+  item.fn = std::move(job);
+  auto future = item.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return queue_.size() < max_queue_ || stopping_; });
+    TR_EXPECTS_MSG(!stopping_, "submit on a stopping Batcher");
+    queue_.push_back(std::move(item));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+void Batcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Batcher::dispatch_loop() {
+  static const obs::Counter groups("serve.batch.groups");
+  static const obs::Counter jobs("serve.batch.jobs");
+  static const obs::Gauge widest("serve.batch.widest_group");
+
+  while (true) {
+    std::vector<Job> group;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;
+      const std::size_t take = std::min(queue_.size(), max_group_);
+      group.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ = group.size();
+    }
+    not_full_.notify_all();
+    groups.add();
+    jobs.add(group.size());
+    widest.record(group.size());
+
+    // Futures resolve per job as each lane finishes, so a fast query in a
+    // group never waits for the group's slowest member.
+    executor_.parallel_for(group.size(), [&group](std::size_t i) {
+      try {
+        group[i].promise.set_value(group[i].fn());
+      } catch (...) {
+        group[i].promise.set_exception(std::current_exception());
+      }
+    });
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = 0;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace tokenring::serve

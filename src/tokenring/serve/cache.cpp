@@ -1,0 +1,92 @@
+#include "tokenring/serve/cache.hpp"
+
+#include <utility>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::serve {
+
+ResultCache::ResultCache(const Options& options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  TR_EXPECTS_MSG(options_.capacity_per_shard > 0,
+                 "cache capacity must be >= 1 entry per shard");
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+ResultCache::Outcome ResultCache::get_or_compute(
+    const std::string& key, const std::function<std::string()>& compute) {
+  static const obs::Counter hits("serve.cache.hits");
+  static const obs::Counter misses("serve.cache.misses");
+  static const obs::Counter waits("serve.cache.singleflight_waits");
+  static const obs::Counter evictions("serve.cache.evictions");
+
+  Shard& shard = shard_for(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    while (true) {
+      auto it = shard.map.find(key);
+      if (it == shard.map.end()) break;  // we become the computer
+      if (it->second.ready) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        hits.add();
+        return {it->second.value, true};
+      }
+      // Someone else is computing this key right now; wait for it to land
+      // (ready) or fail (entry erased), then re-check.
+      waits.add();
+      shard.ready_cv.wait(lock);
+    }
+    shard.map.emplace(key, Entry{});  // not ready: the in-flight marker
+    misses.add();
+  }
+
+  std::string value;
+  try {
+    value = compute();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.erase(key);
+    shard.ready_cv.notify_all();
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    // The marker cannot have been evicted (only ready entries are), so it
+    // is still there unless the map was externally cleared — tolerate that
+    // by re-inserting.
+    if (it == shard.map.end()) it = shard.map.emplace(key, Entry{}).first;
+    shard.lru.push_front(key);
+    it->second.ready = true;
+    it->second.value = value;
+    it->second.lru_pos = shard.lru.begin();
+    while (shard.lru.size() > options_.capacity_per_shard) {
+      const std::string& victim = shard.lru.back();
+      shard.map.erase(victim);
+      shard.lru.pop_back();
+      evictions.add();
+    }
+    shard.ready_cv.notify_all();
+  }
+  return {std::move(value), false};
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace tokenring::serve

@@ -1,0 +1,82 @@
+// Sharded single-flight result cache for the admission-control service.
+//
+// Admission queries are a recurring stream over a small population of ring
+// configurations (same stations, periods, bandwidth — operators tune, then
+// re-ask), so the daemon caches the rendered result JSON keyed by the
+// canonicalized query. A hit skips everything: kernel construction, the
+// saturation search, even response rendering.
+//
+// Two production concerns shape the design:
+//  * Sharding: the key hash picks one of N independent shards (own lock,
+//    own LRU list), so cache lookups from many connection threads do not
+//    serialize on one mutex.
+//  * Single-flight: on a miss, exactly one caller computes; concurrent
+//    callers for the same key block on the shard's condition variable and
+//    reuse the landed result instead of duplicating a multi-millisecond
+//    Monte Carlo sweep. A compute that throws wakes the waiters and lets
+//    one of them retry (errors are not cached).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tokenring::serve {
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Independent shards; rounded up to at least 1.
+    std::size_t shards = 16;
+    /// Ready entries kept per shard; least-recently-used beyond that are
+    /// evicted on insert.
+    std::size_t capacity_per_shard = 1024;
+  };
+
+  struct Outcome {
+    std::string value;
+    bool hit = false;
+  };
+
+  explicit ResultCache(const Options& options);
+
+  /// Return the cached value for `key`, or run `compute` (without holding
+  /// the shard lock) and cache its result. Throws whatever `compute`
+  /// throws; a failed compute leaves the cache unchanged.
+  Outcome get_or_compute(const std::string& key,
+                         const std::function<std::string()>& compute);
+
+  /// Ready entries across all shards (approximate under concurrency).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    bool ready = false;
+    std::string value;
+    /// Position in the shard's LRU list; valid only when ready.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable ready_cv;
+    std::unordered_map<std::string, Entry> map;
+    /// Most-recently-used keys first.
+    std::list<std::string> lru;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tokenring::serve

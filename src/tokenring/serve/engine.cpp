@@ -1,0 +1,343 @@
+#include "tokenring/serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "tokenring/analysis/pdp.hpp"
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/fault/margins.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/obs/json.hpp"
+#include "tokenring/obs/registry.hpp"
+#include "tokenring/planner/advisor.hpp"
+
+namespace tokenring::serve {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Same protocol split as tokenring_tool's parse_protocol (names are
+/// validated at parse time, so no error path here).
+struct ProtocolChoice {
+  bool is_ttp = false;
+  analysis::PdpVariant variant = analysis::PdpVariant::kStandard8025;
+};
+
+ProtocolChoice protocol_choice(const std::string& name) {
+  ProtocolChoice out;
+  if (name == "fddi") {
+    out.is_ttp = true;
+  } else if (name == "modified8025") {
+    out.variant = analysis::PdpVariant::kModified8025;
+  }
+  return out;
+}
+
+/// Same ring sizing rule as tokenring_tool.
+int ring_size_for(const msg::MessageSet& set) {
+  int n = std::max<int>(2, static_cast<int>(set.size()));
+  for (const auto& s : set.streams()) n = std::max(n, s.station + 1);
+  return n;
+}
+
+/// Request latency buckets [us], log-spaced from sub-cache-hit to
+/// multi-second Monte Carlo sweeps.
+const std::vector<double>& latency_bounds_us() {
+  static const std::vector<double> bounds = {
+      1,    2,    5,     10,    20,    50,     100,    200,     500,
+      1000, 2000, 5000,  10000, 20000, 50000,  100000, 200000,  500000,
+      1000000, 2000000, 5000000};
+  return bounds;
+}
+
+/// Linear interpolation inside the bucket that crosses quantile `q`.
+double histogram_percentile(
+    const obs::MetricsSnapshot::HistogramData& h, double q) {
+  if (h.total == 0) return 0.0;
+  const double target = q * static_cast<double>(h.total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t next = cumulative + h.counts[i];
+    if (static_cast<double>(next) >= target && h.counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+      // Overflow bucket has no upper bound; report its lower edge.
+      const double hi = i < h.bounds.size() ? h.bounds[i] : lo;
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(h.counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative = next;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+}  // namespace
+
+Engine::Engine(const Options& options, std::function<std::uint64_t()> clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : steady_now_ns),
+      executor_(options.jobs),
+      cache_(options.cache),
+      limiter_(options.limit),
+      batcher_(executor_,
+               options.max_group > 0 ? options.max_group : executor_.jobs()) {}
+
+void Engine::drain() { batcher_.drain(); }
+
+std::string Engine::handle_line(std::string_view line,
+                                const std::string& fallback_client) {
+  static const obs::Counter requests("serve.requests");
+  static const obs::Histogram latency("serve.request_us",
+                                      latency_bounds_us());
+  requests.add();
+  const std::uint64_t start_ns = clock_();
+
+  std::string response;
+  if (line.size() > options_.max_request_bytes) {
+    response = error_response(
+        "", 413,
+        "request exceeds " + std::to_string(options_.max_request_bytes) +
+            " bytes");
+  } else {
+    const obs::JsonParseResult parsed = obs::parse_json(line);
+    if (!parsed.ok) {
+      response = parse_error_response(parsed.error_offset, parsed.error);
+    } else {
+      Request request;
+      std::string error;
+      if (!parse_request(parsed.value, request, error)) {
+        response = error_response(request.id_token, 400, error);
+      } else {
+        response = dispatch(request, fallback_client);
+      }
+    }
+  }
+
+  latency.observe(static_cast<double>(clock_() - start_ns) * 1e-3);
+  return response;
+}
+
+std::string Engine::dispatch(const Request& request,
+                             const std::string& fallback_client) {
+  // ping and stats are control-plane traffic: answered inline, never rate
+  // limited, never cached.
+  if (request.type == RequestType::kPing) {
+    return success_response(request.id_token, request.type, false,
+                            "{\"message\":\"pong\"}");
+  }
+  if (request.type == RequestType::kStats) {
+    return success_response(request.id_token, request.type, false,
+                            render_stats());
+  }
+
+  const std::string& client =
+      request.client.empty() ? fallback_client : request.client;
+  const RateLimiter::Verdict verdict = limiter_.check(client, clock_());
+  if (!verdict.allowed) {
+    return rate_limited_response(request.id_token, verdict.retry_after_ns);
+  }
+
+  try {
+    const ResultCache::Outcome outcome = cache_.get_or_compute(
+        cache_key(request), [this, &request] {
+          return batcher_
+              .submit([&request] {
+                switch (request.type) {
+                  case RequestType::kCheck:
+                    return compute_check(request.check);
+                  case RequestType::kFaultcheck:
+                    return compute_faultcheck(request.check);
+                  default:
+                    return compute_advise(request.advise);
+                }
+              })
+              .get();
+        });
+    return success_response(request.id_token, request.type, outcome.hit,
+                            outcome.value);
+  } catch (const std::exception& e) {
+    static const obs::Counter failures("serve.compute_failures");
+    failures.add();
+    return error_response(request.id_token, 500, e.what());
+  }
+}
+
+std::string Engine::compute_check(const CheckQuery& query) {
+  const ProtocolChoice proto = protocol_choice(query.protocol);
+  const BitsPerSecond bw = mbps(query.bandwidth_mbps);
+  const int n = ring_size_for(query.set);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("protocol").value_string(query.protocol);
+  if (proto.is_ttp) {
+    analysis::TtpParams p;
+    p.ring = net::fddi_ring(n);
+    p.frame = p.async_frame = net::paper_frame_format();
+    const auto v = analysis::ttp_schedulable(query.set, p, bw);
+    w.key("schedulable").value_bool(v.schedulable);
+    w.key("ttrt_ms").value_number(to_milliseconds(v.ttrt));
+    w.key("allocated_ms").value_number(to_milliseconds(v.allocated));
+    w.key("available_ms").value_number(to_milliseconds(v.available));
+  } else {
+    analysis::PdpParams p;
+    p.ring = net::ieee8025_ring(n);
+    p.frame = net::paper_frame_format();
+    p.variant = proto.variant;
+    const auto v = analysis::pdp_schedulable(query.set, p, bw);
+    w.key("schedulable").value_bool(v.schedulable);
+    w.key("blocking_us").value_number(to_microseconds(v.blocking));
+    w.key("misses").begin_array();
+    for (const auto& r : v.reports) {
+      if (r.schedulable) continue;
+      w.begin_object();
+      w.key("station").value_int(r.stream.station);
+      w.key("augmented_ms").value_number(to_milliseconds(r.augmented_length));
+      w.key("period_ms").value_number(to_milliseconds(r.stream.period));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string Engine::compute_faultcheck(const CheckQuery& query) {
+  const ProtocolChoice proto = protocol_choice(query.protocol);
+  const BitsPerSecond bw = mbps(query.bandwidth_mbps);
+  const int n = ring_size_for(query.set);
+  const Seconds noise = milliseconds(query.noise_ms);
+
+  bool fault_free = false;
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("protocol").value_string(query.protocol);
+  w.key("noise_ms").value_number(query.noise_ms);
+
+  std::ostringstream margins;
+  obs::JsonWriter mw(margins);
+  mw.set_strict(true);
+  mw.begin_array();
+  const auto add_row = [&](fault::FaultKind kind,
+                           const fault::FaultMarginReport& fmr) {
+    fault_free = fmr.fault_free_schedulable;
+    mw.begin_object();
+    mw.key("fault_kind").value_string(fault::to_string(kind));
+    mw.key("recovery_us").value_number(to_microseconds(fmr.recovery_per_fault));
+    if (fmr.margin < 0) {
+      mw.key("margin").value_null();
+    } else {
+      mw.key("margin").value_int(fmr.margin);
+    }
+    mw.end_object();
+  };
+
+  if (proto.is_ttp) {
+    analysis::TtpParams p;
+    p.ring = net::fddi_ring(n);
+    p.frame = p.async_frame = net::paper_frame_format();
+    for (fault::FaultKind kind : fault::kAllFaultKinds) {
+      if (kind == fault::FaultKind::kStationRejoin) continue;  // = crash cost
+      fault::FaultBudget budget{kind, noise};
+      add_row(kind, fault::ttp_fault_margin(query.set, p, bw, 0.0, budget));
+    }
+  } else {
+    analysis::PdpParams p;
+    p.ring = net::ieee8025_ring(n);
+    p.frame = net::paper_frame_format();
+    p.variant = proto.variant;
+    for (fault::FaultKind kind : fault::kAllFaultKinds) {
+      if (kind == fault::FaultKind::kStationRejoin) continue;  // = crash cost
+      fault::FaultBudget budget{kind, noise};
+      add_row(kind, fault::pdp_fault_margin(query.set, p, bw, budget));
+    }
+  }
+  mw.end_array();
+
+  w.key("schedulable").value_bool(fault_free);
+  w.key("margins").value_raw(margins.str());
+  w.end_object();
+  return os.str();
+}
+
+std::string Engine::compute_advise(const AdviseQuery& query) {
+  planner::TrafficProfile profile;
+  profile.num_stations = query.stations;
+  profile.mean_period = milliseconds(query.mean_period_ms);
+  profile.period_ratio = query.period_ratio;
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("recommendations").begin_array();
+  for (double bw : query.bandwidths_mbps) {
+    // The inline overload: batch jobs must not re-enter the group
+    // executor, and the recommendation is identical for every (jobs,
+    // batch) combination, so this matches `tokenring_tool advise`.
+    const auto rec = planner::recommend_protocol(
+        profile, mbps(bw), static_cast<std::size_t>(query.sets), query.seed);
+    w.begin_object();
+    w.key("bandwidth_mbps").value_number(bw);
+    w.key("ieee8025").value_number(rec.ieee8025);
+    w.key("modified8025").value_number(rec.modified8025);
+    w.key("fddi").value_number(rec.fddi);
+    w.key("resil_8025").value_number(rec.modified8025_resilience);
+    w.key("resil_fddi").value_number(rec.fddi_resilience);
+    w.key("recommend").value_string(planner::to_string(rec.best));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string Engine::render_stats() {
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("cache_entries").value_uint(cache_.size());
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.key(name).value_uint(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.key(name).value_uint(value);
+  }
+  w.end_object();
+  const auto it = snapshot.histograms.find("serve.request_us");
+  w.key("latency_us").begin_object();
+  if (it != snapshot.histograms.end()) {
+    w.key("count").value_uint(it->second.total);
+    w.key("p50").value_number(histogram_percentile(it->second, 0.50));
+    w.key("p90").value_number(histogram_percentile(it->second, 0.90));
+    w.key("p99").value_number(histogram_percentile(it->second, 0.99));
+  } else {
+    w.key("count").value_uint(0);
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace tokenring::serve

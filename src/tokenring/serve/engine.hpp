@@ -1,0 +1,92 @@
+// Request engine of the admission-control service.
+//
+// handle_line() is the whole per-request pipeline, transport-free so tests
+// drive it without sockets:
+//
+//   size gate (413) -> parse_json (400 + byte offset) -> parse_request
+//   (400 naming the field) -> ping/stats answered inline -> rate limit
+//   (429 + retry hint) -> result cache -> batcher -> compute.
+//
+// Compute handlers mirror the offline `tokenring_tool` subcommands call
+// for call (same ring construction, same frame format, same analysis entry
+// points), so a daemon verdict is bit-identical to what the CLI prints for
+// the same query — the service is a faster path to the same answer, never
+// a different answer.
+//
+// Compute runs on the Batcher's executor group dispatch; handlers
+// themselves are sequential (nested parallel_for on one pool would
+// deadlock) and the advise handler leans on the SoA lockstep batch inside
+// the saturation search for its intra-query parallelism.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "tokenring/exec/executor.hpp"
+#include "tokenring/serve/batcher.hpp"
+#include "tokenring/serve/cache.hpp"
+#include "tokenring/serve/rate_limit.hpp"
+#include "tokenring/serve/wire.hpp"
+
+namespace tokenring::serve {
+
+class Engine {
+ public:
+  struct Options {
+    /// Worker threads for batched compute; 0 picks exec::default_jobs().
+    std::size_t jobs = 0;
+    /// Max compute jobs fanned out per batch group; 0 matches the pool
+    /// width.
+    std::size_t max_group = 0;
+    /// Requests longer than this are rejected with a 413.
+    std::size_t max_request_bytes = 1 << 20;
+    ResultCache::Options cache;
+    RateLimiter::Options limit;
+  };
+
+  /// `clock` returns monotonic nanoseconds; the default reads
+  /// std::chrono::steady_clock. Injected so rate-limit tests control time.
+  explicit Engine(const Options& options,
+                  std::function<std::uint64_t()> clock = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Process one request line (no trailing newline) and return the
+  /// response line. Never throws: every failure becomes a structured
+  /// error response. `fallback_client` is the rate-limit key for requests
+  /// without a "client" field (the server passes the peer address).
+  std::string handle_line(std::string_view line,
+                          const std::string& fallback_client);
+
+  /// Block until every accepted compute job has finished (graceful
+  /// shutdown: the server stops reading first, then drains).
+  void drain();
+
+  /// Ready entries currently cached.
+  std::size_t cache_size() const { return cache_.size(); }
+
+  // Compute handlers, public so tests can compare a daemon response's
+  // "result" byte-for-byte against a direct library call.
+  static std::string compute_check(const CheckQuery& query);
+  static std::string compute_faultcheck(const CheckQuery& query);
+  static std::string compute_advise(const AdviseQuery& query);
+
+ private:
+  std::string dispatch(const Request& request,
+                       const std::string& fallback_client);
+  std::string render_stats();
+
+  Options options_;
+  std::function<std::uint64_t()> clock_;
+  exec::Executor executor_;
+  ResultCache cache_;
+  RateLimiter limiter_;
+  Batcher batcher_;
+};
+
+}  // namespace tokenring::serve

@@ -1,0 +1,71 @@
+#include "tokenring/serve/rate_limit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::serve {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst, std::uint64_t now_ns)
+    : rate_per_ns_(rate_per_s * 1e-9),
+      burst_(burst),
+      tokens_(burst),
+      last_ns_(now_ns) {
+  TR_EXPECTS_MSG(rate_per_s > 0.0 && std::isfinite(rate_per_s),
+                 "token bucket rate must be positive and finite");
+  TR_EXPECTS_MSG(burst > 0.0 && std::isfinite(burst),
+                 "token bucket burst must be positive and finite");
+}
+
+bool TokenBucket::consume(std::uint64_t now_ns, double tokens) {
+  if (now_ns > last_ns_) {
+    tokens_ = std::min(
+        burst_, tokens_ + static_cast<double>(now_ns - last_ns_) * rate_per_ns_);
+    last_ns_ = now_ns;
+  }
+  if (tokens_ >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t TokenBucket::nanos_until(double tokens) const {
+  if (tokens_ >= tokens) return 0;
+  const double deficit = tokens - tokens_;
+  return static_cast<std::uint64_t>(std::ceil(deficit / rate_per_ns_));
+}
+
+RateLimiter::RateLimiter(const Options& options) : options_(options) {
+  if (options_.burst <= 0.0) options_.burst = options_.rate_per_s;
+  TR_EXPECTS_MSG(options_.max_clients > 0, "max_clients must be >= 1");
+}
+
+double RateLimiter::burst() const { return options_.burst; }
+
+RateLimiter::Verdict RateLimiter::check(const std::string& client,
+                                        std::uint64_t now_ns) {
+  if (!enabled()) return {};
+  static const obs::Counter rejected("serve.ratelimit.rejected");
+  static const obs::Counter resets("serve.ratelimit.resets");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= options_.max_clients) {
+      buckets_.clear();
+      resets.add();
+    }
+    it = buckets_
+             .emplace(client, TokenBucket(options_.rate_per_s, options_.burst,
+                                          now_ns))
+             .first;
+  }
+  if (it->second.consume(now_ns)) return {};
+  rejected.add();
+  return {false, it->second.nanos_until(1.0)};
+}
+
+}  // namespace tokenring::serve

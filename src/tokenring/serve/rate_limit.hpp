@@ -1,0 +1,85 @@
+// Token-bucket rate limiting for the admission-control service.
+//
+// The bucket is the classic refill-on-demand shape (Envoy's TokenBucket
+// `consume` interface is the exemplar): capacity `burst` tokens, refilled
+// at `rate` tokens per second, consume one token per request. Time is
+// injected as a nanosecond count from a monotonic clock, never read
+// internally, so the refill arithmetic is deterministic and property-
+// testable without sleeping.
+//
+// RateLimiter keys one bucket per client id (the request's "client" field,
+// or a per-connection fallback) and answers allow/deny plus a retry-after
+// hint for the 429-style structured rejection.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace tokenring::serve {
+
+/// Deterministic token bucket over an injected monotonic clock.
+class TokenBucket {
+ public:
+  /// `rate_per_s` tokens arrive per second up to a cap of `burst` tokens;
+  /// the bucket starts full. Both must be > 0.
+  TokenBucket(double rate_per_s, double burst, std::uint64_t now_ns);
+
+  /// Refill for the time elapsed since the last call, then try to take
+  /// `tokens`. Returns true (and debits) iff the bucket holds enough.
+  /// `now_ns` values must be non-decreasing; a stale timestamp is clamped
+  /// to the last seen one rather than refilling backwards.
+  bool consume(std::uint64_t now_ns, double tokens = 1.0);
+
+  /// Tokens available as of the last consume() call.
+  double available() const { return tokens_; }
+
+  /// Nanoseconds from the last consume() until `tokens` would be
+  /// available (0 when they already are). The 429 retry-after hint.
+  std::uint64_t nanos_until(double tokens) const;
+
+ private:
+  double rate_per_ns_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+/// Per-client token buckets behind one lock. Thread-safe.
+class RateLimiter {
+ public:
+  struct Options {
+    /// Requests per second granted to each client; 0 disables limiting.
+    double rate_per_s = 0.0;
+    /// Bucket capacity; 0 means one second's worth of tokens (== rate).
+    double burst = 0.0;
+    /// Hard cap on tracked clients. When a new client would exceed it,
+    /// every bucket is dropped and restarted full — a coarse reset that
+    /// bounds memory while erring on the side of admitting traffic.
+    std::size_t max_clients = 4096;
+  };
+
+  struct Verdict {
+    bool allowed = true;
+    /// Suggested client back-off when !allowed.
+    std::uint64_t retry_after_ns = 0;
+  };
+
+  explicit RateLimiter(const Options& options);
+
+  bool enabled() const { return options_.rate_per_s > 0.0; }
+  double burst() const;
+
+  /// Charge one request to `client` at time `now_ns`.
+  Verdict check(const std::string& client, std::uint64_t now_ns);
+
+ private:
+  Options options_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace tokenring::serve

@@ -1,0 +1,217 @@
+#include "tokenring/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::serve {
+
+namespace {
+
+/// write() the whole buffer, riding out partial writes and EINTR.
+/// MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process signal.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(const Options& options)
+    : options_(options), engine_(std::make_unique<Engine>(options.engine)) {}
+
+Server::~Server() {
+  if (started_) {
+    request_stop();
+    wait();
+  }
+  close_quietly(listen_fd_);
+  close_quietly(stop_pipe_[0]);
+  close_quietly(stop_pipe_[1]);
+}
+
+bool Server::start(std::string& error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid host address: " + options_.host;
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error = "bind " + options_.host + ":" + std::to_string(options_.port) +
+            ": " + std::strerror(errno);
+    close_quietly(listen_fd_);
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    close_quietly(listen_fd_);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    close_quietly(listen_fd_);
+    return false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  return true;
+}
+
+void Server::request_stop() {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Half-close every connection: readers see EOF once they have consumed
+  // what the client already sent, answer it, and exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& c : connections_) {
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    Connection victim;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (victim.thread.joinable()) victim.thread.join();
+    close_quietly(victim.fd);
+  }
+  engine_->drain();
+  started_ = false;
+}
+
+void Server::accept_loop() {
+  static const obs::Counter accepted("serve.connections");
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // request_stop()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                            &peer_len);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted.add();
+
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    const std::string peer_id = ip;  // one rate-limit bucket per peer host
+
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    Connection c;
+    c.fd = fd;
+    c.thread = std::thread(
+        [this, fd, peer_id] { serve_connection(fd, peer_id); });
+    connections_.push_back(std::move(c));
+  }
+}
+
+void Server::serve_connection(int fd, const std::string& peer) {
+  const std::size_t max_line = options_.engine.max_request_bytes;
+  std::string buffer;
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF (client close, or our SHUT_RD drain)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+      std::string response = engine_->handle_line(line, peer);
+      response.push_back('\n');
+      if (!send_all(fd, response.data(), response.size())) {
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+
+    // A line that never ends cannot be resynchronized; answer 413 and
+    // hang up rather than buffering unboundedly.
+    if (buffer.size() > max_line) {
+      std::string response = error_response(
+          "", 413,
+          "request line exceeds " + std::to_string(max_line) + " bytes");
+      response.push_back('\n');
+      send_all(fd, response.data(), response.size());
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+}  // namespace tokenring::serve

@@ -1,0 +1,83 @@
+// Line-delimited-JSON TCP front end for the request Engine.
+//
+// Plain POSIX sockets, thread-per-connection: admission queries are small
+// and the compute is what costs, so connection threads only frame lines
+// and block on the Engine (which batches across connections). The accept
+// loop polls the listen socket alongside a self-pipe; request_stop() is a
+// single write() to that pipe, making it safe to call from a signal
+// handler. Shutdown is graceful by construction:
+//
+//   request_stop() -> accept loop exits -> every connection gets
+//   shutdown(SHUT_RD) -> readers drain their buffered lines, write the
+//   responses, and exit -> Engine::drain() waits out the batcher.
+//
+// Bind to port 0 to get an ephemeral port (tests, CI); port() reports the
+// bound port after start().
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tokenring/serve/engine.hpp"
+
+namespace tokenring::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read it back with port().
+    int port = 0;
+    int backlog = 128;
+    Engine::Options engine;
+  };
+
+  explicit Server(const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and start accepting. False (with `error` set) when the
+  /// socket setup fails; the Server is then inert.
+  bool start(std::string& error);
+
+  /// Bound port (valid after start()).
+  int port() const { return port_; }
+
+  /// Begin shutdown. Async-signal-safe: one write() on the self-pipe.
+  void request_stop();
+
+  /// Block until the accept loop and every connection thread have exited
+  /// and the engine has drained. Call after request_stop(), or to park
+  /// the calling thread until a signal handler stops the server.
+  void wait();
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(int fd, const std::string& peer);
+
+  Options options_;
+  std::unique_ptr<Engine> engine_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace tokenring::serve

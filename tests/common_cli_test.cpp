@@ -76,6 +76,35 @@ TEST(Cli, HelpShortCircuits) {
   EXPECT_FALSE(flags.parse(a.argc(), a.argv()));
 }
 
+TEST(Cli, ParseDetailedDistinguishesHelpFromErrors) {
+  // --help is a successful outcome (the caller exits 0); unknown flags and
+  // missing values are errors (exit 1). parse() collapses both to false,
+  // which is why callers that care about exit codes use parse_detailed.
+  CliFlags flags;
+  flags.declare("sets", "100", "");
+  {
+    Argv a({"prog", "--help"});
+    EXPECT_EQ(flags.parse_detailed(a.argc(), a.argv()),
+              CliFlags::ParseOutcome::kHelp);
+  }
+  {
+    Argv a({"prog", "--bogus=1"});
+    EXPECT_EQ(flags.parse_detailed(a.argc(), a.argv()),
+              CliFlags::ParseOutcome::kError);
+  }
+  {
+    Argv a({"prog", "--sets"});
+    EXPECT_EQ(flags.parse_detailed(a.argc(), a.argv()),
+              CliFlags::ParseOutcome::kError);
+  }
+  {
+    Argv a({"prog", "--sets=7"});
+    EXPECT_EQ(flags.parse_detailed(a.argc(), a.argv()),
+              CliFlags::ParseOutcome::kOk);
+    EXPECT_EQ(flags.get_int("sets"), 7);
+  }
+}
+
 TEST(Cli, TypedAccessors) {
   CliFlags flags;
   flags.declare("d", "2.5", "");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tokenring/breakdown/monte_carlo.hpp"
+#include "tokenring/common/checks.hpp"
 #include "tokenring/exec/executor.hpp"
 #include "tokenring/experiments/setup.hpp"
 #include "tokenring/msg/generator.hpp"
@@ -78,6 +79,104 @@ TEST(JsonWriter, CompactObjectWithNestedArray) {
   EXPECT_EQ(w.depth(), 0u);
   EXPECT_EQ(os.str(), R"({"name":"x\"y","vals":[-3,7,false,null]})");
   EXPECT_TRUE(obs::is_valid_json(os.str()));
+}
+
+TEST(JsonWriter, StrictModeRejectsNonFiniteAndInvalidRawTokens) {
+  // Wire formats opt into strict mode: a degraded-but-parseable document
+  // (a latency rendered as null) is worse there than a failed request.
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_array();
+  EXPECT_THROW(w.value_number(std::nan("")), PreconditionError);
+  EXPECT_THROW(w.value_number(std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  EXPECT_THROW(w.value_raw("{oops"), PreconditionError);
+  w.value_raw("{\"ok\":1}");  // pre-rendered tokens must themselves parse
+  w.value_number(2.5);
+  w.end_array();
+  EXPECT_EQ(os.str(), R"([{"ok":1},2.5])");
+
+  // The default (manifest) mode keeps the lenient non-finite -> null
+  // rendering so metric emission never throws mid-document.
+  std::ostringstream lenient;
+  obs::JsonWriter lw(lenient);
+  lw.begin_array();
+  lw.value_number(std::nan(""));
+  lw.end_array();
+  EXPECT_EQ(lenient.str(), "[null]");
+}
+
+TEST(JsonParse, BuildsDocumentWithExactNumberTokens) {
+  const auto doc = obs::parse_json(
+      R"( {"seed": 9007199254740993, "rate": 1e-3, "tags": ["a", null]} )");
+  ASSERT_TRUE(doc.ok) << doc.error;
+  const obs::JsonValue* seed = doc.value.find("seed");
+  ASSERT_NE(seed, nullptr);
+  // 2^53 + 1 is not representable as a double; the raw token preserves it.
+  EXPECT_EQ(seed->as_int64(), 9007199254740993LL);
+  EXPECT_EQ(seed->number_token(), "9007199254740993");
+  EXPECT_DOUBLE_EQ(doc.value.find("rate")->as_double(), 1e-3);
+  EXPECT_EQ(doc.value.find("rate")->number_token(), "1e-3");
+  ASSERT_EQ(doc.value.find("tags")->items().size(), 2u);
+  EXPECT_EQ(doc.value.find("tags")->items()[0].as_string(), "a");
+  EXPECT_TRUE(doc.value.find("tags")->items()[1].is_null());
+  EXPECT_EQ(doc.value.find("missing"), nullptr);
+}
+
+TEST(JsonParse, AccessorsRejectLossyConversions) {
+  const auto doc = obs::parse_json(
+      R"({"half": 1.5, "big": 18446744073709551615, "s": "x"})");
+  ASSERT_TRUE(doc.ok) << doc.error;
+  // No silent truncation: 1.5 is a number but not an integer.
+  EXPECT_THROW(doc.value.find("half")->as_int64(), PreconditionError);
+  // 2^64 - 1 fits unsigned but overflows signed.
+  EXPECT_EQ(doc.value.find("big")->as_uint64(), 18446744073709551615ULL);
+  EXPECT_THROW(doc.value.find("big")->as_int64(), PreconditionError);
+  EXPECT_THROW(doc.value.find("s")->as_double(), PreconditionError);
+  EXPECT_THROW(doc.value.as_string(), PreconditionError);
+}
+
+TEST(JsonParse, ReportsByteOffsetOfFirstError) {
+  struct Case {
+    const char* text;
+    std::size_t offset;
+  };
+  // The offset is what a malformed-request 400 points the client at, so
+  // pin it to the exact offending byte, not just "it failed".
+  const Case cases[] = {
+      {"{\"type\": }", 9},       // value expected where '}' sits
+      {"{} extra", 3},           // trailing garbage after the document
+      {"[1, 2", 5},              // unterminated array: fails at end of input
+      {"{\"a\" 1}", 5},          // missing ':' separator
+      {"[01]", 2},               // leading zero: '1' starts the garbage
+  };
+  for (const auto& c : cases) {
+    const auto doc = obs::parse_json(c.text);
+    EXPECT_FALSE(doc.ok) << c.text;
+    EXPECT_EQ(doc.error_offset, c.offset) << c.text << ": " << doc.error;
+    EXPECT_FALSE(doc.error.empty()) << c.text;
+    // validate_json is parse_json minus the document; same diagnostics.
+    const auto validated = obs::validate_json(c.text);
+    EXPECT_FALSE(validated.ok) << c.text;
+    EXPECT_EQ(validated.error_offset, c.offset) << c.text;
+  }
+}
+
+TEST(JsonParse, DecodesUnicodeEscapesToUtf8) {
+  // Basic multilingual plane escape: \u00e9 -> U+00E9 as two UTF-8 bytes.
+  const auto bmp = obs::parse_json("\"caf\\u00e9\"");
+  ASSERT_TRUE(bmp.ok);
+  EXPECT_EQ(bmp.value.as_string(), "caf\xc3\xa9");
+  // Surrogate pair combines into one 4-byte UTF-8 sequence (U+1F600).
+  const auto pair = obs::parse_json("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(pair.ok);
+  EXPECT_EQ(pair.value.as_string(), "\xf0\x9f\x98\x80");
+  // An unpaired surrogate is still accepted (the validator takes any hex
+  // quad) but decodes to U+FFFD instead of smuggling invalid UTF-8.
+  const auto lone = obs::parse_json("\"\\ud83d!\"");
+  ASSERT_TRUE(lone.ok);
+  EXPECT_EQ(lone.value.as_string(), "\xef\xbf\xbd!");
 }
 
 // ---- registry ----------------------------------------------------------------

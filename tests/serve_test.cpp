@@ -1,0 +1,518 @@
+// Tests for the admission-control service (serve/): wire parsing, cache,
+// rate limiting, batching, the engine pipeline, and one TCP end-to-end
+// round trip with a graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tokenring/analysis/ttp.hpp"
+#include "tokenring/common/checks.hpp"
+#include "tokenring/common/rng.hpp"
+#include "tokenring/exec/executor.hpp"
+#include "tokenring/net/standards.hpp"
+#include "tokenring/obs/json.hpp"
+#include "tokenring/serve/batcher.hpp"
+#include "tokenring/serve/cache.hpp"
+#include "tokenring/serve/engine.hpp"
+#include "tokenring/serve/rate_limit.hpp"
+#include "tokenring/serve/server.hpp"
+#include "tokenring/serve/wire.hpp"
+
+namespace {
+
+using namespace tokenring;
+
+obs::JsonValue parse_ok(const std::string& text) {
+  auto result = obs::parse_json(text);
+  EXPECT_TRUE(result.ok) << result.error << " @" << result.error_offset
+                         << " in " << text;
+  return result.value;
+}
+
+serve::Request parse_request_ok(const std::string& line) {
+  serve::Request request;
+  std::string error;
+  EXPECT_TRUE(serve::parse_request(parse_ok(line), request, error)) << error;
+  return request;
+}
+
+std::string parse_request_error(const std::string& line) {
+  serve::Request request;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request(parse_ok(line), request, error)) << line;
+  return error;
+}
+
+int response_status(const obs::JsonValue& response) {
+  const obs::JsonValue* status = response.find("status");
+  return status == nullptr ? -1 : static_cast<int>(status->as_int64());
+}
+
+constexpr const char* kCheckLine =
+    "{\"type\":\"check\",\"id\":7,\"protocol\":\"fddi\","
+    "\"bandwidth_mbps\":100,\"streams\":["
+    "{\"station\":0,\"period_ms\":50,\"payload_bits\":10000},"
+    "{\"station\":1,\"period_ms\":100,\"payload_bits\":20000}]}";
+
+serve::Engine::Options small_engine_options() {
+  serve::Engine::Options options;
+  options.jobs = 2;
+  return options;
+}
+
+// ---- wire --------------------------------------------------------------------
+
+TEST(ServeWire, ParsesCheckRequestAndEchoesId) {
+  const auto request = parse_request_ok(kCheckLine);
+  EXPECT_EQ(request.type, serve::RequestType::kCheck);
+  EXPECT_EQ(request.id_token, "7");
+  EXPECT_EQ(request.check.protocol, "fddi");
+  EXPECT_DOUBLE_EQ(request.check.bandwidth_mbps, 100.0);
+  ASSERT_EQ(request.check.set.size(), 2u);
+  EXPECT_DOUBLE_EQ(request.check.set.streams()[0].period, 0.05);
+  EXPECT_DOUBLE_EQ(request.check.set.streams()[1].payload_bits, 20000.0);
+}
+
+TEST(ServeWire, AdviseDefaultsMatchToolFlagDefaults) {
+  const auto request = parse_request_ok("{\"type\":\"advise\"}");
+  EXPECT_EQ(request.advise.stations, 100);
+  EXPECT_DOUBLE_EQ(request.advise.mean_period_ms, 100.0);
+  EXPECT_DOUBLE_EQ(request.advise.period_ratio, 10.0);
+  EXPECT_EQ(request.advise.sets, 50);
+  EXPECT_EQ(request.advise.seed, 1u);
+  EXPECT_EQ(request.advise.bandwidths_mbps,
+            (std::vector<double>{4.0, 16.0, 100.0, 622.0}));
+}
+
+TEST(ServeWire, StringIdRoundTripsQuoted) {
+  const auto request =
+      parse_request_ok("{\"type\":\"ping\",\"id\":\"a\\\"b\"}");
+  EXPECT_EQ(request.id_token, "\"a\\\"b\"");
+}
+
+TEST(ServeWire, RejectsUnknownTypeAndFields) {
+  EXPECT_NE(parse_request_error("{\"type\":\"frobnicate\"}").find("unknown"),
+            std::string::npos);
+  // Typo'd field names fail loudly instead of silently using the default.
+  const std::string error = parse_request_error(
+      "{\"type\":\"check\",\"bandwith_mbps\":100,"
+      "\"streams\":[{\"station\":0,\"period_ms\":1,\"payload_bits\":1}]}");
+  EXPECT_NE(error.find("bandwith_mbps"), std::string::npos);
+  // advise fields are not valid on check requests.
+  EXPECT_NE(parse_request_error(
+                "{\"type\":\"advise\",\"noise_ms\":1}")
+                .find("noise_ms"),
+            std::string::npos);
+}
+
+TEST(ServeWire, RejectsMissingStreamsAndBadStreamShape) {
+  EXPECT_NE(parse_request_error("{\"type\":\"check\"}").find("streams"),
+            std::string::npos);
+  EXPECT_NE(parse_request_error(
+                "{\"type\":\"check\",\"streams\":[{\"station\":0}]}")
+                .find("period_ms"),
+            std::string::npos);
+  EXPECT_NE(parse_request_error(
+                "{\"type\":\"check\",\"streams\":[{\"station\":-1,"
+                "\"period_ms\":1,\"payload_bits\":1}]}")
+                .find("station"),
+            std::string::npos);
+}
+
+TEST(ServeWire, CacheKeyCanonicalizesSpelling) {
+  const auto a = parse_request_ok(kCheckLine);
+  // Same query: reordered fields, exponent-notation numbers, explicit
+  // defaults spelled out.
+  const auto b = parse_request_ok(
+      "{\"bandwidth_mbps\":1e2,\"protocol\":\"fddi\",\"streams\":["
+      "{\"payload_bits\":1.0e4,\"period_ms\":50,\"station\":0},"
+      "{\"station\":1,\"period_ms\":100,\"payload_bits\":20000}],"
+      "\"type\":\"check\",\"id\":99}");
+  EXPECT_EQ(serve::cache_key(a), serve::cache_key(b));
+
+  auto c = parse_request_ok(kCheckLine);
+  c.check.bandwidth_mbps = 16.0;
+  EXPECT_NE(serve::cache_key(a), serve::cache_key(c));
+  // The id is not part of the identity of a query.
+  EXPECT_EQ(serve::cache_key(a).find('7'), std::string::npos);
+}
+
+// ---- token bucket / rate limiter ---------------------------------------------
+
+TEST(ServeRateLimit, BucketRefillsAtConfiguredRate) {
+  serve::TokenBucket bucket(10.0, 2.0, 0);  // 10 tokens/s, burst 2
+  EXPECT_TRUE(bucket.consume(0));
+  EXPECT_TRUE(bucket.consume(0));
+  EXPECT_FALSE(bucket.consume(0));  // burst exhausted
+  const std::uint64_t wait = bucket.nanos_until(1.0);
+  EXPECT_EQ(wait, 100'000'000u);             // one token at 10/s = 100 ms
+  EXPECT_FALSE(bucket.consume(wait - 1));    // just too early
+  EXPECT_TRUE(bucket.consume(wait));         // exactly on time
+}
+
+TEST(ServeRateLimit, RefillPropertyHoldsOverRandomSchedules) {
+  // Property: over any monotonic consume schedule, granted requests never
+  // exceed burst + rate * elapsed (no bucket overshoot), and a full wait
+  // of nanos_until(1) always yields a token.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double rate = rng.uniform(0.5, 2000.0);
+    const double burst = rng.uniform(1.0, 50.0);
+    serve::TokenBucket bucket(rate, burst, 0);
+    std::uint64_t now = 0;
+    std::uint64_t granted = 0;
+    for (int step = 0; step < 200; ++step) {
+      now += static_cast<std::uint64_t>(rng.uniform(0.0, 2e7));
+      if (bucket.consume(now)) ++granted;
+      EXPECT_LE(bucket.available(), burst);
+    }
+    const double elapsed_s = static_cast<double>(now) * 1e-9;
+    EXPECT_LE(static_cast<double>(granted), burst + rate * elapsed_s + 1e-6)
+        << "rate=" << rate << " burst=" << burst;
+    const std::uint64_t wait = bucket.nanos_until(1.0);
+    EXPECT_TRUE(bucket.consume(now + wait));
+  }
+}
+
+TEST(ServeRateLimit, StaleTimestampsDoNotRefillBackwards) {
+  serve::TokenBucket bucket(1.0, 1.0, 1'000'000'000);
+  EXPECT_TRUE(bucket.consume(1'000'000'000));
+  // A clock that jumps backwards must not mint tokens.
+  EXPECT_FALSE(bucket.consume(0));
+  EXPECT_FALSE(bucket.consume(500'000'000));
+}
+
+TEST(ServeRateLimit, LimiterKeysBucketsByClient) {
+  serve::RateLimiter limiter({.rate_per_s = 1.0, .burst = 1.0});
+  EXPECT_TRUE(limiter.check("alice", 0).allowed);
+  EXPECT_TRUE(limiter.check("bob", 0).allowed);  // own bucket
+  const auto denied = limiter.check("alice", 0);
+  EXPECT_FALSE(denied.allowed);
+  EXPECT_GT(denied.retry_after_ns, 0u);
+  // After the advertised back-off, alice is admitted again.
+  EXPECT_TRUE(limiter.check("alice", denied.retry_after_ns).allowed);
+}
+
+TEST(ServeRateLimit, DisabledLimiterAdmitsEverything) {
+  serve::RateLimiter limiter({.rate_per_s = 0.0});
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.check("anyone", 0).allowed);
+  }
+}
+
+// ---- cache -------------------------------------------------------------------
+
+TEST(ServeCache, SingleFlightComputesOnceUnderContention) {
+  serve::ResultCache cache({.shards = 4, .capacity_per_shard = 16});
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<std::string> values(8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    threads.emplace_back([&cache, &computes, &values, i] {
+      values[i] = cache
+                      .get_or_compute("key",
+                                      [&computes] {
+                                        ++computes;
+                                        std::this_thread::sleep_for(
+                                            std::chrono::milliseconds(20));
+                                        return std::string("value");
+                                      })
+                      .value;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& v : values) EXPECT_EQ(v, "value");
+}
+
+TEST(ServeCache, FailedComputeIsNotCachedAndWaitersRetry) {
+  serve::ResultCache cache({.shards = 1, .capacity_per_shard = 4});
+  EXPECT_THROW(cache.get_or_compute(
+                   "key", []() -> std::string { throw PreconditionError("boom"); }),
+               PreconditionError);
+  const auto outcome =
+      cache.get_or_compute("key", [] { return std::string("ok"); });
+  EXPECT_FALSE(outcome.hit);
+  EXPECT_EQ(outcome.value, "ok");
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  serve::ResultCache cache({.shards = 1, .capacity_per_shard = 2});
+  const auto fill = [&](const std::string& key) {
+    return cache.get_or_compute(key, [&key] { return "v:" + key; });
+  };
+  fill("a");
+  fill("b");
+  EXPECT_TRUE(fill("a").hit);   // refresh a: b is now the LRU entry
+  fill("c");                    // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(fill("a").hit);
+  EXPECT_FALSE(fill("b").hit);  // recomputed
+}
+
+// ---- batcher -----------------------------------------------------------------
+
+TEST(ServeBatcher, RunsEveryJobAndPropagatesExceptions) {
+  const exec::Executor executor(2);
+  serve::Batcher batcher(executor, /*max_group=*/4);
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(
+        batcher.submit([i] { return std::to_string(i * i); }));
+  }
+  auto boom = batcher.submit(
+      []() -> std::string { throw PreconditionError("job failed"); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+              std::to_string(i * i));
+  }
+  EXPECT_THROW(boom.get(), PreconditionError);
+  batcher.drain();
+}
+
+// ---- engine ------------------------------------------------------------------
+
+TEST(ServeEngine, CheckResponseEmbedsComputeBytesVerbatim) {
+  serve::Engine engine(small_engine_options());
+  const std::string response = engine.handle_line(kCheckLine, "test");
+
+  const auto request = parse_request_ok(kCheckLine);
+  const std::string expected = serve::Engine::compute_check(request.check);
+  EXPECT_NE(response.find("\"result\":" + expected), std::string::npos)
+      << response;
+
+  // And the embedded verdict is the library's verdict for the same query.
+  analysis::TtpParams params;
+  params.ring = net::fddi_ring(2);
+  params.frame = params.async_frame = net::paper_frame_format();
+  const auto verdict =
+      analysis::ttp_schedulable(request.check.set, params, mbps(100));
+  const auto doc = parse_ok(response);
+  EXPECT_EQ(doc.find("result")->find("schedulable")->as_bool(),
+            verdict.schedulable);
+  EXPECT_EQ(response_status(doc), 200);
+  EXPECT_EQ(doc.find("id")->number_token(), "7");
+}
+
+TEST(ServeEngine, GoldenRoundTripPerRequestType) {
+  serve::Engine engine(small_engine_options());
+  const std::string faultcheck_line =
+      "{\"type\":\"faultcheck\",\"id\":1,\"protocol\":\"modified8025\","
+      "\"bandwidth_mbps\":16,\"noise_ms\":2,\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":10000}]}";
+  const std::string advise_line =
+      "{\"type\":\"advise\",\"id\":2,\"stations\":10,\"sets\":4,"
+      "\"bandwidths_mbps\":[16],\"seed\":3}";
+
+  const auto fc_request = parse_request_ok(faultcheck_line);
+  EXPECT_NE(engine.handle_line(faultcheck_line, "test")
+                .find("\"result\":" +
+                      serve::Engine::compute_faultcheck(fc_request.check)),
+            std::string::npos);
+
+  const auto advise_request = parse_request_ok(advise_line);
+  EXPECT_NE(engine.handle_line(advise_line, "test")
+                .find("\"result\":" +
+                      serve::Engine::compute_advise(advise_request.advise)),
+            std::string::npos);
+
+  const auto ping = parse_ok(engine.handle_line("{\"type\":\"ping\"}", "t"));
+  EXPECT_EQ(ping.find("result")->find("message")->as_string(), "pong");
+
+  const auto stats = parse_ok(engine.handle_line("{\"type\":\"stats\"}", "t"));
+  EXPECT_EQ(response_status(stats), 200);
+  EXPECT_NE(stats.find("result")->find("counters"), nullptr);
+  EXPECT_NE(stats.find("result")->find("latency_us"), nullptr);
+}
+
+TEST(ServeEngine, CacheHitAnswersByteIdenticalToMiss) {
+  serve::Engine engine(small_engine_options());
+  const std::string miss = engine.handle_line(kCheckLine, "test");
+  const std::string hit = engine.handle_line(kCheckLine, "test");
+  EXPECT_NE(miss, hit);  // the cached marker flips...
+  std::string expected = miss;
+  const std::string from = "\"cached\":false";
+  const auto at = expected.find(from);
+  ASSERT_NE(at, std::string::npos);
+  expected.replace(at, from.size(), "\"cached\":true");
+  EXPECT_EQ(hit, expected);  // ...and nothing else changes
+
+  // A respelled-but-equal query is also a hit.
+  const auto respelled = engine.handle_line(
+      "{\"bandwidth_mbps\":1e2,\"protocol\":\"fddi\",\"streams\":["
+      "{\"payload_bits\":1.0e4,\"period_ms\":50,\"station\":0},"
+      "{\"station\":1,\"period_ms\":100,\"payload_bits\":20000}],"
+      "\"type\":\"check\",\"id\":7}",
+      "test");
+  EXPECT_EQ(respelled, hit);
+}
+
+TEST(ServeEngine, MalformedJsonGetsOffsetPointedRejection) {
+  serve::Engine engine(small_engine_options());
+  const auto doc = parse_ok(engine.handle_line("{\"type\": }", "test"));
+  EXPECT_EQ(response_status(doc), 400);
+  EXPECT_EQ(doc.find("offset")->as_uint64(), 9u);  // the '}' after the colon
+  EXPECT_FALSE(doc.find("error")->as_string().empty());
+}
+
+TEST(ServeEngine, OversizedRequestGets413) {
+  auto options = small_engine_options();
+  options.max_request_bytes = 64;
+  serve::Engine engine(options);
+  const std::string big(100, 'x');
+  const auto doc = parse_ok(engine.handle_line(big, "test"));
+  EXPECT_EQ(response_status(doc), 413);
+}
+
+TEST(ServeEngine, RateLimitsPerClientWithRetryHint) {
+  auto options = small_engine_options();
+  options.limit.rate_per_s = 2.0;
+  options.limit.burst = 2.0;
+  std::uint64_t now = 0;
+  serve::Engine engine(options, [&now] { return now; });
+
+  const auto send = [&](const std::string& client) {
+    const std::string line =
+        "{\"type\":\"check\",\"client\":\"" + client + "\",\"streams\":["
+        "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+    return parse_ok(engine.handle_line(line, "fallback"));
+  };
+
+  EXPECT_EQ(response_status(send("a")), 200);
+  EXPECT_EQ(response_status(send("a")), 200);
+  const auto denied = send("a");
+  EXPECT_EQ(response_status(denied), 429);
+  EXPECT_GT(denied.find("retry_after_ms")->as_double(), 0.0);
+  // Another client has its own bucket; ping bypasses the limiter.
+  EXPECT_EQ(response_status(send("b")), 200);
+  EXPECT_EQ(response_status(
+                parse_ok(engine.handle_line("{\"type\":\"ping\"}", "a"))),
+            200);
+  // Half a second mints one token at 2/s.
+  now += 500'000'000;
+  EXPECT_EQ(response_status(send("a")), 200);
+  EXPECT_EQ(response_status(send("a")), 429);
+}
+
+// ---- server ------------------------------------------------------------------
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::vector<std::string> read_lines(int fd, std::size_t expected) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  char chunk[4096];
+  while (lines.size() < expected) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      lines.push_back(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  return lines;
+}
+
+TEST(ServeServer, PipelinedRequestsAnswerInOrderAndDrainOnStop) {
+  serve::Server::Options options;
+  options.engine.jobs = 2;
+  serve::Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // First a lone ping, so the connection is known to be accepted and
+  // served before the stop races the backlog.
+  const std::string hello = "{\"type\":\"ping\",\"id\":\"hello\"}\n";
+  ASSERT_EQ(::send(fd, hello.data(), hello.size(), 0),
+            static_cast<ssize_t>(hello.size()));
+  ASSERT_EQ(read_lines(fd, 1).size(), 1u);
+
+  // One pipelined burst: pings, a compute query, and a malformed line.
+  std::string burst;
+  for (int i = 0; i < 5; ++i) {
+    burst += "{\"type\":\"ping\",\"id\":" + std::to_string(i) + "}\n";
+  }
+  burst += std::string(kCheckLine) + "\n";
+  burst += "{oops\n";
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+
+  // Stop while the burst is in flight: the drain must still answer every
+  // line already received before the connection closes.
+  server.request_stop();
+  const auto lines = read_lines(fd, 7);
+  server.wait();
+  ::close(fd);
+
+  ASSERT_EQ(lines.size(), 7u);
+  for (int i = 0; i < 5; ++i) {
+    const auto doc = parse_ok(lines[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(doc.find("id")->number_token(), std::to_string(i));
+    EXPECT_EQ(response_status(doc), 200);
+  }
+  EXPECT_EQ(response_status(parse_ok(lines[5])), 200);
+  EXPECT_EQ(response_status(parse_ok(lines[6])), 400);
+}
+
+TEST(ServeServer, EveryResponseLineIsValidJson) {
+  serve::Server::Options options;
+  options.engine.jobs = 2;
+  serve::Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  const std::string lines_out =
+      std::string(kCheckLine) + "\n" +
+      "{\"type\":\"stats\"}\n" +
+      "not json at all\n" +
+      "{\"type\":\"check\"}\n";
+  ASSERT_EQ(::send(fd, lines_out.data(), lines_out.size(), 0),
+            static_cast<ssize_t>(lines_out.size()));
+  const auto lines = read_lines(fd, 4);
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(obs::is_valid_json(line)) << line;
+    const auto doc = parse_ok(line);
+    EXPECT_EQ(doc.find("schema")->as_string(), "tokenring.serve/1");
+  }
+  ::close(fd);
+  server.request_stop();
+  server.wait();
+}
+
+}  // namespace

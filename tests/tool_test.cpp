@@ -206,6 +206,36 @@ TEST_F(ToolTest, HelpForOneCommandShowsItsFlags) {
   EXPECT_NE(r.output.find("--format"), std::string::npos);
 }
 
+TEST_F(ToolTest, HelpListsServeCommand) {
+  const auto r = run_tool("help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("serve"), std::string::npos);
+  const auto detail = run_tool("help serve");
+  EXPECT_EQ(detail.exit_code, 0);
+  EXPECT_NE(detail.output.find("--port"), std::string::npos);
+  EXPECT_NE(detail.output.find("--rate"), std::string::npos);
+}
+
+TEST_F(ToolTest, SubcommandHelpFlagExitsZero) {
+  // --help is a successful outcome for every subcommand, distinct from a
+  // flag error; scripts rely on the exit code to tell them apart.
+  const auto r = run_tool("check --help");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("--protocol"), std::string::npos);
+}
+
+TEST_F(ToolTest, UnknownFlagExitsOneAndPointsAtHelp) {
+  const auto r = run_tool("check --file=" + light_ + " --bogus=1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("help check"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolTest, MissingFlagValueExitsOneAndPointsAtHelp) {
+  const auto r = run_tool("advise --stations");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("help advise"), std::string::npos) << r.output;
+}
+
 TEST_F(ToolTest, JsonFormatEmitsManifestOnStdout) {
   const auto r = run_tool("check --file=" + light_ +
                           " --protocol=fddi --format=json");

@@ -20,6 +20,7 @@
 // faultcheck, plan, simulate), 1 = usage or input error.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -41,6 +42,7 @@
 #include "tokenring/obs/report.hpp"
 #include "tokenring/obs/trace_sinks.hpp"
 #include "tokenring/planner/advisor.hpp"
+#include "tokenring/serve/server.hpp"
 #include "tokenring/sim/pdp_sim.hpp"
 #include "tokenring/sim/ttp_sim.hpp"
 #include "tokenring/sim/workload.hpp"
@@ -448,6 +450,74 @@ int cmd_generate(const CliFlags& flags, obs::RunReport& report) {
   return 0;
 }
 
+// ---- serve ---------------------------------------------------------------------
+
+void flags_serve(CliFlags& flags) {
+  flags.declare("host", "127.0.0.1", "listen address");
+  flags.declare("port", "0", "listen port (0 = ephemeral, announced on stderr)");
+  flags.declare("rate", "0", "per-client requests/s (0 = unlimited)");
+  flags.declare("burst", "0", "rate-limit burst (0 = one second at --rate)");
+  flags.declare("cache-shards", "16", "result cache shards");
+  flags.declare("cache-capacity", "1024", "cached results per shard");
+  flags.declare("max-request-bytes", "1048576",
+                "reject longer request lines with a 413");
+  flags.declare("batch-group", "0",
+                "max compute jobs per batch group (0 = pool width)");
+  declare_jobs_flag(flags);
+}
+
+serve::Server* g_serve_instance = nullptr;
+
+void serve_stop_handler(int) {
+  // request_stop is one write() on a pipe: async-signal-safe.
+  if (g_serve_instance != nullptr) g_serve_instance->request_stop();
+}
+
+int cmd_serve(const CliFlags& flags, obs::RunReport& report) {
+  serve::Server::Options opt;
+  opt.host = flags.get_string("host");
+  opt.port = static_cast<int>(flags.get_int("port"));
+  opt.engine.jobs = get_jobs(flags);
+  opt.engine.max_group =
+      static_cast<std::size_t>(flags.get_int("batch-group"));
+  opt.engine.max_request_bytes =
+      static_cast<std::size_t>(flags.get_int("max-request-bytes"));
+  opt.engine.cache.shards =
+      static_cast<std::size_t>(flags.get_int("cache-shards"));
+  opt.engine.cache.capacity_per_shard =
+      static_cast<std::size_t>(flags.get_int("cache-capacity"));
+  opt.engine.limit.rate_per_s = flags.get_double("rate");
+  opt.engine.limit.burst = flags.get_double("burst");
+
+  serve::Server server(opt);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  g_serve_instance = &server;
+  struct sigaction sa = {};
+  sa.sa_handler = serve_stop_handler;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Announced on stderr so --format=json keeps stdout for the manifest;
+  // scripts scrape this line for the ephemeral port.
+  std::fprintf(stderr, "%s listening on %s:%d\n", serve::kServeSchema,
+               opt.host.c_str(), server.port());
+  server.wait();
+  g_serve_instance = nullptr;
+
+  const auto metrics = obs::Registry::global().snapshot();
+  const auto requests = metrics.counters.find("serve.requests");
+  report.note("drained after %llu requests\n",
+              requests == metrics.counters.end()
+                  ? 0ULL
+                  : static_cast<unsigned long long>(requests->second));
+  return 0;
+}
+
 // ---- registry ------------------------------------------------------------------
 
 struct Command {
@@ -470,6 +540,8 @@ constexpr Command kCommands[] = {
      cmd_advise},
     {"generate", "draw a random scenario at a target utilization",
      flags_generate, cmd_generate},
+    {"serve", "TCP daemon answering check/faultcheck/advise queries",
+     flags_serve, cmd_serve},
 };
 
 const Command* find_command(const std::string& name) {
@@ -526,7 +598,16 @@ int main(int argc, char** argv) {
   obs::declare_report_flags(flags);
   // Shift argv so the command's CliFlags sees its own flags.
   argv[1] = argv[0];
-  if (!flags.parse(argc - 1, argv + 1)) return 1;
+  switch (flags.parse_detailed(argc - 1, argv + 1)) {
+    case CliFlags::ParseOutcome::kHelp:
+      return 0;  // explicit --help is not an error
+    case CliFlags::ParseOutcome::kError:
+      std::fprintf(stderr, "run `tokenring_tool help %s` for its flags\n",
+                   c->name);
+      return 1;
+    case CliFlags::ParseOutcome::kOk:
+      break;
+  }
 
   obs::RunReport report(std::string("tokenring_tool ") + c->name);
   if (!report.init(flags)) return 1;
