@@ -15,9 +15,14 @@
 //   BM_ServeAdviseThroughput  aggregate wall ns per completed query
 //   BM_ServeAdviseLatencyP50  median client-observed latency [ns]
 //   BM_ServeAdviseLatencyP99  tail latency [ns]
+//   BM_ServeAdviseLatencyP999 far-tail latency [ns]
+//   BM_ServeOverload          ns per structured refusal on a saturated
+//                             server (the 503 shed fast path: parse,
+//                             watermark check, envelope — no compute)
 // --min-qps turns the throughput target into a hard failure (CI smoke
 // runs use a modest floor; the tentpole claim is >= 100k queries/s on a
-// development machine).
+// development machine). --deadline-ms attaches a per-request deadline to
+// every hot-set query; shed/timeout totals are reported either way.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -30,16 +35,20 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "tokenring/common/cli.hpp"
+#include "tokenring/common/rng.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/obs/registry.hpp"
 #include "tokenring/obs/report.hpp"
+#include "tokenring/serve/backoff.hpp"
 #include "tokenring/serve/server.hpp"
 
 namespace {
@@ -54,12 +63,27 @@ std::uint64_t now_ns() {
 }
 
 /// One advise request line from the hot set; `slot` varies the seed so the
-/// hot set holds distinct cache entries, not one.
-std::string advise_line(int slot, int sets) {
-  return "{\"type\":\"advise\",\"id\":" + std::to_string(slot) +
-         ",\"stations\":20,\"mean_period_ms\":100,\"period_ratio\":10,"
-         "\"bandwidths_mbps\":[16,100],\"sets\":" + std::to_string(sets) +
-         ",\"seed\":" + std::to_string(slot + 1) + "}";
+/// hot set holds distinct cache entries, not one. `deadline_ms` > 0
+/// attaches a per-request deadline (expired ones come back as 504s).
+std::string advise_line(int slot, int sets, double deadline_ms) {
+  std::string line =
+      "{\"type\":\"advise\",\"id\":" + std::to_string(slot) +
+      ",\"stations\":20,\"mean_period_ms\":100,\"period_ratio\":10,"
+      "\"bandwidths_mbps\":[16,100],\"sets\":" + std::to_string(sets) +
+      ",\"seed\":" + std::to_string(slot + 1);
+  if (deadline_ms > 0.0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  return line + "}";
+}
+
+/// A cold check query per slot for the overload phase: every one is a
+/// distinct cache miss, so a zero-high-water server sheds it.
+std::string cold_check_line(int slot) {
+  return "{\"type\":\"check\",\"id\":" + std::to_string(slot) +
+         ",\"protocol\":\"fddi\",\"bandwidth_mbps\":100,\"streams\":["
+         "{\"station\":0,\"period_ms\":" + std::to_string(50 + slot) +
+         ",\"payload_bits\":10000}]}";
 }
 
 int connect_loopback(int port) {
@@ -97,7 +121,45 @@ struct ClientResult {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   bool ok = false;
+  /// Client-observed response statuses (200 / 429 / 503 / 504 / other).
+  std::uint64_t served = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timed_out = 0;
 };
+
+/// Pull the "status" code out of one response line without a full JSON
+/// parse (the envelope always spells it "status":NNN).
+int response_status(std::string_view line) {
+  const auto at = line.find("\"status\":");
+  if (at == std::string_view::npos) return -1;
+  int status = 0;
+  for (std::size_t i = at + 9; i < line.size() && line[i] >= '0' &&
+                               line[i] <= '9';
+       ++i) {
+    status = status * 10 + (line[i] - '0');
+  }
+  return status;
+}
+
+void tally_status(ClientResult& out, std::string_view line) {
+  switch (response_status(line)) {
+    case 200:
+      ++out.served;
+      break;
+    case 429:
+      ++out.rate_limited;
+      break;
+    case 503:
+      ++out.shed;
+      break;
+    case 504:
+      ++out.timed_out;
+      break;
+    default:
+      break;
+  }
+}
 
 /// Closed loop with a fixed pipeline depth: prime `depth` requests, then
 /// send one more for every response line read.
@@ -139,6 +201,7 @@ void run_client(int port, const std::vector<std::string>& lines,
     for (;;) {
       const std::size_t nl = buffer.find('\n', start);
       if (nl == std::string::npos) break;
+      tally_status(out, std::string_view(buffer).substr(start, nl - start));
       start = nl + 1;
       out.latencies_ns.push_back(now_ns() - sent_at[received]);
       ++received;
@@ -149,6 +212,59 @@ void run_client(int port, const std::vector<std::string>& lines,
   out.end_ns = now_ns();
   ::close(fd);
   out.ok = received == requests;
+}
+
+/// The retry_after_ms hint from a 429/503 envelope, in nanoseconds.
+std::uint64_t parse_retry_after_ns(const std::string& line) {
+  const auto at = line.find("\"retry_after_ms\":");
+  if (at == std::string::npos) return 0;
+  const double ms = std::strtod(line.c_str() + at + 17, nullptr);
+  return ms > 0.0 ? static_cast<std::uint64_t>(ms * 1e6) : 0;
+}
+
+/// Warm the cache one request at a time, retrying structured refusals
+/// (429 rate-limited, 503 shed) with the shared backoff policy — the same
+/// hint-plus-full-jitter discipline scripts/serve_client.py implements.
+bool warm_with_retries(int port, const std::vector<std::string>& lines) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return false;
+  Rng rng(0x5eedu);
+  const serve::BackoffPolicy policy;
+  std::string buffer;
+  char chunk[4096];
+  for (const std::string& line : lines) {
+    for (int attempt = 0;; ++attempt) {
+      std::string wire = line;
+      wire.push_back('\n');
+      if (!send_all(fd, wire.data(), wire.size())) {
+        ::close(fd);
+        return false;
+      }
+      std::size_t nl;
+      while ((nl = buffer.find('\n')) == std::string::npos) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          ::close(fd);
+          return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+      const std::string response = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      const int status = response_status(response);
+      if (status != 429 && status != 503) break;
+      if (attempt >= 10) {
+        ::close(fd);
+        return false;
+      }
+      const std::uint64_t delay = serve::retry_delay_ns(
+          policy, attempt, parse_retry_after_ns(response), rng);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
+  ::close(fd);
+  return true;
 }
 
 std::uint64_t percentile(std::vector<std::uint64_t>& v, double q) {
@@ -171,6 +287,8 @@ int main(int argc, char** argv) {
   flags.declare("sets", "8", "Monte Carlo sets per advise query");
   flags.declare("min-qps", "0",
                 "fail unless aggregate throughput reaches this [queries/s]");
+  flags.declare("deadline-ms", "0",
+                "attach this deadline to every hot-set query [ms]; 0 = none");
   obs::RunReport report("serve_load");
   if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
                                    {.batch = false})) {
@@ -193,22 +311,26 @@ int main(int argc, char** argv) {
   const auto hot_set = std::max<std::size_t>(
       1, static_cast<std::size_t>(flags.get_int("hot-set")));
   const int sets = static_cast<int>(flags.get_int("sets"));
+  const double deadline_ms = flags.get_double("deadline-ms");
 
+  // Deadlines are not part of the cache identity, so warming without one
+  // still turns the measured phase into cache hits even when --deadline-ms
+  // marks every measured query.
+  std::vector<std::string> warm_lines;
   std::vector<std::string> lines;
+  warm_lines.reserve(hot_set);
   lines.reserve(hot_set);
   for (std::size_t i = 0; i < hot_set; ++i) {
-    lines.push_back(advise_line(static_cast<int>(i), sets));
+    warm_lines.push_back(advise_line(static_cast<int>(i), sets, 0.0));
+    lines.push_back(advise_line(static_cast<int>(i), sets, deadline_ms));
   }
 
   // Warm every hot-set entry through one connection so the measured phase
-  // is all cache hits (the recurring-query steady state).
-  {
-    ClientResult warm;
-    run_client(server.port(), lines, lines.size(), 1, warm);
-    if (!warm.ok) {
-      std::fprintf(stderr, "warmup failed\n");
-      return 1;
-    }
+  // is all cache hits (the recurring-query steady state). Refusals are
+  // retried with the shared backoff policy rather than failing the run.
+  if (!warm_with_retries(server.port(), warm_lines)) {
+    std::fprintf(stderr, "warmup failed\n");
+    return 1;
   }
 
   std::vector<ClientResult> results(clients);
@@ -224,6 +346,10 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> latencies;
   std::uint64_t first_start = UINT64_MAX;
   std::uint64_t last_end = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timed_out = 0;
   bool all_ok = true;
   for (const ClientResult& r : results) {
     all_ok = all_ok && r.ok;
@@ -231,6 +357,10 @@ int main(int argc, char** argv) {
                      r.latencies_ns.end());
     first_start = std::min(first_start, r.start_ns);
     last_end = std::max(last_end, r.end_ns);
+    served += r.served;
+    rate_limited += r.rate_limited;
+    shed += r.shed;
+    timed_out += r.timed_out;
   }
   if (!all_ok || latencies.empty()) {
     std::fprintf(stderr, "load run failed: a client lost its connection\n");
@@ -244,6 +374,7 @@ int main(int argc, char** argv) {
   const std::uint64_t p50 = percentile(latencies, 0.50);
   const std::uint64_t p90 = percentile(latencies, 0.90);
   const std::uint64_t p99 = percentile(latencies, 0.99);
+  const std::uint64_t p999 = percentile(latencies, 0.999);
 
   server.request_stop();
   server.wait();
@@ -255,24 +386,81 @@ int main(int argc, char** argv) {
   };
 
   report.note(
-      "%zu clients x %zu requests (pipeline %zu, hot set %zu): "
-      "%.0f queries/s, p50 %.1f us, p99 %.1f us\n",
-      clients, requests, depth, hot_set, qps,
-      static_cast<double>(p50) * 1e-3, static_cast<double>(p99) * 1e-3);
+      "%zu clients x %zu requests (pipeline %zu, hot set %zu, deadline %.3g "
+      "ms): %.0f queries/s, p50 %.1f us, p99 %.1f us, p99.9 %.1f us\n",
+      clients, requests, depth, hot_set, deadline_ms, qps,
+      static_cast<double>(p50) * 1e-3, static_cast<double>(p99) * 1e-3,
+      static_cast<double>(p999) * 1e-3);
   report.note("cache hits %llu / misses %llu, batch groups %llu\n",
               static_cast<unsigned long long>(counter("serve.cache.hits")),
               static_cast<unsigned long long>(counter("serve.cache.misses")),
               static_cast<unsigned long long>(counter("serve.batch.groups")));
+  report.note(
+      "statuses: %llu served, %llu rate-limited (429), %llu shed (503), "
+      "%llu past-deadline (504); server counters: shed %llu, "
+      "deadline_expired %llu\n",
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(rate_limited),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(timed_out),
+      static_cast<unsigned long long>(counter("serve.shed")),
+      static_cast<unsigned long long>(counter("serve.deadline_expired")));
+
+  // Overload phase: a fresh server with high_water = 0 sheds every cold
+  // miss, so driving it with distinct check queries measures the refusal
+  // fast path end to end (frame, parse, watermark check, 503 envelope —
+  // no compute). This is the latency floor a client sees under shed.
+  const std::size_t overload_requests =
+      std::max<std::size_t>(1, std::min<std::size_t>(requests, 20000));
+  double overload_ns = 0.0;
+  {
+    serve::Server::Options oopt;
+    oopt.engine.jobs = get_jobs(flags);
+    oopt.engine.high_water = 0;
+    serve::Server overload_server(oopt);
+    if (!overload_server.start(error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::vector<std::string> cold;
+    cold.reserve(hot_set);
+    for (std::size_t i = 0; i < hot_set; ++i) {
+      cold.push_back(cold_check_line(static_cast<int>(i)));
+    }
+    ClientResult refusals;
+    run_client(overload_server.port(), cold, overload_requests, depth,
+               refusals);
+    overload_server.request_stop();
+    overload_server.wait();
+    if (!refusals.ok) {
+      std::fprintf(stderr, "overload phase failed: connection lost\n");
+      return 1;
+    }
+    overload_ns = static_cast<double>(refusals.end_ns - refusals.start_ns) /
+                  static_cast<double>(overload_requests);
+    report.note(
+        "overload phase (high-water 0): %zu cold queries, %llu shed (503), "
+        "%.0f refusals/s\n",
+        overload_requests, static_cast<unsigned long long>(refusals.shed),
+        1e9 / overload_ns);
+  }
 
   Table table({"name", "iterations", "real_time", "cpu_time", "time_unit"});
-  const auto add_row = [&](const std::string& name, double ns) {
-    table.add_row({name, fmt(static_cast<long long>(latencies.size())),
-                   fmt(ns, 1), fmt(ns, 1), "ns"});
+  const auto add_row = [&](const std::string& name, double ns,
+                           std::size_t iterations) {
+    table.add_row({name, fmt(static_cast<long long>(iterations)), fmt(ns, 1),
+                   fmt(ns, 1), "ns"});
   };
-  add_row("BM_ServeAdviseThroughput", ns_per_query);
-  add_row("BM_ServeAdviseLatencyP50", static_cast<double>(p50));
-  add_row("BM_ServeAdviseLatencyP90", static_cast<double>(p90));
-  add_row("BM_ServeAdviseLatencyP99", static_cast<double>(p99));
+  add_row("BM_ServeAdviseThroughput", ns_per_query, latencies.size());
+  add_row("BM_ServeAdviseLatencyP50", static_cast<double>(p50),
+          latencies.size());
+  add_row("BM_ServeAdviseLatencyP90", static_cast<double>(p90),
+          latencies.size());
+  add_row("BM_ServeAdviseLatencyP99", static_cast<double>(p99),
+          latencies.size());
+  add_row("BM_ServeAdviseLatencyP999", static_cast<double>(p999),
+          latencies.size());
+  add_row("BM_ServeOverload", overload_ns, overload_requests);
   report.record_table("benchmarks", table);
   if (report.verbose()) table.print(std::cout);
   if (report.format() == obs::OutputFormat::kCsv) table.print_csv(std::cout);

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Chaos harness for `tokenring_tool serve`: hostile clients, one server.
+
+Boots the daemon and subjects it to the abuse the transport layer is
+hardened against -- slow-loris dribble, torn frames aborted mid-line,
+oversized bodies, garbage floods on many connections, and a SIGTERM with
+requests still in flight. The contract under all of it:
+
+  * the server never crashes or wedges (every scenario re-proves
+    liveness with a fresh well-formed request),
+  * oversized lines get exactly one 413 and a deterministic hang-up,
+  * well-formed requests that survive the chaos within their deadline
+    come back with verdicts bit-identical to the pre-chaos baseline,
+  * SIGTERM still drains: pipelined requests answered, exit code 0.
+
+Usage:
+  serve_chaos.py [path/to/tokenring_tool]   # default ./build/tools/tokenring_tool
+
+Exit code 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import json
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from serve_client import ServeClient  # noqa: E402
+
+CHECK_QUERY = {
+    "type": "check",
+    "id": "chaos-probe",
+    "protocol": "fddi",
+    "bandwidth_mbps": 100,
+    "streams": [
+        {"station": 1, "period_ms": 10, "payload_bits": 64000},
+        {"station": 2, "period_ms": 20, "payload_bits": 128000},
+    ],
+}
+
+failures = []
+
+
+def expect(cond, what):
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {what}")
+    if not cond:
+        failures.append(what)
+
+
+class ServeProcess:
+    """tokenring_tool serve wrapper: boots, scrapes the port, tears down."""
+
+    def __init__(self, tool, extra_flags=()):
+        self.proc = subprocess.Popen(
+            [tool, "serve", "--port=0", *extra_flags],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = self.proc.stderr.readline().strip()
+        if "listening on" not in line:
+            self.proc.kill()
+            sys.exit(f"error: unexpected serve banner: {line!r}")
+        self.port = int(line.rsplit(":", 1)[1])
+
+    def alive(self):
+        return self.proc.poll() is None
+
+    def terminate(self):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            code = self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return None
+        finally:
+            self.proc.stderr.close()
+        return code
+
+
+def raw_connection(port):
+    return socket.create_connection(("127.0.0.1", port), timeout=10)
+
+
+def probe_result(port):
+    """The verdict payload for the canonical check query, normalized."""
+    client = ServeClient(port)
+    doc = client.request(CHECK_QUERY, deadline_ms=10000)
+    client.close()
+    if doc.get("status") != 200:
+        return None
+    return json.dumps(doc["result"], sort_keys=True)
+
+
+def scenario_slow_loris(server):
+    """Dribbling connections that go silent must be reaped, not leaked."""
+    victims = []
+    for _ in range(8):
+        sock = raw_connection(server.port)
+        sock.sendall(b'{"type":"pi')  # partial frame, then silence
+        victims.append(sock)
+    # --idle-timeout-ms=300: within a couple of seconds every victim must
+    # see the server hang up (recv returns b"").
+    reaped = 0
+    deadline = time.monotonic() + 5.0
+    for sock in victims:
+        sock.settimeout(max(0.1, deadline - time.monotonic()))
+        try:
+            if sock.recv(64) == b"":
+                reaped += 1
+        except socket.timeout:
+            pass
+        sock.close()
+    expect(reaped == len(victims),
+           f"slow-loris: all {len(victims)} idle dribblers reaped "
+           f"({reaped} closed)")
+
+
+def scenario_torn_frames(server):
+    """Mid-line RSTs (SO_LINGER 0) must not take the server down."""
+    for i in range(16):
+        sock = raw_connection(server.port)
+        payload = json.dumps({**CHECK_QUERY, "id": i}).encode()
+        sock.sendall(payload[: 1 + i * 3])  # cut inside the frame
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+        sock.close()  # RST, not FIN
+    expect(server.alive(), "torn frames: server survives 16 mid-line resets")
+
+
+def scenario_oversized(server):
+    """Over-cap lines: one 413, then a deterministic hang-up. Twice --
+    once as a complete line, once as an unbounded dribble with no
+    newline (the case a byte-counting server must cut off itself)."""
+    for label, payload in [
+        ("complete line", json.dumps({**CHECK_QUERY, "id": "y" * 2048})
+         .encode() + b"\n"),
+        ("unterminated dribble", b"x" * 4096),
+    ]:
+        sock = raw_connection(server.port)
+        reader = sock.makefile("rb")
+        sock.sendall(payload)
+        doc = json.loads(reader.readline())
+        expect(doc["status"] == 413, f"oversized {label} -> 413")
+        expect(reader.readline() == b"",
+               f"oversized {label}: connection closed after the 413")
+        reader.close()
+        sock.close()
+
+
+def scenario_flood(server):
+    """Garbage and well-formed lines interleaved over many connections:
+    every line gets an answer, every answer is valid JSON."""
+    lines = []
+    for i in range(32):
+        if i % 3 == 0:
+            lines.append(b'{"type": ' + str(i).encode())  # malformed
+        elif i % 3 == 1:
+            lines.append(b'\x00\xff garbage \xfe')  # not JSON at all
+        else:
+            lines.append(json.dumps({"type": "ping", "id": i}).encode())
+    socks = []
+    for _ in range(8):
+        sock = raw_connection(server.port)
+        sock.sendall(b"\n".join(lines) + b"\n")
+        socks.append(sock)
+    answered = 0
+    pongs = 0
+    for sock in socks:
+        reader = sock.makefile("rb")
+        for _ in lines:
+            doc = json.loads(reader.readline())
+            answered += 1
+            if doc["status"] == 200:
+                pongs += 1
+        reader.close()
+        sock.close()
+    valid = sum(1 for i in range(len(lines)) if i % 3 == 2)
+    expect(answered == len(socks) * len(lines),
+           f"flood: all {len(socks) * len(lines)} lines answered")
+    expect(pongs == len(socks) * valid,
+           "flood: every well-formed ping in the mix got its 200")
+
+
+def scenario_deadlines(server):
+    """An already-expired deadline is refused as a 504 with elapsed_ms;
+    a generous one still computes."""
+    client = ServeClient(server.port)
+    doc = client.request(CHECK_QUERY, deadline_ms=0.0001)
+    expect(doc["status"] == 504 and doc.get("elapsed_ms", 0) > 0,
+           "expired deadline -> 504 with elapsed_ms")
+    doc = client.request(CHECK_QUERY, deadline_ms=10000)
+    expect(doc["status"] == 200, "generous deadline -> 200")
+    client.close()
+
+
+def scenario_sigterm_drain(server):
+    """SIGTERM with a pipelined burst in flight: every request already on
+    the wire is answered, then exit 0."""
+    sock = raw_connection(server.port)
+    reader = sock.makefile("rb")
+    burst = 8
+    sock.sendall(b"".join(
+        json.dumps({"type": "ping", "id": i}).encode() + b"\n"
+        for i in range(burst)))
+    code = server.terminate()
+    answered = sum(1 for _ in range(burst)
+                   if json.loads(reader.readline())["status"] == 200)
+    expect(answered == burst,
+           f"SIGTERM drain: all {burst} in-flight requests answered")
+    expect(code == 0, "SIGTERM drain: exit code 0")
+    expect(reader.readline() == b"", "SIGTERM drain: connection then closed")
+    reader.close()
+    sock.close()
+
+
+def main():
+    tool = sys.argv[1] if len(sys.argv) > 1 else "./build/tools/tokenring_tool"
+    print("== chaos: hostile clients vs one hardened server ==")
+    server = ServeProcess(tool, ["--max-request-bytes=1024",
+                                 "--idle-timeout-ms=300"])
+
+    baseline = probe_result(server.port)
+    expect(baseline is not None, "baseline verdict captured before chaos")
+
+    scenario_slow_loris(server)
+    scenario_torn_frames(server)
+    scenario_oversized(server)
+    scenario_flood(server)
+    scenario_deadlines(server)
+
+    # The payoff check: after all of the above, a well-formed in-deadline
+    # request gets a verdict bit-identical to the pre-chaos baseline.
+    expect(probe_result(server.port) == baseline,
+           "post-chaos verdict bit-identical to the baseline")
+    expect(server.alive(), "server alive after every scenario")
+
+    scenario_sigterm_drain(server)
+
+    if failures:
+        print(f"serve chaos: FAIL ({len(failures)} checks)")
+        return 1
+    print("serve chaos: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Retrying line-protocol client for the tokenring.serve/1 daemon.
+
+The Python twin of src/tokenring/serve/backoff.hpp: when the server
+answers with a structured refusal (429 rate-limited or 503 shed), a
+well-behaved client waits at least the response's retry_after_ms hint,
+plus a full-jitter exponential component -- uniform(0, min(cap,
+base * multiplier^attempt)) -- so a fleet of clients refused together
+does not return in lockstep and re-create the overload that shed them.
+
+Importable by the smoke and chaos harnesses (scripts/serve_smoke.py,
+scripts/serve_chaos.py) and runnable as a one-shot CLI for manual use:
+
+  serve_client.py PORT '{"type":"ping"}'
+
+Stdlib only.
+"""
+
+import json
+import random
+import socket
+import sys
+
+
+class Backoff:
+    """Full-jitter exponential backoff; parameters match backoff.hpp."""
+
+    def __init__(self, base_s=0.025, cap_s=2.0, multiplier=2.0, rng=None):
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.multiplier = multiplier
+        self.rng = rng or random.Random()
+
+    def delay_s(self, attempt, retry_after_s=0.0):
+        """Wait before retry number `attempt` (0-based), in seconds."""
+        ceiling = min(self.cap_s, self.base_s * self.multiplier ** attempt)
+        return retry_after_s + self.rng.uniform(0.0, ceiling)
+
+
+class RetriesExhausted(Exception):
+    """The server kept refusing (429/503) past the retry budget."""
+
+    def __init__(self, last_response):
+        super().__init__(f"retries exhausted, last status "
+                         f"{last_response.get('status')}")
+        self.last_response = last_response
+
+
+class ServeClient:
+    """One connection to a serve daemon, with refusal-aware retries.
+
+    request() returns the parsed response envelope for terminal statuses
+    (200, 400, 404, 500, 504...) and transparently retries 429/503,
+    sleeping per the shared backoff policy. A connection the server hung
+    up (e.g. after a 413) is re-established on the next request.
+    """
+
+    def __init__(self, port, host="127.0.0.1", timeout_s=10.0,
+                 max_retries=8, backoff=None, sleep=None):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff = backoff or Backoff()
+        # Injection point so tests can count sleeps instead of waiting.
+        self._sleep = sleep if sleep is not None else _real_sleep
+        self._sock = None
+        self._reader = None
+
+    def connect(self):
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s)
+            self._reader = self._sock.makefile("rb")
+        return self._sock
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._reader.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._reader = None
+
+    def ask_once(self, request):
+        """Send one request (dict or raw string), return the parsed reply.
+
+        Returns None if the server closed the connection instead of
+        answering (the caller decides whether that is an error).
+        """
+        line = request if isinstance(request, str) else json.dumps(request)
+        self.connect()
+        self._sock.sendall(line.encode() + b"\n")
+        reply = self._reader.readline()
+        if not reply:
+            self.close()
+            return None
+        return json.loads(reply)
+
+    def request(self, request, deadline_ms=None):
+        """ask_once plus the retry discipline for 429/503 refusals."""
+        if deadline_ms is not None and not isinstance(request, str):
+            request = {**request, "deadline_ms": deadline_ms}
+        doc = None
+        for attempt in range(self.max_retries + 1):
+            doc = self.ask_once(request)
+            if doc is None:
+                raise ConnectionError("server closed the connection")
+            if doc.get("status") not in (429, 503):
+                return doc
+            if attempt == self.max_retries:
+                break
+            hint_s = float(doc.get("retry_after_ms", 0)) / 1e3
+            self._sleep(self.backoff.delay_s(attempt, hint_s))
+        raise RetriesExhausted(doc)
+
+
+def _real_sleep(seconds):
+    import time
+    time.sleep(seconds)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    client = ServeClient(int(argv[1]))
+    try:
+        doc = client.request(argv[2])
+    except (RetriesExhausted, ConnectionError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, sort_keys=True))
+    return 0 if doc.get("status") == 200 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,7 +17,9 @@ import signal
 import socket
 import subprocess
 import sys
-import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from serve_client import ServeClient  # noqa: E402
 
 CHECK_QUERY = {
     "type": "check",
@@ -136,12 +138,17 @@ def main():
            "stats -> 200 reporting the cache hit")
     sock.close()
 
-    # Oversized request on its own connection (the server may hang up after
-    # answering, depending on how TCP chunked the line).
+    # Oversized request on its own connection. The framing layer answers
+    # 413 exactly once and then hangs up deterministically -- a client
+    # that pipelined more requests behind the oversized one cannot desync.
     sock, reader = server.connect()
     huge = json.dumps({**CHECK_QUERY, "id": "x" * 8192})
-    doc = ask(sock, reader, huge)
+    sock.sendall(huge.encode() + b"\n" +
+                 json.dumps({"type": "ping"}).encode() + b"\n")
+    doc = json.loads(reader.readline())
     expect(doc["status"] == 413, "oversized request -> 413")
+    expect(reader.readline() == b"",
+           "connection closed after the 413 (no desynced pipeline)")
     sock.close()
 
     # Drain: pipeline a burst of requests, then SIGTERM. Every request
@@ -169,10 +176,14 @@ def main():
            "second immediate request -> 429 with retry hint")
     doc = ask(sock, reader, {"type": "ping"})
     expect(doc["status"] == 200, "ping bypasses the limiter")
-    time.sleep(1.1)  # one refill period
-    doc = ask(sock, reader, {**CHECK_QUERY, "client": "smoke", "id": 3})
-    expect(doc["status"] == 200, "bucket refills after the retry interval")
     sock.close()
+    # The retrying client sleeps per the 429's retry_after_ms hint (plus
+    # jitter) until the bucket refills -- no hand-tuned sleep needed.
+    client = ServeClient(server.port)
+    doc = client.request({**CHECK_QUERY, "client": "smoke", "id": 3})
+    expect(doc["status"] == 200,
+           "retrying client rides out the 429 and lands a 200")
+    client.close()
     code = server.terminate()
     expect(code == 0, "rate-limited server drains cleanly too")
 

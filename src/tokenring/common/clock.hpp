@@ -1,0 +1,24 @@
+// Monotonic time as a plain nanosecond count.
+//
+// Everything in the serve/ stack that races real time — request deadlines,
+// idle/write timeouts, rate-limit refills, latency histograms — works on
+// `std::uint64_t` nanoseconds from a monotonic clock, injected as a
+// callable so tests can script time instead of sleeping. This header is
+// the one place that actually reads the clock.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tokenring {
+
+/// Nanoseconds on std::chrono::steady_clock (monotonic, never steps).
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace tokenring

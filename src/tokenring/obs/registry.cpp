@@ -7,6 +7,26 @@
 
 namespace tokenring::obs {
 
+double histogram_percentile(const MetricsSnapshot::HistogramData& h,
+                            double q) {
+  if (h.total == 0) return 0.0;
+  const double target = q * static_cast<double>(h.total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t next = cumulative + h.counts[i];
+    if (static_cast<double>(next) >= target && h.counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+      // Overflow bucket has no upper bound; report its lower edge.
+      const double hi = i < h.bounds.size() ? h.bounds[i] : lo;
+      const double into = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(h.counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative = next;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
 /// One thread's slot array. Slots are atomics so snapshot() may read them
 /// while the owning thread records; both sides use relaxed ordering (the
 /// values are independent tallies, not synchronization).

@@ -61,6 +61,13 @@ struct MetricsSnapshot {
   std::map<std::string, SpanStats> spans;
 };
 
+/// Quantile estimate from histogram buckets, linearly interpolated inside
+/// the bucket that crosses `q` (in [0, 1]). The overflow bucket has no
+/// upper edge, so samples landing there report the last bound. Shared by
+/// the serve stats endpoint and the load benchmarks so both quote the
+/// same definition of p99.
+double histogram_percentile(const MetricsSnapshot::HistogramData& h, double q);
+
 /// Process-wide metric registry. Use the handle classes below rather than
 /// calling the registry directly.
 class Registry {

@@ -1,0 +1,47 @@
+// Client-side retry pacing for the serve daemon's structured refusals.
+//
+// 429 (rate limited) and 503 (shed) responses carry a retry_after_ms
+// hint. A well-behaved client waits at least that long, and additionally
+// backs off exponentially with full jitter so a fleet of clients
+// refused together does not return in lockstep and re-create the very
+// overload that shed them (the classic thundering-herd failure). The
+// bench harness (bench/serve_load.cpp) and the Python helper
+// (scripts/serve_client.py) implement the same policy; this header is
+// the C++ side.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tokenring/common/rng.hpp"
+
+namespace tokenring::serve {
+
+struct BackoffPolicy {
+  /// First-attempt ceiling for the jittered wait.
+  std::uint64_t base_ns = 25'000'000;  // 25 ms
+  /// Ceiling the exponential growth saturates at.
+  std::uint64_t cap_ns = 2'000'000'000;  // 2 s
+  double multiplier = 2.0;
+};
+
+/// Wait before retry number `attempt` (0-based): the server's
+/// retry_after hint, plus a full-jitter exponential component —
+/// uniform(0, min(cap, base * multiplier^attempt)) — so simultaneous
+/// refusals spread out instead of stampeding back together.
+inline std::uint64_t retry_delay_ns(const BackoffPolicy& policy, int attempt,
+                                    std::uint64_t retry_after_hint_ns,
+                                    Rng& rng) {
+  double ceiling = static_cast<double>(policy.base_ns);
+  for (int i = 0; i < attempt && ceiling < static_cast<double>(policy.cap_ns);
+       ++i) {
+    ceiling *= policy.multiplier;
+  }
+  ceiling = std::min(ceiling, static_cast<double>(policy.cap_ns));
+  const auto jittered =
+      static_cast<std::uint64_t>(rng.uniform(0.0, ceiling));
+  return retry_after_hint_ns + jittered;
+}
+
+}  // namespace tokenring::serve

@@ -42,6 +42,29 @@ std::future<std::string> Batcher::submit(std::function<std::string()> job) {
   return future;
 }
 
+std::optional<std::future<std::string>> Batcher::try_submit(
+    std::function<std::string()> job) {
+  TR_EXPECTS(job != nullptr);
+  Job item;
+  item.fn = std::move(job);
+  auto future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TR_EXPECTS_MSG(!stopping_, "try_submit on a stopping Batcher");
+    if (queue_.size() >= max_queue_) return std::nullopt;
+    queue_.push_back(std::move(item));
+    static const obs::Gauge peak("serve.batch.peak_depth");
+    peak.record(queue_.size() + in_flight_);
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+std::size_t Batcher::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
 void Batcher::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

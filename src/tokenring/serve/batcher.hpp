@@ -23,6 +23,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -48,6 +49,16 @@ class Batcher {
   /// the job's return value or its exception.
   std::future<std::string> submit(std::function<std::string()> job);
 
+  /// Non-blocking admission: enqueue unless the undispatched queue is at
+  /// capacity, in which case nullopt comes back immediately (the caller
+  /// sheds with a structured 503 instead of queueing behind an overload).
+  std::optional<std::future<std::string>> try_submit(
+      std::function<std::string()> job);
+
+  /// Jobs accepted but not yet finished (queued + in flight). The
+  /// admission depth the load-shedding watermark compares against.
+  std::size_t depth() const;
+
   /// Block until every job accepted so far has completed. New submissions
   /// during the drain are still accepted (the server stops feeding the
   /// batcher before draining on shutdown).
@@ -65,7 +76,7 @@ class Batcher {
   std::size_t max_group_;
   std::size_t max_queue_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;

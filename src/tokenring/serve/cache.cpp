@@ -80,6 +80,15 @@ ResultCache::Outcome ResultCache::get_or_compute(
   return {std::move(value), false};
 }
 
+bool ResultCache::likely_present(const std::string& key) const {
+  const Shard& shard =
+      *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // An in-flight (not-ready) marker counts: the answer is already being
+  // paid for, so joining its single-flight wait adds no compute load.
+  return shard.map.find(key) != shard.map.end();
+}
+
 std::size_t ResultCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

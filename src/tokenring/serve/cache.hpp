@@ -57,6 +57,12 @@ class ResultCache {
   /// Ready entries across all shards (approximate under concurrency).
   std::size_t size() const;
 
+  /// Advisory: true when `key` is cached or being computed right now, so
+  /// answering it will not add compute load. Used by load shedding to
+  /// keep serving hits while misses are refused; takes the shard lock but
+  /// touches no LRU state or counters.
+  bool likely_present(const std::string& key) const;
+
  private:
   struct Entry {
     bool ready = false;

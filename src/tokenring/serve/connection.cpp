@@ -1,0 +1,129 @@
+#include "tokenring/serve/connection.hpp"
+
+#include <string>
+
+#include "tokenring/obs/registry.hpp"
+#include "tokenring/serve/wire.hpp"
+
+namespace tokenring::serve {
+
+const char* to_string(ConnectionEnd end) {
+  switch (end) {
+    case ConnectionEnd::kPeerClosed:
+      return "peer_closed";
+    case ConnectionEnd::kIdleTimeout:
+      return "idle_timeout";
+    case ConnectionEnd::kOversized:
+      return "oversized";
+    case ConnectionEnd::kReadError:
+      return "read_error";
+    case ConnectionEnd::kWriteError:
+      return "write_error";
+    case ConnectionEnd::kWriteTimeout:
+      return "write_timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+ConnectionEnd finish(Transport& transport, ConnectionEnd end) {
+  static const obs::Counter idle("serve.conn.idle_timeouts");
+  static const obs::Counter oversized("serve.conn.oversized");
+  static const obs::Counter read_errors("serve.conn.read_errors");
+  static const obs::Counter write_errors("serve.conn.write_errors");
+  static const obs::Counter write_timeouts("serve.conn.write_timeouts");
+  switch (end) {
+    case ConnectionEnd::kIdleTimeout:
+      idle.add();
+      break;
+    case ConnectionEnd::kOversized:
+      oversized.add();
+      break;
+    case ConnectionEnd::kReadError:
+      read_errors.add();
+      break;
+    case ConnectionEnd::kWriteError:
+      write_errors.add();
+      break;
+    case ConnectionEnd::kWriteTimeout:
+      write_timeouts.add();
+      break;
+    case ConnectionEnd::kPeerClosed:
+      break;
+  }
+  transport.shutdown_both();
+  return end;
+}
+
+}  // namespace
+
+ConnectionEnd run_connection(Transport& transport, const LineHandler& handler,
+                             const ConnectionLimits& limits,
+                             const std::string& peer) {
+  const int idle_ms = limits.idle_timeout_ms > 0 ? limits.idle_timeout_ms : -1;
+  const int write_ms =
+      limits.write_timeout_ms > 0 ? limits.write_timeout_ms : -1;
+
+  const auto write_line = [&](std::string line) -> IoStatus {
+    line.push_back('\n');
+    return transport.write_all(line.data(), line.size(), write_ms);
+  };
+  const auto answer_413 = [&] {
+    // Best effort: the peer may already be gone, and we are closing
+    // either way.
+    (void)write_line(error_response(
+        "", 413,
+        "request line exceeds " + std::to_string(limits.max_line) + " bytes"));
+  };
+
+  std::string buffer;
+  char chunk[16384];
+  for (;;) {
+    const IoResult r = transport.read_some(chunk, sizeof(chunk), idle_ms);
+    if (r.status == IoStatus::kTimeout) {
+      return finish(transport, ConnectionEnd::kIdleTimeout);
+    }
+    if (r.status == IoStatus::kError) {
+      return finish(transport, ConnectionEnd::kReadError);
+    }
+    if (r.status == IoStatus::kEof) {
+      // A trailing fragment without its newline is unanswerable (the
+      // request never completed); drop it.
+      return finish(transport, ConnectionEnd::kPeerClosed);
+    }
+    buffer.append(chunk, r.bytes);
+
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+      if (line.size() > limits.max_line) {
+        answer_413();
+        return finish(transport, ConnectionEnd::kOversized);
+      }
+      const IoStatus wrote = write_line(handler(line, peer));
+      if (wrote == IoStatus::kTimeout) {
+        return finish(transport, ConnectionEnd::kWriteTimeout);
+      }
+      if (wrote != IoStatus::kOk) {
+        return finish(transport, ConnectionEnd::kWriteError);
+      }
+    }
+    buffer.erase(0, start);
+
+    // A line that keeps growing without a newline cannot be
+    // resynchronized; answer once and hang up rather than buffering
+    // unboundedly.
+    if (buffer.size() > limits.max_line) {
+      answer_413();
+      return finish(transport, ConnectionEnd::kOversized);
+    }
+  }
+}
+
+}  // namespace tokenring::serve

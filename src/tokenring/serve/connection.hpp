@@ -1,0 +1,67 @@
+// Per-connection request loop of the admission-control server.
+//
+// One copy of the framing/overload logic, shared by the production server
+// (SocketIo transport, Engine handler) and the in-process fault-injection
+// tests and fuzz targets (FaultyIo transport, any line handler):
+//
+//   read (idle timeout) -> frame lines -> handler -> write (write timeout)
+//
+// Overload rules enforced here, at the edge:
+//  * Idle/read timeout: a peer that stops sending mid-request (slow
+//    loris) is cut off after `idle_timeout_ms` of silence.
+//  * Write timeout: a peer that stops reading cannot park the thread in
+//    send(); the connection is dropped after `write_timeout_ms`.
+//  * Oversized lines get one 413 response and then the connection is
+//    CLOSED, always: a line that overflowed mid-read has no trustworthy
+//    resynchronization point, and closing on complete-but-oversized lines
+//    too keeps the behaviour independent of how TCP happened to chunk the
+//    bytes.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "tokenring/serve/transport.hpp"
+
+namespace tokenring::serve {
+
+/// Produces the response line (no trailing newline) for one request line.
+using LineHandler =
+    std::function<std::string(std::string_view line, const std::string& peer)>;
+
+struct ConnectionLimits {
+  /// Request lines longer than this are answered with a 413 and the
+  /// connection is closed.
+  std::size_t max_line = 1 << 20;
+  /// Longest silence tolerated while waiting for request bytes
+  /// [milliseconds]; <= 0 waits forever.
+  int idle_timeout_ms = -1;
+  /// Budget for writing one response to a non-reading peer; <= 0 waits
+  /// forever.
+  int write_timeout_ms = -1;
+};
+
+/// Why run_connection returned (the connection is always finished —
+/// either the peer ended it or we shut it down).
+enum class ConnectionEnd {
+  kPeerClosed,    // orderly EOF from the peer
+  kIdleTimeout,   // no bytes within idle_timeout_ms
+  kOversized,     // 413 answered, connection closed
+  kReadError,     // connection reset or unrecoverable read failure
+  kWriteError,    // peer gone while writing a response
+  kWriteTimeout,  // peer stopped reading
+};
+
+const char* to_string(ConnectionEnd end);
+
+/// Serve one connection to completion. Never throws; every exit path
+/// shuts the transport down (idempotent) and bumps a serve.conn.*
+/// counter.
+ConnectionEnd run_connection(Transport& transport, const LineHandler& handler,
+                             const ConnectionLimits& limits,
+                             const std::string& peer);
+
+}  // namespace tokenring::serve

@@ -1,7 +1,6 @@
 #include "tokenring/serve/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <sstream>
 #include <utility>
@@ -10,6 +9,7 @@
 #include "tokenring/analysis/pdp.hpp"
 #include "tokenring/analysis/ttp.hpp"
 #include "tokenring/common/checks.hpp"
+#include "tokenring/common/clock.hpp"
 #include "tokenring/fault/margins.hpp"
 #include "tokenring/net/standards.hpp"
 #include "tokenring/obs/json.hpp"
@@ -20,12 +20,16 @@ namespace tokenring::serve {
 
 namespace {
 
-std::uint64_t steady_now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// Thrown by a batched job that found its deadline already expired at
+/// compute start; dispatch turns it into a 504.
+struct DeadlineExceeded {
+  double elapsed_ms = 0.0;
+};
+
+/// Thrown inside get_or_compute when the batcher refused admission
+/// (queue at capacity between the watermark check and the submit);
+/// dispatch turns it into a 503.
+struct ShedByBatcher {};
 
 /// Same protocol split as tokenring_tool's parse_protocol (names are
 /// validated at parse time, so no error path here).
@@ -61,28 +65,6 @@ const std::vector<double>& latency_bounds_us() {
   return bounds;
 }
 
-/// Linear interpolation inside the bucket that crosses quantile `q`.
-double histogram_percentile(
-    const obs::MetricsSnapshot::HistogramData& h, double q) {
-  if (h.total == 0) return 0.0;
-  const double target = q * static_cast<double>(h.total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < h.counts.size(); ++i) {
-    const std::uint64_t next = cumulative + h.counts[i];
-    if (static_cast<double>(next) >= target && h.counts[i] > 0) {
-      const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
-      // Overflow bucket has no upper bound; report its lower edge.
-      const double hi = i < h.bounds.size() ? h.bounds[i] : lo;
-      const double into =
-          (target - static_cast<double>(cumulative)) /
-          static_cast<double>(h.counts[i]);
-      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
-    }
-    cumulative = next;
-  }
-  return h.bounds.empty() ? 0.0 : h.bounds.back();
-}
-
 }  // namespace
 
 Engine::Engine(const Options& options, std::function<std::uint64_t()> clock)
@@ -91,8 +73,13 @@ Engine::Engine(const Options& options, std::function<std::uint64_t()> clock)
       executor_(options.jobs),
       cache_(options.cache),
       limiter_(options.limit),
+      // The queue bound tracks the shed watermark so the blocking-submit
+      // path can never build a backlog the watermark would have refused;
+      // high_water == 0 (cache-only mode) still needs a 1-slot queue for
+      // the batcher's invariants.
       batcher_(executor_,
-               options.max_group > 0 ? options.max_group : executor_.jobs()) {}
+               options.max_group > 0 ? options.max_group : executor_.jobs(),
+               std::max<std::size_t>(1, options.high_water)) {}
 
 void Engine::drain() { batcher_.drain(); }
 
@@ -120,7 +107,7 @@ std::string Engine::handle_line(std::string_view line,
       if (!parse_request(parsed.value, request, error)) {
         response = error_response(request.id_token, 400, error);
       } else {
-        response = dispatch(request, fallback_client);
+        response = dispatch(request, fallback_client, start_ns);
       }
     }
   }
@@ -129,10 +116,23 @@ std::string Engine::handle_line(std::string_view line,
   return response;
 }
 
+std::uint64_t Engine::shed_retry_after_ns() const {
+  // A cold server has no job history; 25 ms is long enough to let one
+  // batch group clear and short enough not to stall an interactive
+  // client.
+  constexpr std::uint64_t kFloorNs = 25'000'000;
+  const std::uint64_t ewma = job_ewma_ns_.load(std::memory_order_relaxed);
+  const std::size_t lanes = std::max<std::size_t>(1, executor_.jobs());
+  const std::uint64_t backlog_ns =
+      ewma * static_cast<std::uint64_t>(batcher_.depth() + 1) / lanes;
+  return std::max(kFloorNs, backlog_ns);
+}
+
 std::string Engine::dispatch(const Request& request,
-                             const std::string& fallback_client) {
+                             const std::string& fallback_client,
+                             std::uint64_t start_ns) {
   // ping and stats are control-plane traffic: answered inline, never rate
-  // limited, never cached.
+  // limited, never shed, never cached.
   if (request.type == RequestType::kPing) {
     return success_response(request.id_token, request.type, false,
                             "{\"message\":\"pong\"}");
@@ -140,6 +140,31 @@ std::string Engine::dispatch(const Request& request,
   if (request.type == RequestType::kStats) {
     return success_response(request.id_token, request.type, false,
                             render_stats());
+  }
+
+  static const obs::Counter deadline_expired("serve.deadline_expired");
+  static const obs::Counter shed("serve.shed");
+
+  // Overload gates, cheapest refusal first (DESIGN.md §4h).
+  const std::uint64_t deadline_ns =
+      request.deadline_ms > 0.0
+          ? static_cast<std::uint64_t>(request.deadline_ms * 1e6)
+          : 0;
+  if (deadline_ns > 0) {
+    const std::uint64_t elapsed = clock_() - start_ns;
+    if (elapsed >= deadline_ns) {
+      deadline_expired.add();
+      return timeout_response(request.id_token,
+                              static_cast<double>(elapsed) * 1e-6);
+    }
+  }
+
+  const std::string key = cache_key(request);
+  if (batcher_.depth() >= options_.high_water && !cache_.likely_present(key)) {
+    // The watermark only refuses work that would *add* compute: cached
+    // (or already-in-flight) answers keep flowing under overload.
+    shed.add();
+    return shed_response(request.id_token, shed_retry_after_ns());
   }
 
   const std::string& client =
@@ -151,22 +176,50 @@ std::string Engine::dispatch(const Request& request,
 
   try {
     const ResultCache::Outcome outcome = cache_.get_or_compute(
-        cache_key(request), [this, &request] {
-          return batcher_
-              .submit([&request] {
+        key, [this, &request, start_ns, deadline_ns] {
+          auto future =
+              batcher_.try_submit([this, &request, start_ns, deadline_ns] {
+                // The queue wait may have consumed the whole budget; skip
+                // the compute rather than produce an answer nobody reads.
+                const std::uint64_t begun = clock_();
+                if (deadline_ns > 0 && begun - start_ns >= deadline_ns) {
+                  throw DeadlineExceeded{
+                      static_cast<double>(begun - start_ns) * 1e-6};
+                }
+                std::string value;
                 switch (request.type) {
                   case RequestType::kCheck:
-                    return compute_check(request.check);
+                    value = compute_check(request.check);
+                    break;
                   case RequestType::kFaultcheck:
-                    return compute_faultcheck(request.check);
+                    value = compute_faultcheck(request.check);
+                    break;
                   default:
-                    return compute_advise(request.advise);
+                    value = compute_advise(request.advise);
+                    break;
                 }
-              })
-              .get();
+                // EWMA (alpha 1/8) of job cost feeds the shed back-off
+                // hint; relaxed is fine, it is an estimate.
+                const std::uint64_t took = clock_() - begun;
+                const std::uint64_t old =
+                    job_ewma_ns_.load(std::memory_order_relaxed);
+                job_ewma_ns_.store(old == 0 ? took : old - old / 8 + took / 8,
+                                   std::memory_order_relaxed);
+                return value;
+              });
+          // Admission can race: the watermark passed above, but the queue
+          // filled before this submit. Shed instead of blocking.
+          if (!future) throw ShedByBatcher{};
+          return future->get();
         });
     return success_response(request.id_token, request.type, outcome.hit,
                             outcome.value);
+  } catch (const DeadlineExceeded& e) {
+    deadline_expired.add();
+    return timeout_response(request.id_token, e.elapsed_ms);
+  } catch (const ShedByBatcher&) {
+    shed.add();
+    return shed_response(request.id_token, shed_retry_after_ns());
   } catch (const std::exception& e) {
     static const obs::Counter failures("serve.compute_failures");
     failures.add();
@@ -315,6 +368,7 @@ std::string Engine::render_stats() {
   w.set_strict(true);
   w.begin_object();
   w.key("cache_entries").value_uint(cache_.size());
+  w.key("batch_depth").value_uint(batcher_.depth());
   w.key("counters").begin_object();
   for (const auto& [name, value] : snapshot.counters) {
     w.key(name).value_uint(value);

@@ -4,8 +4,20 @@
 // drive it without sockets:
 //
 //   size gate (413) -> parse_json (400 + byte offset) -> parse_request
-//   (400 naming the field) -> ping/stats answered inline -> rate limit
-//   (429 + retry hint) -> result cache -> batcher -> compute.
+//   (400 naming the field) -> ping/stats answered inline -> deadline
+//   pre-check (504) -> load shed (503, cache hits exempt) -> rate limit
+//   (429 + retry hint) -> result cache -> batcher (deadline re-check,
+//   504) -> compute.
+//
+// Overload policy (see DESIGN.md §4h): a request that cannot be answered
+// usefully is refused as early and as cheaply as possible. Expired
+// deadlines are detected before any queueing (the client has already
+// given up; computing would be pure waste), then misses are shed against
+// the batcher's high-water mark (hits and in-flight joins cost no
+// compute, so they keep flowing even under overload), and only then does
+// the rate limiter charge the client. Inside the batcher each job
+// re-checks its deadline at compute start, so work that expired while
+// queued is skipped, not executed.
 //
 // Compute handlers mirror the offline `tokenring_tool` subcommands call
 // for call (same ring construction, same frame format, same analysis entry
@@ -20,6 +32,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -44,6 +57,10 @@ class Engine {
     std::size_t max_group = 0;
     /// Requests longer than this are rejected with a 413.
     std::size_t max_request_bytes = 1 << 20;
+    /// Load-shedding watermark: a compute request that would miss the
+    /// cache is refused with a 503 once this many jobs are queued or in
+    /// flight. 0 sheds every miss (serve-from-cache-only mode).
+    std::size_t high_water = 512;
     ResultCache::Options cache;
     RateLimiter::Options limit;
   };
@@ -70,6 +87,11 @@ class Engine {
   /// Ready entries currently cached.
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// The admission queue, public so overload tests can wedge it with a
+  /// gated job and observe shedding deterministically (same precedent as
+  /// the public compute handlers below).
+  Batcher& batcher() { return batcher_; }
+
   // Compute handlers, public so tests can compare a daemon response's
   // "result" byte-for-byte against a direct library call.
   static std::string compute_check(const CheckQuery& query);
@@ -78,8 +100,13 @@ class Engine {
 
  private:
   std::string dispatch(const Request& request,
-                       const std::string& fallback_client);
+                       const std::string& fallback_client,
+                       std::uint64_t start_ns);
   std::string render_stats();
+  /// Back-off hint for a shed response: EWMA job cost scaled by the
+  /// backlog ahead of the request, floored so a cold server still hints
+  /// a sane pause.
+  std::uint64_t shed_retry_after_ns() const;
 
   Options options_;
   std::function<std::uint64_t()> clock_;
@@ -87,6 +114,9 @@ class Engine {
   ResultCache cache_;
   RateLimiter limiter_;
   Batcher batcher_;
+  /// EWMA of one compute job's wall time [ns], relaxed atomics (an
+  /// approximate hint, not a synchronized quantity).
+  std::atomic<std::uint64_t> job_ewma_ns_{0};
 };
 
 }  // namespace tokenring::serve

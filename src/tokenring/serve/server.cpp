@@ -15,25 +15,12 @@
 #include <utility>
 
 #include "tokenring/obs/registry.hpp"
+#include "tokenring/serve/connection.hpp"
+#include "tokenring/serve/transport.hpp"
 
 namespace tokenring::serve {
 
 namespace {
-
-/// write() the whole buffer, riding out partial writes and EINTR.
-/// MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process signal.
-bool send_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<std::size_t>(n);
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 void close_quietly(int& fd) {
   if (fd >= 0) {
@@ -152,6 +139,10 @@ void Server::accept_loop() {
     socklen_t peer_len = sizeof(peer);
     const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
                             &peer_len);
+    // accept() failures never kill the listener: EINTR (stray signal)
+    // and ECONNABORTED (peer vanished between SYN and accept) are
+    // routine, and anything else is at worst a transient resource limit
+    // that the next poll round retries.
     if (fd < 0) continue;
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -171,47 +162,21 @@ void Server::accept_loop() {
 }
 
 void Server::serve_connection(int fd, const std::string& peer) {
-  const std::size_t max_line = options_.engine.max_request_bytes;
-  std::string buffer;
-  char chunk[16384];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // EOF (client close, or our SHUT_RD drain)
-    buffer.append(chunk, static_cast<std::size_t>(n));
-
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string_view line(buffer.data() + start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      start = nl + 1;
-      if (line.empty()) continue;
-      std::string response = engine_->handle_line(line, peer);
-      response.push_back('\n');
-      if (!send_all(fd, response.data(), response.size())) {
-        ::shutdown(fd, SHUT_RDWR);
-        return;
-      }
-    }
-    buffer.erase(0, start);
-
-    // A line that never ends cannot be resynchronized; answer 413 and
-    // hang up rather than buffering unboundedly.
-    if (buffer.size() > max_line) {
-      std::string response = error_response(
-          "", 413,
-          "request line exceeds " + std::to_string(max_line) + " bytes");
-      response.push_back('\n');
-      send_all(fd, response.data(), response.size());
-      ::shutdown(fd, SHUT_RDWR);
-      return;
-    }
-  }
+  SocketIo io(fd);
+  Transport transport(io);
+  ConnectionLimits limits;
+  limits.max_line = options_.engine.max_request_bytes;
+  limits.idle_timeout_ms = options_.idle_timeout_ms;
+  limits.write_timeout_ms = options_.write_timeout_ms;
+  // During graceful shutdown wait() half-closes the socket; the read side
+  // then reports EOF once the client's buffered lines are consumed, so
+  // the shared loop drains and answers them before exiting.
+  run_connection(
+      transport,
+      [this](std::string_view line, const std::string& who) {
+        return engine_->handle_line(line, who);
+      },
+      limits, peer);
 }
 
 }  // namespace tokenring::serve

@@ -2,10 +2,13 @@
 //
 // Plain POSIX sockets, thread-per-connection: admission queries are small
 // and the compute is what costs, so connection threads only frame lines
-// and block on the Engine (which batches across connections). The accept
-// loop polls the listen socket alongside a self-pipe; request_stop() is a
-// single write() to that pipe, making it safe to call from a signal
-// handler. Shutdown is graceful by construction:
+// and block on the Engine (which batches across connections). Each
+// connection runs the shared run_connection() loop over a SocketIo
+// transport, which is where the idle/write timeouts, EINTR retries, and
+// 413-then-close policy live (see connection.hpp). The accept loop polls
+// the listen socket alongside a self-pipe; request_stop() is a single
+// write() to that pipe, making it safe to call from a signal handler.
+// Shutdown is graceful by construction:
 //
 //   request_stop() -> accept loop exits -> every connection gets
 //   shutdown(SHUT_RD) -> readers drain their buffered lines, write the
@@ -34,6 +37,12 @@ class Server {
     /// 0 binds an ephemeral port; read it back with port().
     int port = 0;
     int backlog = 128;
+    /// Longest silence tolerated while waiting for request bytes before
+    /// the connection is dropped (slow-loris guard); <= 0 waits forever.
+    int idle_timeout_ms = 30000;
+    /// Budget for writing one response to a peer that stopped reading;
+    /// <= 0 waits forever.
+    int write_timeout_ms = 10000;
     Engine::Options engine;
   };
 

@@ -1,0 +1,225 @@
+#include "tokenring/serve/transport.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "tokenring/common/clock.hpp"
+
+namespace tokenring::serve {
+
+// ---- SocketIo ----------------------------------------------------------------
+
+SocketIo::SocketIo(int fd) : fd_(fd) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+ssize_t SocketIo::recv_some(char* data, std::size_t size, int& err) {
+  const ssize_t n = ::recv(fd_, data, size, 0);
+  err = n < 0 ? errno : 0;
+  return n;
+}
+
+ssize_t SocketIo::send_some(const char* data, std::size_t size, int& err) {
+  // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process signal.
+  const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+  err = n < 0 ? errno : 0;
+  return n;
+}
+
+int SocketIo::wait(bool for_write, int timeout_ms, int& err) {
+  pollfd p{fd_, static_cast<short>(for_write ? POLLOUT : POLLIN), 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  err = rc < 0 ? errno : 0;
+  // POLLERR/POLLHUP count as "ready": the next recv/send reports the
+  // concrete error (or EOF) instead of this loop guessing.
+  return rc;
+}
+
+void SocketIo::shutdown_both() { ::shutdown(fd_, SHUT_RDWR); }
+
+// ---- TransportFaultPlan ------------------------------------------------------
+
+TransportFaultPlan TransportFaultPlan::random(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234'5678ULL);
+  TransportFaultPlan plan;
+  plan.seed = seed + 1;  // non-zero: chunk sizes are drawn, not fixed
+  // Short reads/writes most runs; 1-byte dribble is the harshest framing
+  // test and stays cheap.
+  if (rng.bernoulli(0.8)) {
+    plan.max_read_chunk = static_cast<std::size_t>(rng.uniform_int(1, 7));
+  }
+  if (rng.bernoulli(0.8)) {
+    plan.max_write_chunk = static_cast<std::size_t>(rng.uniform_int(1, 7));
+  }
+  if (rng.bernoulli(0.5)) {
+    plan.eintr_per_op = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  }
+  // Occasional mid-stream kills, far enough in that some requests land.
+  if (rng.bernoulli(0.25)) {
+    plan.reset_read_after = static_cast<std::size_t>(rng.uniform_int(16, 256));
+  }
+  if (rng.bernoulli(0.25)) {
+    plan.reset_write_after =
+        static_cast<std::size_t>(rng.uniform_int(16, 256));
+  }
+  if (rng.bernoulli(0.3)) {
+    plan.corrupt_read_at = static_cast<std::size_t>(rng.uniform_int(0, 128));
+  }
+  return plan;
+}
+
+// ---- FaultyIo ----------------------------------------------------------------
+
+FaultyIo::FaultyIo(std::string input, const TransportFaultPlan& plan)
+    : input_(std::move(input)),
+      plan_(plan),
+      rng_(plan.seed == 0 ? 1 : plan.seed) {
+  if (plan_.corrupt_read_at < input_.size()) {
+    input_[plan_.corrupt_read_at] =
+        static_cast<char>(input_[plan_.corrupt_read_at] ^ 0x20);
+  }
+}
+
+bool FaultyIo::inject_eintr(std::uint32_t& pending) {
+  if (pending == 0) return false;
+  --pending;
+  ++eintr_injected_;
+  return true;
+}
+
+std::size_t FaultyIo::chunk_limit(std::size_t requested, std::size_t cap) {
+  if (cap == 0 || cap >= requested) return requested;
+  if (plan_.seed == 0) return cap;
+  return static_cast<std::size_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(cap)));
+}
+
+ssize_t FaultyIo::recv_some(char* data, std::size_t size, int& err) {
+  if (inject_eintr(pending_recv_eintr_)) {
+    err = EINTR;
+    return -1;
+  }
+  pending_recv_eintr_ = plan_.eintr_per_op;
+  if (shutdown_ || read_pos_ >= plan_.reset_read_after) {
+    err = ECONNRESET;
+    return -1;
+  }
+  if (read_pos_ >= input_.size()) {
+    err = 0;
+    return 0;  // orderly EOF
+  }
+  std::size_t n = std::min(size, input_.size() - read_pos_);
+  n = std::min(n, plan_.reset_read_after - read_pos_);
+  n = chunk_limit(n, plan_.max_read_chunk);
+  std::copy_n(input_.data() + read_pos_, n, data);
+  read_pos_ += n;
+  err = 0;
+  return static_cast<ssize_t>(n);
+}
+
+ssize_t FaultyIo::send_some(const char* data, std::size_t size, int& err) {
+  if (inject_eintr(pending_send_eintr_)) {
+    err = EINTR;
+    return -1;
+  }
+  pending_send_eintr_ = plan_.eintr_per_op;
+  if (shutdown_ || output_.size() >= plan_.reset_write_after) {
+    err = EPIPE;
+    return -1;
+  }
+  std::size_t n = std::min(size, plan_.reset_write_after - output_.size());
+  n = chunk_limit(n, plan_.max_write_chunk);
+  output_.append(data, n);
+  err = 0;
+  return static_cast<ssize_t>(n);
+}
+
+int FaultyIo::wait(bool for_write, int timeout_ms, int& err) {
+  (void)timeout_ms;  // no real time passes in-memory
+  if (inject_eintr(pending_wait_eintr_)) {
+    err = EINTR;
+    return -1;
+  }
+  pending_wait_eintr_ = plan_.eintr_per_op;
+  err = 0;
+  if (!for_write && plan_.stall_every > 0 &&
+      ++reads_waited_ % plan_.stall_every == 0) {
+    return 0;  // the peer went quiet: report a poll timeout
+  }
+  return 1;
+}
+
+void FaultyIo::shutdown_both() { shutdown_ = true; }
+
+// ---- Transport ---------------------------------------------------------------
+
+Transport::Transport(ByteIo& io, std::function<std::uint64_t()> clock)
+    : io_(io), clock_(clock ? std::move(clock) : steady_now_ns) {}
+
+int Transport::remaining_ms(bool timed, std::uint64_t deadline_ns) const {
+  if (!timed) return -1;
+  const std::uint64_t now = clock_();
+  if (now >= deadline_ns) return 0;
+  // Round up: a 0.4 ms remainder must poll for 1 ms, not busy-spin at 0.
+  return static_cast<int>((deadline_ns - now + 999'999) / 1'000'000);
+}
+
+IoResult Transport::read_some(char* data, std::size_t size, int timeout_ms) {
+  const bool timed = timeout_ms >= 0;
+  const std::uint64_t deadline_ns =
+      timed ? clock_() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000
+            : 0;
+  for (;;) {
+    int err = 0;
+    const int ready = io_.wait(false, remaining_ms(timed, deadline_ns), err);
+    if (ready < 0) {
+      if (err == EINTR) continue;  // re-arm with the remaining budget
+      return {IoStatus::kError, 0};
+    }
+    if (ready == 0) return {IoStatus::kTimeout, 0};
+
+    const ssize_t n = io_.recv_some(data, size, err);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kEof, 0};
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) continue;  // spurious wakeup
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoStatus Transport::write_all(const char* data, std::size_t size,
+                              int timeout_ms) {
+  const bool timed = timeout_ms >= 0;
+  const std::uint64_t deadline_ns =
+      timed ? clock_() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000
+            : 0;
+  while (size > 0) {
+    int err = 0;
+    const ssize_t n = io_.send_some(data, size, err);
+    if (n > 0) {
+      data += static_cast<std::size_t>(n);
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && err == EINTR) continue;
+    if (n < 0 && (err == EAGAIN || err == EWOULDBLOCK)) {
+      const int budget = remaining_ms(timed, deadline_ns);
+      if (timed && budget == 0) return IoStatus::kTimeout;
+      const int ready = io_.wait(true, budget, err);
+      if (ready < 0 && err == EINTR) continue;
+      if (ready < 0) return IoStatus::kError;
+      if (ready == 0) return IoStatus::kTimeout;
+      continue;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace tokenring::serve

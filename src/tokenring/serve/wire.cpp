@@ -193,12 +193,17 @@ bool parse_request(const obs::JsonValue& doc, Request& out,
   const bool is_check = out.type == RequestType::kCheck ||
                         out.type == RequestType::kFaultcheck;
   const bool is_advise = out.type == RequestType::kAdvise;
+  const bool is_compute = is_check || is_advise;
   bool have_streams = false;
   for (const auto& [key, value] : doc.members()) {
     if (key == "id" || key == "type") continue;
     if (key == "client") {
       if (!value.is_string()) return fail(error, "\"client\" must be a string");
       out.client = value.as_string();
+    } else if (is_compute && key == "deadline_ms") {
+      if (!read_number(value, "deadline_ms", 0.0, out.deadline_ms, error)) {
+        return false;
+      }
     } else if (is_check && key == "protocol") {
       if (!value.is_string() || !known_protocol(value.as_string())) {
         return fail(error,
@@ -361,6 +366,36 @@ std::string rate_limited_response(std::string_view id_token,
   w.key("id").value_raw(id_token.empty() ? "null" : id_token);
   w.key("status").value_int(429);
   w.key("error").value_string("rate limit exceeded");
+  w.key("retry_after_ms")
+      .value_number(static_cast<double>(retry_after_ns) / 1e6);
+  w.end_object();
+  return os.str();
+}
+
+std::string timeout_response(std::string_view id_token, double elapsed_ms) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("schema").value_string(kServeSchema);
+  w.key("id").value_raw(id_token.empty() ? "null" : id_token);
+  w.key("status").value_int(504);
+  w.key("error").value_string("deadline exceeded");
+  w.key("elapsed_ms").value_number(elapsed_ms);
+  w.end_object();
+  return os.str();
+}
+
+std::string shed_response(std::string_view id_token,
+                          std::uint64_t retry_after_ns) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.set_strict(true);
+  w.begin_object();
+  w.key("schema").value_string(kServeSchema);
+  w.key("id").value_raw(id_token.empty() ? "null" : id_token);
+  w.key("status").value_int(503);
+  w.key("error").value_string("server overloaded, request shed");
   w.key("retry_after_ms")
       .value_number(static_cast<double>(retry_after_ns) / 1e6);
   w.end_object();

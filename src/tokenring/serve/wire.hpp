@@ -71,6 +71,13 @@ struct Request {
   std::string id_token = "null";
   /// Rate-limit key; empty means "use the connection's fallback id".
   std::string client;
+  /// Compute types only: total time the client is willing to wait for
+  /// this answer [milliseconds]; 0 = no deadline. A request whose
+  /// deadline expires before its compute starts is answered with a 504
+  /// instead of burning a Monte Carlo sweep nobody is waiting for.
+  /// Deliberately NOT part of the cache key: the same query with a
+  /// different patience is still the same query.
+  double deadline_ms = 0.0;
   CheckQuery check;    // meaningful for kCheck / kFaultcheck
   AdviseQuery advise;  // meaningful for kAdvise
 };
@@ -103,5 +110,14 @@ std::string parse_error_response(std::size_t offset, std::string_view error);
 /// 429 with the token bucket's back-off hint.
 std::string rate_limited_response(std::string_view id_token,
                                   std::uint64_t retry_after_ns);
+
+/// 504: the request's own deadline_ms expired before (or while) its
+/// compute ran; elapsed_ms reports how long it actually waited.
+std::string timeout_response(std::string_view id_token, double elapsed_ms);
+
+/// 503: admission queue beyond the high-water mark, request shed before
+/// any compute. retry_after_ms estimates when the backlog will clear.
+std::string shed_response(std::string_view id_token,
+                          std::uint64_t retry_after_ns);
 
 }  // namespace tokenring::serve

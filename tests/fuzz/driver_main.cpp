@@ -1,0 +1,63 @@
+// Standalone replay driver for the fuzz targets, used when the toolchain
+// has no libFuzzer (the local gcc build). Feeds every file under the
+// given paths (files or directories, non-recursive) to
+// LLVMFuzzerTestOneInput, so the seed corpus doubles as a deterministic
+// regression suite wired into ctest. Under clang + -fsanitize=fuzzer the
+// real libFuzzer main links instead and this file is not compiled.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t cases = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Deterministic order regardless of directory enumeration.
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (run_file(file) != 0) return 1;
+        ++cases;
+      }
+    } else {
+      if (run_file(path) != 0) return 1;
+      ++cases;
+    }
+  }
+  std::printf("replayed %zu corpus case(s), no crashes\n", cases);
+  return 0;
+}

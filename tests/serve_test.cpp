@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "tokenring/exec/executor.hpp"
 #include "tokenring/net/standards.hpp"
 #include "tokenring/obs/json.hpp"
+#include "tokenring/serve/backoff.hpp"
 #include "tokenring/serve/batcher.hpp"
 #include "tokenring/serve/cache.hpp"
 #include "tokenring/serve/engine.hpp"
@@ -184,6 +187,57 @@ TEST(ServeRateLimit, RefillPropertyHoldsOverRandomSchedules) {
   }
 }
 
+TEST(ServeRateLimit, ForwardClockJumpGrantsAtMostBurst) {
+  // A clock anomaly (NTP step, VM resume) that leaps hours ahead must not
+  // mint unbounded credit: the refill saturates at `burst` no matter how
+  // large the jump.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double rate = rng.uniform(0.5, 500.0);
+    const double burst = std::floor(rng.uniform(1.0, 20.0));
+    serve::TokenBucket bucket(rate, burst, 0);
+    std::uint64_t now = 0;
+    while (bucket.consume(now)) {
+    }  // drain the initial burst
+    // Jump far forward (up to ~12 days) and count consecutive grants.
+    now += static_cast<std::uint64_t>(rng.uniform(3.6e12, 1e15));
+    int granted = 0;
+    while (bucket.consume(now)) ++granted;
+    EXPECT_LE(granted, static_cast<int>(burst))
+        << "rate=" << rate << " burst=" << burst;
+    EXPECT_GE(granted, static_cast<int>(burst));  // and exactly the burst
+  }
+}
+
+TEST(ServeRateLimit, RetryAfterShrinksMonotonicallyAsBucketRefills) {
+  // The 429 hint must never grow while the client politely waits: at any
+  // later probe time the advertised remaining wait is no larger, and once
+  // the original hint has elapsed the request is admitted.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double rate = rng.uniform(0.5, 200.0);
+    serve::RateLimiter limiter({.rate_per_s = rate, .burst = 1.0});
+    std::uint64_t now = static_cast<std::uint64_t>(rng.uniform(0.0, 1e12));
+    ASSERT_TRUE(limiter.check("c", now).allowed);
+    const auto first = limiter.check("c", now);
+    ASSERT_FALSE(first.allowed);
+    ASSERT_GT(first.retry_after_ns, 0u);
+
+    const std::uint64_t ready_ns = now + first.retry_after_ns;
+    std::uint64_t last_hint = first.retry_after_ns;
+    for (int probe = 0; probe < 8; ++probe) {
+      now += (ready_ns - now) / 3;  // strictly before the advertised time
+      if (now >= ready_ns) break;
+      const auto denied = limiter.check("c", now);
+      ASSERT_FALSE(denied.allowed) << "admitted before the advertised time";
+      // Remaining wait from *now*; tolerate 1 ns of ceil() rounding.
+      EXPECT_LE(denied.retry_after_ns, last_hint + 1);
+      last_hint = denied.retry_after_ns;
+    }
+    EXPECT_TRUE(limiter.check("c", ready_ns).allowed);
+  }
+}
+
 TEST(ServeRateLimit, StaleTimestampsDoNotRefillBackwards) {
   serve::TokenBucket bucket(1.0, 1.0, 1'000'000'000);
   EXPECT_TRUE(bucket.consume(1'000'000'000));
@@ -209,6 +263,26 @@ TEST(ServeRateLimit, DisabledLimiterAdmitsEverything) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(limiter.check("anyone", 0).allowed);
   }
+}
+
+TEST(ServeBackoff, HonorsHintAndStaysWithinTheJitterEnvelope) {
+  const serve::BackoffPolicy policy;
+  Rng rng(3);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t hint = 40'000'000;  // the server's retry_after
+    const std::uint64_t delay =
+        serve::retry_delay_ns(policy, attempt, hint, rng);
+    EXPECT_GE(delay, hint);                    // never undercut the server
+    EXPECT_LE(delay, hint + policy.cap_ns);    // growth saturates at cap
+  }
+  // Full jitter: repeated draws at one attempt actually spread.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t d = serve::retry_delay_ns(policy, 4, 0, rng);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, hi);
 }
 
 // ---- cache -------------------------------------------------------------------
@@ -405,6 +479,137 @@ TEST(ServeEngine, RateLimitsPerClientWithRetryHint) {
   EXPECT_EQ(response_status(send("a")), 429);
 }
 
+// ---- overload: deadlines and shedding ----------------------------------------
+
+// The stepping clock makes deadline tests deterministic without sleeping.
+// One compute request observes the clock in a fixed sequence:
+//   1. handle_line entry (start)        -> +1 step
+//   2. dispatch deadline pre-check      -> +1 step
+//   3. rate-limiter timestamp           -> +1 step
+//   4. batched job's deadline re-check  -> +1 step
+//   5. job-cost EWMA sample             -> +1 step
+//   6. handle_line latency sample       -> +1 step
+// So at the pre-check 1 step has elapsed, and at the job re-check 3
+// steps. Atomic because the job reads the clock from a batcher thread.
+// (Brittle by design: if dispatch gains a clock read, adjust the
+// deadlines below rather than loosening the assertions.)
+struct SteppingClock {
+  std::atomic<std::uint64_t> now{0};
+  std::uint64_t step_ns;
+  explicit SteppingClock(std::uint64_t step) : step_ns(step) {}
+  std::uint64_t operator()() { return now.fetch_add(step_ns) + step_ns; }
+};
+
+TEST(ServeOverload, ExpiredDeadlineIsRefusedBeforeAnyQueueing) {
+  auto clock = std::make_shared<SteppingClock>(1'000'000);  // 1 ms per read
+  serve::Engine engine(small_engine_options(), [clock] { return (*clock)(); });
+
+  // 1 ms has elapsed by the pre-check; a 1 ms deadline is already gone.
+  const std::string line =
+      "{\"type\":\"check\",\"deadline_ms\":1,\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  const auto doc = parse_ok(engine.handle_line(line, "t"));
+  EXPECT_EQ(response_status(doc), 504);
+  EXPECT_DOUBLE_EQ(doc.find("elapsed_ms")->as_double(), 1.0);
+  // Nothing was computed or cached: the identical query without a
+  // deadline is a miss.
+  const std::string relaxed =
+      "{\"type\":\"check\",\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  const auto ok = parse_ok(engine.handle_line(relaxed, "t"));
+  EXPECT_EQ(response_status(ok), 200);
+  EXPECT_FALSE(ok.find("cached")->as_bool());
+}
+
+TEST(ServeOverload, DeadlineExpiringInQueueSkipsTheCompute) {
+  auto clock = std::make_shared<SteppingClock>(1'000'000);
+  serve::Engine engine(small_engine_options(), [clock] { return (*clock)(); });
+
+  // 1 ms at the pre-check (passes), 3 ms at the job's re-check (expired):
+  // the job is skipped before compute and answers 504 with the elapsed
+  // wait.
+  const std::string line =
+      "{\"type\":\"check\",\"deadline_ms\":2.5,\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  const auto doc = parse_ok(engine.handle_line(line, "t"));
+  EXPECT_EQ(response_status(doc), 504);
+  EXPECT_DOUBLE_EQ(doc.find("elapsed_ms")->as_double(), 3.0);
+
+  // A generous deadline on the same query computes normally (the failed
+  // attempt must not have poisoned the cache).
+  const std::string patient =
+      "{\"type\":\"check\",\"deadline_ms\":1000,\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  EXPECT_EQ(response_status(parse_ok(engine.handle_line(patient, "t"))), 200);
+}
+
+TEST(ServeOverload, DeadlineIsNotPartOfTheCacheIdentity) {
+  serve::Engine engine(small_engine_options());
+  const std::string eager =
+      "{\"type\":\"check\",\"deadline_ms\":60000,\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  const std::string no_deadline =
+      "{\"type\":\"check\",\"streams\":["
+      "{\"station\":0,\"period_ms\":100,\"payload_bits\":1000}]}";
+  EXPECT_FALSE(
+      parse_ok(engine.handle_line(eager, "t")).find("cached")->as_bool());
+  // Same query, different patience: still a hit.
+  EXPECT_TRUE(parse_ok(engine.handle_line(no_deadline, "t"))
+                  .find("cached")
+                  ->as_bool());
+}
+
+TEST(ServeOverload, ShedsColdComputeBeyondHighWaterButServesCacheHits) {
+  auto options = small_engine_options();
+  options.high_water = 1;
+  serve::Engine engine(options);
+
+  // Warm the cache while the queue is empty.
+  EXPECT_EQ(response_status(parse_ok(engine.handle_line(kCheckLine, "t"))),
+            200);
+
+  // Wedge the admission queue at the watermark with a gated job.
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  auto wedge = engine.batcher().submit([opened] {
+    opened.wait();
+    return std::string("done");
+  });
+
+  // Cold compute is refused up front with a structured 503 + back-off...
+  const std::string cold =
+      "{\"type\":\"check\",\"id\":\"cold\",\"streams\":["
+      "{\"station\":3,\"period_ms\":10,\"payload_bits\":500}]}";
+  const auto shed = parse_ok(engine.handle_line(cold, "t"));
+  EXPECT_EQ(response_status(shed), 503);
+  EXPECT_GT(shed.find("retry_after_ms")->as_double(), 0.0);
+  EXPECT_EQ(shed.find("id")->as_string(), "cold");
+
+  // ...while cached answers and control-plane traffic keep flowing.
+  EXPECT_EQ(response_status(parse_ok(engine.handle_line(kCheckLine, "t"))),
+            200);
+  const auto stats =
+      parse_ok(engine.handle_line("{\"type\":\"stats\"}", "t"));
+  EXPECT_EQ(response_status(stats), 200);
+  EXPECT_GE(stats.find("result")->find("batch_depth")->as_uint64(), 1u);
+
+  // Once the backlog clears, the same cold query computes normally.
+  gate.set_value();
+  EXPECT_EQ(wedge.get(), "done");
+  engine.drain();
+  EXPECT_EQ(response_status(parse_ok(engine.handle_line(cold, "t"))), 200);
+}
+
+TEST(ServeOverload, HighWaterZeroShedsEveryMiss) {
+  auto options = small_engine_options();
+  options.high_water = 0;  // cache-only mode: never admit new compute
+  serve::Engine engine(options);
+  EXPECT_EQ(response_status(parse_ok(engine.handle_line(kCheckLine, "t"))),
+            503);
+  const auto ping = parse_ok(engine.handle_line("{\"type\":\"ping\"}", "t"));
+  EXPECT_EQ(response_status(ping), 200);
+}
+
 // ---- server ------------------------------------------------------------------
 
 int connect_loopback(int port) {
@@ -485,6 +690,66 @@ TEST(ServeServer, PipelinedRequestsAnswerInOrderAndDrainOnStop) {
   }
   EXPECT_EQ(response_status(parse_ok(lines[5])), 200);
   EXPECT_EQ(response_status(parse_ok(lines[6])), 400);
+}
+
+TEST(ServeServer, OversizedLineGets413ThenTheConnectionCloses) {
+  // Golden contract: ANY 413 is answered and then the server hangs up —
+  // also for a complete oversized line — so the close no longer depends
+  // on how TCP happened to chunk the bytes (a mid-line overflow and a
+  // complete line behave identically).
+  serve::Server::Options options;
+  options.engine.jobs = 2;
+  options.engine.max_request_bytes = 64;
+  serve::Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // One oversized (but complete) line, with a valid ping pipelined after
+  // it that must NOT be answered: the 413 ends the conversation.
+  const std::string oversized(200, 'x');
+  const std::string payload =
+      oversized + "\n{\"type\":\"ping\",\"id\":\"after\"}\n";
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+
+  const auto lines = read_lines(fd, 2);  // returns early on EOF
+  ASSERT_EQ(lines.size(), 1u) << "the pipelined ping was answered after 413";
+  const auto doc = parse_ok(lines[0]);
+  EXPECT_EQ(response_status(doc), 413);
+
+  // And the socket is truly closed, not just quiet.
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.request_stop();
+  server.wait();
+}
+
+TEST(ServeServer, IdleConnectionIsDroppedAfterTheTimeout) {
+  serve::Server::Options options;
+  options.engine.jobs = 2;
+  options.idle_timeout_ms = 50;
+  serve::Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // A live request is answered...
+  const std::string ping = "{\"type\":\"ping\"}\n";
+  ASSERT_EQ(::send(fd, ping.data(), ping.size(), 0),
+            static_cast<ssize_t>(ping.size()));
+  ASSERT_EQ(read_lines(fd, 1).size(), 1u);
+
+  // ...then a slow-loris client that sends nothing further is cut off
+  // (recv unblocks with EOF once the server shuts the connection down).
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.request_stop();
+  server.wait();
 }
 
 TEST(ServeServer, EveryResponseLineIsValidJson) {

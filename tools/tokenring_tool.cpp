@@ -463,6 +463,13 @@ void flags_serve(CliFlags& flags) {
                 "reject longer request lines with a 413");
   flags.declare("batch-group", "0",
                 "max compute jobs per batch group (0 = pool width)");
+  flags.declare("high-water", "512",
+                "shed uncached compute with a 503 beyond this many queued "
+                "jobs (0 = serve from cache only)");
+  flags.declare("idle-timeout-ms", "30000",
+                "drop connections silent for this long (0 = never)");
+  flags.declare("write-timeout-ms", "10000",
+                "drop connections that stop reading responses (0 = never)");
   declare_jobs_flag(flags);
 }
 
@@ -488,6 +495,9 @@ int cmd_serve(const CliFlags& flags, obs::RunReport& report) {
       static_cast<std::size_t>(flags.get_int("cache-capacity"));
   opt.engine.limit.rate_per_s = flags.get_double("rate");
   opt.engine.limit.burst = flags.get_double("burst");
+  opt.engine.high_water = static_cast<std::size_t>(flags.get_int("high-water"));
+  opt.idle_timeout_ms = static_cast<int>(flags.get_int("idle-timeout-ms"));
+  opt.write_timeout_ms = static_cast<int>(flags.get_int("write-timeout-ms"));
 
   serve::Server server(opt);
   std::string error;
