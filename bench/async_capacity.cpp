@@ -13,7 +13,7 @@
 #include "tokenring/common/rng.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/experiments/setup.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/obs/report.hpp"
 
 using namespace tokenring;
@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
       const double ttp_cap = analysis::ttp_async_capacity(set, p_ttp, bw, ttrt);
 
       // Simulated check: saturating async throughput on the same ring.
-      sim::TtpSimConfig cfg;
-      cfg.params = p_ttp;
+      sim::SimConfig cfg;
+      cfg.protocol = sim::Protocol::kTtp;
+      cfg.ttp = p_ttp;
       cfg.bandwidth = bw;
       cfg.ttrt = ttrt;
       cfg.horizon = flags.get_double("sim-horizon-s");
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
         cfg.sync_bandwidth_per_stream.push_back(
             analysis::ttp_local_bandwidth(s, p_ttp, bw, ttrt).value_or(0.0));
       }
-      const auto m = sim::run_ttp_simulation(set, cfg);
+      const auto m = sim::run_simulation(set, cfg);
       const double ttp_sim = static_cast<double>(m.async_frames_sent) *
                              p_ttp.async_frame.frame_time(bw) / cfg.horizon;
 

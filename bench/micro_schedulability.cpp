@@ -403,9 +403,9 @@ void BM_PdpSimulation(benchmark::State& state) {
   const auto params = setup.pdp_params(analysis::PdpVariant::kModified8025);
   const BitsPerSecond bw = mbps(16);
   const auto set = make_set(n, 5, 10.0);
-  sim::PdpSimConfig cfg = sim::make_pdp_sim_config(set, params, bw, 2.0);
+  const sim::SimConfig cfg = sim::make_sim_config(set, params, bw, 2.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_pdp_simulation(set, cfg));
+    benchmark::DoNotOptimize(sim::run_simulation(set, cfg));
   }
   state.SetLabel("two max-period horizons per iteration");
 }
@@ -417,9 +417,9 @@ void BM_TtpSimulation(benchmark::State& state) {
   const auto params = setup.ttp_params();
   const BitsPerSecond bw = mbps(100);
   const auto set = make_set(n, 5, 10.0);
-  sim::TtpSimConfig cfg = sim::make_ttp_sim_config(set, params, bw, 2.0);
+  const sim::SimConfig cfg = sim::make_sim_config(set, params, bw, 2.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_ttp_simulation(set, cfg));
+    benchmark::DoNotOptimize(sim::run_simulation(set, cfg));
   }
   state.SetLabel("two max-period horizons per iteration");
 }

@@ -11,8 +11,7 @@
 #include "tokenring/fault/plan.hpp"
 #include "tokenring/fault/recovery.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 using namespace tokenring;
@@ -81,10 +80,10 @@ int main(int argc, char** argv) {
     p.ring = net::ieee8025_ring(8);
     p.frame = net::paper_frame_format();
     p.variant = analysis::PdpVariant::kModified8025;
-    auto cfg = sim::make_pdp_sim_config(set, p, bw);
+    auto cfg = sim::make_sim_config(set, p, bw);
     cfg.horizon = horizon;
     cfg.faults = plan;
-    const auto m = sim::run_pdp_simulation(set, cfg);
+    const auto m = sim::run_simulation(set, cfg);
     std::printf("Modified IEEE 802.5 (recovery model ~%.1f us/fault):\n%s\n",
                 to_microseconds(fault::pdp_fault_outage(
                     *kind, p, bw, milliseconds(flags.get_double("noise-ms")))),
@@ -94,10 +93,10 @@ int main(int argc, char** argv) {
     analysis::TtpParams p;
     p.ring = net::fddi_ring(8);
     p.frame = p.async_frame = net::paper_frame_format();
-    auto cfg = sim::make_ttp_sim_config(set, p, bw);
+    auto cfg = sim::make_sim_config(set, p, bw);
     cfg.horizon = horizon;
     cfg.faults = plan;
-    const auto m = sim::run_ttp_simulation(set, cfg);
+    const auto m = sim::run_simulation(set, cfg);
     std::printf("FDDI timed token (recovery model ~%.1f us/fault):\n%s",
                 to_microseconds(fault::ttp_fault_outage(
                     *kind, p, bw, cfg.ttrt,

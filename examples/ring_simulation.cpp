@@ -10,8 +10,7 @@
 #include "tokenring/common/cli.hpp"
 #include "tokenring/common/table.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 using namespace tokenring;
 
@@ -79,10 +78,11 @@ int main(int argc, char** argv) {
 
   // ---- Priority-driven protocol (modified 802.5) -------------------------
   {
-    sim::PdpSimConfig cfg;
-    cfg.params.ring = net::ieee8025_ring(8);
-    cfg.params.frame = net::paper_frame_format();
-    cfg.params.variant = analysis::PdpVariant::kModified8025;
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kPdp;
+    cfg.pdp.ring = net::ieee8025_ring(8);
+    cfg.pdp.frame = net::paper_frame_format();
+    cfg.pdp.variant = analysis::PdpVariant::kModified8025;
     cfg.bandwidth = bw;
     cfg.horizon = horizon;
     cfg.async_model = async_model;
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
 
     std::printf("=== Modified IEEE 802.5 at %.0f Mbps (async: %s) ===\n",
                 to_mbps(bw), to_string(async_model));
-    const auto m = sim::run_pdp_simulation(set, cfg);
+    const auto m = sim::run_simulation(set, cfg);
     std::printf("%s", m.summary().c_str());
     print_per_station(m);
     std::printf("\n");
@@ -99,20 +99,21 @@ int main(int argc, char** argv) {
 
   // ---- Timed token protocol (FDDI) ----------------------------------------
   {
-    sim::TtpSimConfig cfg;
-    cfg.params.ring = net::fddi_ring(8);
-    cfg.params.frame = net::paper_frame_format();
-    cfg.params.async_frame = net::paper_frame_format();
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kTtp;
+    cfg.ttp.ring = net::fddi_ring(8);
+    cfg.ttp.frame = net::paper_frame_format();
+    cfg.ttp.async_frame = net::paper_frame_format();
     cfg.bandwidth = bw;
     cfg.horizon = horizon;
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
     if (trace_until > 0.0) cfg.trace = &trace_sink;
 
-    const Seconds ttrt = analysis::select_ttrt(set, cfg.params.ring, bw);
+    const Seconds ttrt = analysis::select_ttrt(set, cfg.ttp.ring, bw);
     std::printf("=== FDDI timed token at %.0f Mbps (TTRT %.3f ms) ===\n",
                 to_mbps(bw), to_milliseconds(ttrt));
-    const auto m = sim::run_ttp_simulation(set, cfg);
+    const auto m = sim::run_simulation(set, cfg);
     std::printf("%s", m.summary().c_str());
     print_per_station(m);
   }

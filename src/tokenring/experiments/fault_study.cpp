@@ -12,8 +12,7 @@
 #include "tokenring/common/checks.hpp"
 #include "tokenring/exec/executor.hpp"
 #include "tokenring/exec/seed_stream.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace tokenring::experiments {
@@ -186,20 +185,20 @@ std::vector<FaultStudyRow> run_fault_study(const FaultStudyConfig& config) {
 
     TrialResult out;
     if (p.pdp_found) {
-      auto cfg = sim::make_pdp_sim_config(p.pdp_set, pdp_params, bw,
-                                          config.horizon_periods);
+      auto cfg = sim::make_sim_config(p.pdp_set, pdp_params, bw,
+                                      config.horizon_periods);
       cfg.seed = config.seed + set_idx;
       cfg.faults = make_plan(kind, count, cfg.horizon, trial_seed,
                              pdp_params.ring.num_stations, config);
-      out.pdp = stats_of(sim::run_pdp_simulation(p.pdp_set, cfg));
+      out.pdp = stats_of(sim::run_simulation(p.pdp_set, cfg));
     }
     if (p.ttp_found) {
-      auto cfg = sim::make_ttp_sim_config(p.ttp_set, ttp_params, bw,
-                                          config.horizon_periods);
+      auto cfg = sim::make_sim_config(p.ttp_set, ttp_params, bw,
+                                      config.horizon_periods);
       cfg.seed = config.seed + set_idx;
       cfg.faults = make_plan(kind, count, cfg.horizon, trial_seed,
                              ttp_params.ring.num_stations, config);
-      out.ttp = stats_of(sim::run_ttp_simulation(p.ttp_set, cfg));
+      out.ttp = stats_of(sim::run_simulation(p.ttp_set, cfg));
     }
     return out;
   };

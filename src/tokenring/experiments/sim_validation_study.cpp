@@ -11,8 +11,7 @@
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/breakdown/saturation.hpp"
 #include "tokenring/common/checks.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 namespace tokenring::experiments {
 
@@ -81,8 +80,9 @@ SimValidationRow validate_pdp(const SimValidationConfig& config,
     }
     ++row.sets_tested;
 
-    sim::PdpSimConfig cfg;
-    cfg.params = params;
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kPdp;
+    cfg.pdp = params;
     cfg.bandwidth = bw;
     cfg.worst_case_phasing = true;
     cfg.async_model = sim::AsyncModel::kSaturating;
@@ -91,13 +91,13 @@ SimValidationRow validate_pdp(const SimValidationConfig& config,
     const auto inside =
         base.scaled(sat.critical_scale * config.inside_scale_pdp);
     cfg.horizon = config.horizon_periods * inside.max_period();
-    if (sim::run_pdp_simulation(inside, cfg).deadline_misses > 0) {
+    if (sim::run_simulation(inside, cfg).deadline_misses > 0) {
       ++row.false_negatives;
     }
 
     const auto outside = base.scaled(sat.critical_scale * config.outside_scale);
     cfg.horizon = config.horizon_periods * outside.max_period();
-    if (sim::run_pdp_simulation(outside, cfg).deadline_misses == 0) {
+    if (sim::run_simulation(outside, cfg).deadline_misses == 0) {
       ++row.outside_clean;
     }
   }
@@ -136,8 +136,9 @@ SimValidationRow validate_ttp(const SimValidationConfig& config,
 
     const auto inside =
         base.scaled(sat.critical_scale * config.inside_scale_ttp);
-    sim::TtpSimConfig cfg;
-    cfg.params = params;
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kTtp;
+    cfg.ttp = params;
     cfg.bandwidth = bw;
     cfg.ttrt = analysis::select_ttrt(inside, params.ring, bw);
     cfg.worst_case_phasing = true;
@@ -148,15 +149,15 @@ SimValidationRow validate_ttp(const SimValidationConfig& config,
       cfg.sync_bandwidth_per_stream.push_back(
           analysis::ttp_local_bandwidth(s, params, bw, cfg.ttrt).value_or(0.0));
     }
-    sim::TtpSimulation inside_sim(inside, cfg);
-    const auto inside_metrics = inside_sim.run();
+    const auto inside_sim = sim::make_simulator(inside, cfg);
+    const auto inside_metrics = inside_sim->run();
     if (inside_metrics.deadline_misses > 0) ++row.false_negatives;
-    const double ratio = inside_sim.max_intervisit() / cfg.ttrt;
+    const double ratio = inside_sim->max_intervisit() / cfg.ttrt;
     row.max_intervisit_ratio = std::max(row.max_intervisit_ratio, ratio);
     if (ratio > 2.0 + 1e-9) ++row.johnson_violations;
 
     const auto outside = base.scaled(sat.critical_scale * config.outside_scale);
-    sim::TtpSimConfig out_cfg = cfg;
+    sim::SimConfig out_cfg = cfg;
     out_cfg.ttrt = analysis::select_ttrt(outside, params.ring, bw);
     out_cfg.horizon = config.horizon_periods * outside.max_period();
     out_cfg.sync_bandwidth_per_stream.clear();
@@ -165,7 +166,7 @@ SimValidationRow validate_ttp(const SimValidationConfig& config,
           analysis::ttp_local_bandwidth(s, params, bw, out_cfg.ttrt)
               .value_or(0.0));
     }
-    if (sim::run_ttp_simulation(outside, out_cfg).deadline_misses == 0) {
+    if (sim::run_simulation(outside, out_cfg).deadline_misses == 0) {
       ++row.outside_clean;
     }
   }

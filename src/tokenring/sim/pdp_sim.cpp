@@ -15,9 +15,9 @@ namespace {
 constexpr Seconds kDeadlineSlack = 1e-12;
 }  // namespace
 
-PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
+PdpSimulation::PdpSimulation(msg::MessageSet set, SimConfig config)
     : set_(std::move(set)), cfg_(std::move(config)), rng_(cfg_.seed) {
-  cfg_.params.validate();
+  cfg_.pdp.validate();
   set_.validate();
   TR_EXPECTS(cfg_.bandwidth > 0.0);
   TR_EXPECTS(cfg_.horizon > 0.0);
@@ -27,7 +27,7 @@ PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
   }
   TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
 
-  const int n = cfg_.params.ring.num_stations;
+  const int n = cfg_.pdp.ring.num_stations;
   cfg_.faults.validate(n);
   stations_.resize(static_cast<std::size_t>(n));
   active_count_ = n;
@@ -57,15 +57,16 @@ PdpSimulation::PdpSimulation(msg::MessageSet set, PdpSimConfig config)
     stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
   }
 
-  token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
+  token_time_ = cfg_.pdp.ring.token_time(cfg_.bandwidth);
   update_ring_timing();
+  sim_.set_handler(this);
 }
 
 void PdpSimulation::update_ring_timing() {
   // Bypassed (crashed) stations contribute no ring/buffer bit delay; the
   // cable and the hop positions remain, so the walk shortens only by the
   // dead stations' latencies.
-  const auto& ring = cfg_.params.ring;
+  const auto& ring = cfg_.pdp.ring;
   const Seconds walk =
       ring.propagation_delay() + static_cast<double>(active_count_) *
                                      ring.per_station_bit_delay /
@@ -81,36 +82,137 @@ int PdpSimulation::first_alive() const {
   return -1;
 }
 
-void PdpSimulation::emit(TraceEventKind kind, int station,
-                         double detail) const {
-  if (cfg_.trace) {
-    cfg_.trace->emit(TraceRecord{sim_.now(), kind, station, detail});
-  }
-}
-
 Seconds PdpSimulation::hops_time(int from, int to) const {
-  const int n = cfg_.params.ring.num_stations;
+  const int n = cfg_.pdp.ring.num_stations;
   const int hops = ((to - from - 1) % n + n) % n + 1;  // 1..n (self = n)
   return static_cast<double>(hops) * hop_ + token_time_;
+}
+
+void PdpSimulation::on_event(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kPdpArrival:
+      on_arrival(ev.station, static_cast<std::size_t>(ev.index));
+      return;
+    case EventKind::kPdpAsyncArrival: {
+      auto& st = stations_[static_cast<std::size_t>(ev.station)];
+      if (st.alive) ++st.async_pending;
+      schedule_async_arrival(ev.station);
+      if (st.alive) maybe_capture_idle(ev.station);
+      return;
+    }
+    case EventKind::kPdpIdleCapture: {
+      if (ev.gen != token_generation_) return;  // token destroyed mid-walk
+      capture_pending_ = false;
+      // Arbitrate among everything pending now (the walk collected bids).
+      bool is_async = false;
+      const auto winner = pick_winner(ev.station, is_async);
+      if (winner) {
+        start_frame(*winner, is_async);
+      } else {
+        medium_busy_ = false;
+        idle_position_ = ev.station;
+        idle_since_ = sim_.now();
+      }
+      return;
+    }
+    case EventKind::kRecovery: {
+      if (ev.gen != token_generation_) return;  // superseded by newer fault
+      const int resume = first_alive();
+      if (resume < 0) return;  // every station crashed: the ring stays dark
+      release_medium(resume);
+      return;
+    }
+    case EventKind::kCorruptionRetry:
+      if (ev.gen != token_generation_) return;
+      release_medium(medium_station_);
+      return;
+    case EventKind::kPdpWalkDone:
+      if (ev.gen != token_generation_) return;
+      start_frame(ev.station, ev.index != 0);
+      return;
+    case EventKind::kPdpAsyncFrameDone: {
+      if (ev.gen != token_generation_) return;  // frame destroyed in flight
+      ++metrics_.async_frames_sent;
+      if (cfg_.async_model == AsyncModel::kPoisson) {
+        --stations_[static_cast<std::size_t>(ev.station)].async_pending;
+      }
+      emit(cfg_.trace, sim_.now(), TraceEventKind::kAsyncFrame, ev.station,
+           ev.value);
+      release_medium(ev.station);
+      return;
+    }
+    case EventKind::kPdpSyncFrameDone: {
+      if (ev.gen != token_generation_) return;  // frame destroyed in flight
+      const int station = ev.station;
+      const auto serve_idx = static_cast<std::size_t>(ev.index);
+      const Bits chunk = ev.value;
+      auto& stn = stations_[static_cast<std::size_t>(station)];
+      auto& local = stn.streams[serve_idx];
+      auto& msg = local.queue.front();
+      msg.remaining -= chunk;
+      if (msg.remaining <= 1e-9) {
+        const Seconds response = sim_.now() - msg.arrival;
+        const Seconds deadline = local.spec.deadline();
+        metrics_.on_completion(station, msg.arrival, response,
+                               local.spec.period, deadline, kDeadlineSlack);
+        emit(cfg_.trace, sim_.now(), TraceEventKind::kMessageComplete, station,
+             response);
+        if (response > deadline + kDeadlineSlack) {
+          emit(cfg_.trace, sim_.now(), TraceEventKind::kDeadlineMiss, station,
+               response);
+        }
+        local.queue.pop_front();
+      }
+
+      if (cfg_.pdp.variant == analysis::PdpVariant::kModified8025 &&
+          best_local_priority(stn) >= 0) {
+        // Keep the medium while still the highest-priority active station.
+        bool is_async2 = false;
+        const auto winner = pick_winner(station, is_async2);
+        if (winner && *winner == station && !is_async2) {
+          start_frame(station, false);
+          return;
+        }
+      }
+      release_medium(station);
+      return;
+    }
+    case EventKind::kFault:
+      on_fault(fault_events_[static_cast<std::size_t>(ev.index)]);
+      return;
+    case EventKind::kKickoff:
+      if (ev.gen != token_generation_) return;  // a fault at t=0 beat us
+      if (cfg_.async_model == AsyncModel::kSaturating) {
+        start_frame(ev.station, /*is_async=*/true);
+      } else {
+        release_medium(ev.station);
+      }
+      return;
+    case EventKind::kUser:
+    case EventKind::kTtpTokenHop:
+      TR_EXPECTS_MSG(false, "event kind not handled by the PDP simulator");
+      return;
+  }
 }
 
 void PdpSimulation::schedule_arrival(int station, std::size_t stream_idx,
                                      Seconds at) {
   if (at > cfg_.horizon) return;
-  sim_.schedule_at(at,
-                   [this, station, stream_idx] { on_arrival(station, stream_idx); });
+  Event ev;
+  ev.kind = EventKind::kPdpArrival;
+  ev.station = station;
+  ev.index = static_cast<std::int32_t>(stream_idx);
+  sim_.schedule_at(at, ev);
 }
 
 void PdpSimulation::schedule_async_arrival(int station) {
   const Seconds at =
       sim_.now() + rng_.exponential(1.0 / cfg_.async_frames_per_second);
   if (at > cfg_.horizon) return;
-  sim_.schedule_at(at, [this, station] {
-    auto& st = stations_[static_cast<std::size_t>(station)];
-    if (st.alive) ++st.async_pending;
-    schedule_async_arrival(station);
-    if (st.alive) maybe_capture_idle(station);
-  });
+  Event ev;
+  ev.kind = EventKind::kPdpAsyncArrival;
+  ev.station = station;
+  sim_.schedule_at(at, ev);
 }
 
 void PdpSimulation::on_arrival(int station, std::size_t stream_idx) {
@@ -124,7 +226,8 @@ void PdpSimulation::on_arrival(int station, std::size_t stream_idx) {
         PendingMessage{sim_.now(), local.spec.payload_bits});
     metrics_.on_release(station);
     metrics_.on_queue_depth(local.queue.size());
-    emit(TraceEventKind::kMessageArrival, station, local.spec.payload_bits);
+    emit(cfg_.trace, sim_.now(), TraceEventKind::kMessageArrival, station,
+         local.spec.payload_bits);
   }
   Seconds gap = local.spec.period;
   if (cfg_.arrival_jitter > 0.0) {
@@ -138,8 +241,10 @@ void PdpSimulation::maybe_capture_idle(int station) {
   // If the medium is idle, the free token is circulating at one hop per
   // hop-latency (idle stations just repeat it): capture it when it next
   // passes here, paying one token transmission for the capture/release.
+  // This is the frontier idiom avant la lettre: no events circulate on an
+  // idle ring, the token position is pure arithmetic.
   if (medium_busy_ || capture_pending_) return;
-  const int n = cfg_.params.ring.num_stations;
+  const int n = cfg_.pdp.ring.num_stations;
   const Seconds lap = static_cast<double>(n) * hop_;
   const Seconds elapsed = sim_.now() - idle_since_;
   const auto hops_done = static_cast<std::int64_t>(std::floor(elapsed / hop_));
@@ -152,20 +257,11 @@ void PdpSimulation::maybe_capture_idle(int station) {
   if (capture < sim_.now()) capture += lap;  // just missed this pass
   medium_busy_ = true;
   capture_pending_ = true;
-  sim_.schedule_at(capture, [this, station, gen = token_generation_] {
-    if (gen != token_generation_) return;  // token destroyed mid-walk
-    capture_pending_ = false;
-    // Arbitrate among everything pending now (the walk collected bids).
-    bool is_async = false;
-    const auto winner = pick_winner(station, is_async);
-    if (winner) {
-      start_frame(*winner, is_async);
-    } else {
-      medium_busy_ = false;
-      idle_position_ = station;
-      idle_since_ = sim_.now();
-    }
-  });
+  Event ev;
+  ev.kind = EventKind::kPdpIdleCapture;
+  ev.station = station;
+  ev.gen = token_generation_;
+  sim_.schedule_at(capture, ev);
 }
 
 void PdpSimulation::ring_outage(fault::FaultKind kind, Seconds outage) {
@@ -175,12 +271,10 @@ void PdpSimulation::ring_outage(fault::FaultKind kind, Seconds outage) {
   const Seconds now = sim_.now();
   recovering_until_ = std::max(recovering_until_, now + outage);
   metrics_.on_fault(kind, now, now + outage);
-  sim_.schedule_in(outage, [this, gen = token_generation_] {
-    if (gen != token_generation_) return;  // superseded by a newer fault
-    const int resume = first_alive();
-    if (resume < 0) return;  // every station crashed: the ring stays dark
-    release_medium(resume);
-  });
+  Event ev;
+  ev.kind = EventKind::kRecovery;
+  ev.gen = token_generation_;
+  sim_.schedule_in(outage, ev);
 }
 
 void PdpSimulation::crash_station(int station) {
@@ -197,7 +291,7 @@ void PdpSimulation::crash_station(int station) {
   // domain is bypassed and the monitor purges. Record the outage before
   // abandoning the station's queue so those misses attribute to the crash.
   ring_outage(fault::FaultKind::kStationCrash,
-              fault::pdp_beacon_outage(cfg_.params, cfg_.bandwidth));
+              fault::pdp_beacon_outage(cfg_.pdp, cfg_.bandwidth));
   for (auto& local : st.streams) {
     for (const auto& m : local.queue) {
       if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
@@ -220,7 +314,7 @@ void PdpSimulation::rejoin_station(int station) {
   update_ring_timing();
   // Ring insertion disrupts the ring like a break: beacon + purge again.
   ring_outage(fault::FaultKind::kStationRejoin,
-              fault::pdp_beacon_outage(cfg_.params, cfg_.bandwidth));
+              fault::pdp_beacon_outage(cfg_.pdp, cfg_.bandwidth));
 }
 
 void PdpSimulation::on_fault(const fault::FaultEvent& event) {
@@ -228,18 +322,18 @@ void PdpSimulation::on_fault(const fault::FaultEvent& event) {
   switch (event.kind) {
     case fault::FaultKind::kTokenLoss:
       ring_outage(event.kind,
-                  fault::pdp_monitor_outage(cfg_.params, cfg_.bandwidth));
+                  fault::pdp_monitor_outage(cfg_.pdp, cfg_.bandwidth));
       return;
     case fault::FaultKind::kNoiseBurst:
       // The noise destroys whatever was in flight and jams the medium for
       // its duration; the monitor can only start recovering once it clears.
       ring_outage(event.kind,
                   event.duration +
-                      fault::pdp_monitor_outage(cfg_.params, cfg_.bandwidth));
+                      fault::pdp_monitor_outage(cfg_.pdp, cfg_.bandwidth));
       return;
     case fault::FaultKind::kDuplicateToken:
       ring_outage(event.kind,
-                  fault::pdp_duplicate_outage(cfg_.params, cfg_.bandwidth));
+                  fault::pdp_duplicate_outage(cfg_.pdp, cfg_.bandwidth));
       return;
     case fault::FaultKind::kFrameCorruption: {
       if (now < recovering_until_ || !medium_busy_) {
@@ -255,13 +349,13 @@ void PdpSimulation::on_fault(const fault::FaultEvent& event) {
       capture_pending_ = false;
       medium_busy_ = true;
       const Seconds outage =
-          fault::pdp_corruption_outage(cfg_.params, cfg_.bandwidth);
+          fault::pdp_corruption_outage(cfg_.pdp, cfg_.bandwidth);
       recovering_until_ = std::max(recovering_until_, now + outage);
       metrics_.on_fault(event.kind, now, now + outage);
-      sim_.schedule_in(outage, [this, gen = token_generation_] {
-        if (gen != token_generation_) return;
-        release_medium(medium_station_);
-      });
+      Event ev;
+      ev.kind = EventKind::kCorruptionRetry;
+      ev.gen = token_generation_;
+      sim_.schedule_in(outage, ev);
       return;
     }
     case fault::FaultKind::kStationCrash:
@@ -298,7 +392,7 @@ std::optional<int> PdpSimulation::pick_winner(int after, bool& is_async) const {
     is_async = false;
     return best;
   }
-  const int n = cfg_.params.ring.num_stations;
+  const int n = cfg_.pdp.ring.num_stations;
   switch (cfg_.async_model) {
     case AsyncModel::kNone:
       return std::nullopt;
@@ -338,31 +432,28 @@ void PdpSimulation::release_medium(int station) {
     return;
   }
   medium_busy_ = true;
-  sim_.schedule_in(hops_time(station, *winner),
-                   [this, w = *winner, is_async, gen = token_generation_] {
-                     if (gen != token_generation_) return;
-                     start_frame(w, is_async);
-                   });
+  Event ev;
+  ev.kind = EventKind::kPdpWalkDone;
+  ev.station = *winner;
+  ev.index = is_async ? 1 : 0;
+  ev.gen = token_generation_;
+  sim_.schedule_in(hops_time(station, *winner), ev);
 }
 
 void PdpSimulation::start_frame(int station, bool is_async) {
   medium_busy_ = true;
   medium_station_ = station;
-  const auto& frame = cfg_.params.frame;
+  const auto& frame = cfg_.pdp.frame;
 
   if (is_async) {
     const Seconds effective =
         std::max(frame.frame_time(cfg_.bandwidth), theta_);
-    sim_.schedule_in(effective, [this, station, effective,
-                                 gen = token_generation_] {
-      if (gen != token_generation_) return;  // frame destroyed in flight
-      ++metrics_.async_frames_sent;
-      if (cfg_.async_model == AsyncModel::kPoisson) {
-        --stations_[static_cast<std::size_t>(station)].async_pending;
-      }
-      emit(TraceEventKind::kAsyncFrame, station, effective);
-      release_medium(station);
-    });
+    Event ev;
+    ev.kind = EventKind::kPdpAsyncFrameDone;
+    ev.station = station;
+    ev.gen = token_generation_;
+    ev.value = effective;
+    sim_.schedule_in(effective, ev);
     return;
   }
 
@@ -385,39 +476,16 @@ void PdpSimulation::start_frame(int station, bool is_async) {
   const Seconds frame_time =
       transmission_time(chunk + frame.overhead_bits, cfg_.bandwidth);
   const Seconds effective = std::max(frame_time, theta_);
-  emit(TraceEventKind::kSyncFrameStart, station, effective);
+  emit(cfg_.trace, sim_.now(), TraceEventKind::kSyncFrameStart, station,
+       effective);
 
-  sim_.schedule_in(effective, [this, station, serve_idx, chunk,
-                               gen = token_generation_] {
-    if (gen != token_generation_) return;  // frame destroyed in flight
-    auto& stn = stations_[static_cast<std::size_t>(station)];
-    auto& local = stn.streams[serve_idx];
-    auto& msg = local.queue.front();
-    msg.remaining -= chunk;
-    if (msg.remaining <= 1e-9) {
-      const Seconds response = sim_.now() - msg.arrival;
-      const Seconds deadline = local.spec.deadline();
-      metrics_.on_completion(station, msg.arrival, response, local.spec.period,
-                             deadline, kDeadlineSlack);
-      emit(TraceEventKind::kMessageComplete, station, response);
-      if (response > deadline + kDeadlineSlack) {
-        emit(TraceEventKind::kDeadlineMiss, station, response);
-      }
-      local.queue.pop_front();
-    }
-
-    if (cfg_.params.variant == analysis::PdpVariant::kModified8025 &&
-        best_local_priority(stn) >= 0) {
-      // Keep the medium while still the highest-priority active station.
-      bool is_async2 = false;
-      const auto winner = pick_winner(station, is_async2);
-      if (winner && *winner == station && !is_async2) {
-        start_frame(station, false);
-        return;
-      }
-    }
-    release_medium(station);
-  });
+  Event ev;
+  ev.kind = EventKind::kPdpSyncFrameDone;
+  ev.station = station;
+  ev.index = static_cast<std::int32_t>(serve_idx);
+  ev.gen = token_generation_;
+  ev.value = chunk;
+  sim_.schedule_in(effective, ev);
 }
 
 SimMetrics PdpSimulation::run() {
@@ -441,24 +509,25 @@ SimMetrics PdpSimulation::run() {
     }
   }
 
-  for (const auto& event : cfg_.faults.sorted_events()) {
-    sim_.schedule_at(event.time, [this, event] { on_fault(event); });
+  fault_events_ = cfg_.faults.sorted_events();
+  for (std::size_t i = 0; i < fault_events_.size(); ++i) {
+    Event ev;
+    ev.kind = EventKind::kFault;
+    ev.index = static_cast<std::int32_t>(i);
+    sim_.schedule_at(fault_events_[i].time, ev);
   }
 
   // Kick off the medium. With saturating async an async frame starts
   // immediately at the last station — under worst-case phasing this is the
   // priority-inversion blocking of Lemma 4.1 (sync frames queued at t=0
   // must wait for a lower-priority frame already committed).
-  const int kickoff = cfg_.params.ring.num_stations - 1;
+  const int kickoff = cfg_.pdp.ring.num_stations - 1;
   medium_busy_ = true;
-  sim_.schedule_at(0.0, [this, kickoff, gen = token_generation_] {
-    if (gen != token_generation_) return;  // a fault at t=0 beat us to it
-    if (cfg_.async_model == AsyncModel::kSaturating) {
-      start_frame(kickoff, /*is_async=*/true);
-    } else {
-      release_medium(kickoff);
-    }
-  });
+  Event ev;
+  ev.kind = EventKind::kKickoff;
+  ev.station = kickoff;
+  ev.gen = token_generation_;
+  sim_.schedule_at(0.0, ev);
 
   sim_.run_until(cfg_.horizon);
 
@@ -475,12 +544,6 @@ SimMetrics PdpSimulation::run() {
   }
   record_run_observability(metrics_, sim_.events_executed());
   return metrics_;
-}
-
-SimMetrics run_pdp_simulation(const msg::MessageSet& set,
-                              const PdpSimConfig& config) {
-  PdpSimulation sim(set, config);
-  return sim.run();
 }
 
 }  // namespace tokenring::sim

@@ -28,6 +28,12 @@
 //    a station always contends with the highest priority among its pending
 //    messages, exactly as the reservation field does.
 //
+// Medium motion is already lazy in this model: an idle ring schedules no
+// events at all (the circulating free token's position is computed
+// arithmetically when traffic appears — see maybe_capture_idle), so the
+// PDP simulator needs no frontier source; both engine modes run the same
+// typed-event path.
+//
 // The simulator is a validation substrate: message sets accepted by
 // Theorem 4.1 must complete every message by its deadline here under
 // worst-case phasing and saturating async load.
@@ -39,69 +45,23 @@
 #include <optional>
 #include <vector>
 
-#include "tokenring/analysis/pdp.hpp"
 #include "tokenring/common/rng.hpp"
 #include "tokenring/fault/plan.hpp"
 #include "tokenring/msg/message_set.hpp"
-#include "tokenring/sim/async.hpp"
-#include "tokenring/sim/metrics.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/simulator.hpp"
-#include "tokenring/sim/trace.hpp"
 
 namespace tokenring::sim {
 
-/// Simulation settings for a PDP run.
-struct PdpSimConfig {
-  analysis::PdpParams params;
-  BitsPerSecond bandwidth = mbps(10);
-  /// Simulation horizon [s]. A few multiples of the longest period is
-  /// enough to observe steady state under worst-case phasing.
-  Seconds horizon = 1.0;
-  /// true: all synchronous messages arrive together at t=0 (the critical
-  /// instant) with an async frame already in flight; false: random phases.
-  bool worst_case_phasing = true;
-  /// Asynchronous cross-traffic model. kSaturating matches the analysis'
-  /// worst-case assumption and additionally starts one async frame at t=0
-  /// under worst-case phasing (the Lemma 4.1 blocking pattern).
-  AsyncModel async_model = AsyncModel::kSaturating;
-  /// Per-station Poisson arrival rate [frames/s]; used with kPoisson only.
-  double async_frames_per_second = 0.0;
-  /// Sporadic arrivals: extra uniform delay between releases, as a fraction
-  /// of the period (inter-arrival in [P, (1+jitter)*P]). 0 = strictly
-  /// periodic (the paper's model). The analyses remain valid upper bounds:
-  /// a sporadic stream with minimum inter-arrival P is dominated by the
-  /// periodic worst case.
-  double arrival_jitter = 0.0;
-  /// Seed for random phasing, Poisson arrivals and sporadic jitter.
-  std::uint64_t seed = 1;
-  /// Optional event sink (see trace.hpp); null = no tracing. The sink must
-  /// outlive the run and is invoked synchronously on the simulation thread.
-  TraceSink* trace = nullptr;
-  /// Failure injection: every fault in the plan is applied with the 802.5
-  /// recovery machinery (fault/recovery.hpp). Token loss / noise /
-  /// duplicate token trigger the active monitor; a corrupted frame is
-  /// retransmitted (its payload is not marked delivered); a crashed
-  /// station loses its queue and is bypassed (Theta shrinks) until its
-  /// rejoin, each reconfiguration costing one beacon recovery.
-  fault::FaultPlan faults;
-  /// Abort with EventStormError past this many simulation events; 0 picks
-  /// a generous default guard (see kDefaultMaxSimEvents).
-  std::size_t max_events = 0;
-};
-
-/// Default max-event guard installed by both protocol simulators when the
-/// config leaves `max_events` at 0 — far above any legitimate run, so only
-/// genuine event storms trip it.
-inline constexpr std::size_t kDefaultMaxSimEvents = 50'000'000;
-
-/// One PDP token-ring simulation run over a message set. Streams may share
-/// stations; station indices must lie in [0, ring.num_stations).
-class PdpSimulation {
+/// One PDP token-ring simulation run over a message set. Built via
+/// make_simulator (config.hpp); uses config.pdp, ignores config.ttp/ttrt/
+/// sync_bandwidth_per_stream/engine.
+class PdpSimulation final : public Simulation, private EventHandler {
  public:
-  PdpSimulation(msg::MessageSet set, PdpSimConfig config);
+  PdpSimulation(msg::MessageSet set, SimConfig config);
 
   /// Execute the run and return aggregate metrics.
-  SimMetrics run();
+  SimMetrics run() override;
 
  private:
   struct PendingMessage {
@@ -120,6 +80,9 @@ class PdpSimulation {
     bool alive = true;               // false while crashed (bypassed)
   };
 
+  /// Typed-event dispatch (the old per-event closures, one switch).
+  void on_event(const Event& ev) override;
+
   void schedule_arrival(int station, std::size_t stream_idx, Seconds at);
   void on_arrival(int station, std::size_t stream_idx);
   /// Apply one fault from the plan with the 802.5 recovery model.
@@ -137,7 +100,6 @@ class PdpSimulation {
   void schedule_async_arrival(int station);
   /// A station gained traffic while the ring may be idle: arrange capture.
   void maybe_capture_idle(int station);
-  void emit(TraceEventKind kind, int station, double detail) const;
   /// Best (lowest-rank) pending stream at `station`; -1 if none.
   int best_local_priority(const Station& st) const;
   /// Pick the station whose head frame should transmit next; sync first by
@@ -150,11 +112,13 @@ class PdpSimulation {
   Seconds hops_time(int from, int to) const;
 
   msg::MessageSet set_;
-  PdpSimConfig cfg_;
+  SimConfig cfg_;
   Simulator sim_;
   SimMetrics metrics_;
   Rng rng_;
   std::vector<Station> stations_;
+  /// Fault plan expanded once; kFault events carry an index into this.
+  std::vector<fault::FaultEvent> fault_events_;
   int active_count_ = 0;
   Seconds theta_ = 0.0;
   Seconds hop_ = 0.0;
@@ -175,9 +139,5 @@ class PdpSimulation {
   /// their generation and abort.
   std::uint64_t token_generation_ = 0;
 };
-
-/// Convenience: build, run, and return metrics.
-SimMetrics run_pdp_simulation(const msg::MessageSet& set,
-                              const PdpSimConfig& config);
 
 }  // namespace tokenring::sim

@@ -1,25 +1,33 @@
 #include "tokenring/sim/simulator.hpp"
 
+#include <limits>
 #include <sstream>
-#include <utility>
 
 #include "tokenring/common/checks.hpp"
 
 namespace tokenring::sim {
 
-void Simulator::schedule_in(Seconds delay, EventFn fn) {
+void Simulator::schedule_in(Seconds delay, Event ev) {
   TR_EXPECTS(delay >= 0.0);
-  queue_.push(now_ + delay, std::move(fn));
+  queue_.push(now_ + delay, ev);
 }
 
-void Simulator::schedule_at(Seconds at, EventFn fn) {
+void Simulator::schedule_at(Seconds at, Event ev) {
   TR_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
-  queue_.push(at, std::move(fn));
+  queue_.push(at, ev);
 }
 
 std::size_t Simulator::run_until(Seconds horizon) {
+  constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
+  for (;;) {
+    const Seconds qt = queue_.empty() ? kInf : queue_.next_time();
+    const Seconds ft = frontier_ ? frontier_->frontier_time() : kInf;
+    // Queue events win ties: a fault landing at the same instant as the
+    // frontier's token arrival must destroy the token first.
+    const bool from_queue = qt <= ft;
+    const Seconds t = from_queue ? qt : ft;
+    if (!(t <= horizon)) break;  // also exits on both-infinite
     if (max_events_ != 0 && executed_ >= max_events_) {
       std::ostringstream os;
       os << "simulation exceeded the max-event guard (" << max_events_
@@ -28,13 +36,18 @@ std::size_t Simulator::run_until(Seconds horizon) {
             "scheduling an event storm";
       throw EventStormError(os.str());
     }
-    auto [at, fn] = queue_.pop();
-    now_ = at;
-    fn();
+    now_ = t;
+    if (from_queue) {
+      const Event ev = queue_.pop();
+      TR_EXPECTS_MSG(handler_ != nullptr, "no event handler installed");
+      handler_->on_event(ev);
+    } else {
+      frontier_->advance_frontier();
+    }
     ++count;
     ++executed_;
   }
-  if (queue_.empty() || now_ < horizon) now_ = horizon;
+  if (now_ < horizon) now_ = horizon;
   return count;
 }
 

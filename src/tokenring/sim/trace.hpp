@@ -38,6 +38,22 @@ const char* to_string(TraceEventKind kind);
 
 /// One traced event. The raw `detail` field is kind-overloaded; prefer the
 /// named accessors, which document the unit and which kinds carry them.
+///
+/// Stable per-kind field list (the wire contract of every sink, including
+/// the JSONL sink in obs/trace_sinks.hpp). Both simulators populate records
+/// through the single sim::emit() below, so this table is authoritative:
+///
+///   kind             | at                      | station   | detail
+///   -----------------+-------------------------+-----------+------------------
+///   kMessageArrival  | release time            | releasing | payload [bits]
+///   kSyncFrameStart  | first bit on the medium | sender    | frame time [s]
+///   kMessageComplete | last bit received       | sender    | response time [s]
+///   kDeadlineMiss    | completion (= the       | sender    | response time [s]
+///                    | kMessageComplete time)  |           |
+///   kAsyncFrame      | last async bit sent     | sender    | medium time [s]
+///   kTokenArrival    | token reaches station   | visited   | async budget [s]
+///                    | (TTP) / capture done    |           | (TTP earliness;
+///                    | (PDP)                   |           |  0 for PDP)
 struct TraceRecord {
   Seconds at = 0.0;
   TraceEventKind kind{};
@@ -77,6 +93,16 @@ class CallbackSink final : public TraceSink {
  private:
   std::function<void(const TraceRecord&)> fn_;
 };
+
+/// The one place TraceRecords are built and delivered: both protocol
+/// simulators report every traced event through this call, so the per-kind
+/// field mapping above cannot drift between models. No-op on a null sink.
+/// `at` is explicit because TTP reports mid-visit timestamps (completions
+/// inside a visit) that differ from the simulator clock.
+inline void emit(TraceSink* sink, Seconds at, TraceEventKind kind, int station,
+                 double detail) {
+  if (sink != nullptr) sink->emit(TraceRecord{at, kind, station, detail});
+}
 
 /// Render one record as a fixed-width line ("[  1.234 ms] station  3 ...").
 std::string format_trace_record(const TraceRecord& record);

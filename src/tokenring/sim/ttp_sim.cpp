@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/common/checks.hpp"
 #include "tokenring/fault/recovery.hpp"
-#include "tokenring/sim/pdp_sim.hpp"  // kDefaultMaxSimEvents
 
 namespace tokenring::sim {
 
@@ -14,9 +13,9 @@ namespace {
 constexpr Seconds kDeadlineSlack = 1e-12;
 }  // namespace
 
-TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
+TtpSimulation::TtpSimulation(msg::MessageSet set, SimConfig config)
     : set_(std::move(set)), cfg_(std::move(config)), rng_(cfg_.seed) {
-  cfg_.params.validate();
+  cfg_.ttp.validate();
   set_.validate();
   TR_EXPECTS(cfg_.bandwidth > 0.0);
   TR_EXPECTS(cfg_.ttrt > 0.0);
@@ -27,7 +26,7 @@ TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
   }
   TR_EXPECTS(cfg_.arrival_jitter >= 0.0);
 
-  const int n = cfg_.params.ring.num_stations;
+  const int n = cfg_.ttp.ring.num_stations;
   cfg_.faults.validate(n);
   TR_EXPECTS_MSG(
       cfg_.sync_bandwidth_per_stream.size() == set_.size(),
@@ -46,16 +45,27 @@ TtpSimulation::TtpSimulation(msg::MessageSet set, TtpSimConfig config)
     stations_[static_cast<std::size_t>(s.station)].streams.push_back(local);
   }
 
-  token_time_ = cfg_.params.ring.token_time(cfg_.bandwidth);
-  f_ovhd_ = cfg_.params.frame.overhead_time(cfg_.bandwidth);
-  f_async_ = cfg_.params.async_frame.frame_time(cfg_.bandwidth);
+  token_time_ = cfg_.ttp.ring.token_time(cfg_.bandwidth);
+  f_ovhd_ = cfg_.ttp.frame.overhead_time(cfg_.bandwidth);
+  f_async_ = cfg_.ttp.async_frame.frame_time(cfg_.bandwidth);
   update_ring_timing();
+
+  // Idle-lap fast-forward replaces a chain of per-visit adds with one
+  // multiply, so it is reserved for runs that opted out of exact rotation
+  // statistics and have nothing observable happening on an idle lap.
+  hibernate_ok_ = cfg_.engine == EngineMode::kFrontier &&
+                  !cfg_.collect_rotation_stats &&
+                  cfg_.async_model == AsyncModel::kNone &&
+                  cfg_.trace == nullptr;
+
+  sim_.set_handler(this);
+  if (cfg_.engine == EngineMode::kFrontier) sim_.set_frontier(this);
 }
 
 void TtpSimulation::update_ring_timing() {
   // Bypassed stations contribute no ring-interface bit delay; the cable
   // and hop positions remain.
-  const auto& ring = cfg_.params.ring;
+  const auto& ring = cfg_.ttp.ring;
   const Seconds walk =
       ring.propagation_delay() + static_cast<double>(active_count_) *
                                      ring.per_station_bit_delay /
@@ -70,10 +80,95 @@ int TtpSimulation::first_alive() const {
   return -1;
 }
 
-void TtpSimulation::emit(TraceEventKind kind, int station,
-                         double detail) const {
-  if (cfg_.trace) {
-    cfg_.trace->emit(TraceRecord{sim_.now(), kind, station, detail});
+void TtpSimulation::on_event(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kTtpTokenHop:
+      on_token_arrival(ev.station, ev.gen);
+      return;
+    case EventKind::kFault:
+      on_fault(fault_events_[static_cast<std::size_t>(ev.index)]);
+      return;
+    case EventKind::kRecovery: {
+      if (ev.gen != token_generation_) return;  // superseded by newer fault
+      const int resume = first_alive();
+      if (resume < 0) return;  // every station crashed: the ring stays dark
+      // Ring re-initialization: every rotation timer restarts and the
+      // claim winner issues a fresh token.
+      for (auto& st : stations_) st.trt_expiry = sim_.now() + cfg_.ttrt;
+      next_station_ = resume;
+      on_token_arrival(resume, token_generation_);
+      return;
+    }
+    case EventKind::kCorruptionRetry:
+      if (ev.gen != token_generation_) return;
+      on_token_arrival(next_station_, token_generation_);
+      return;
+    case EventKind::kKickoff:
+      on_token_arrival(0, ev.gen);
+      return;
+    case EventKind::kUser:
+    case EventKind::kPdpArrival:
+    case EventKind::kPdpAsyncArrival:
+    case EventKind::kPdpIdleCapture:
+    case EventKind::kPdpWalkDone:
+    case EventKind::kPdpSyncFrameDone:
+    case EventKind::kPdpAsyncFrameDone:
+      TR_EXPECTS_MSG(false, "event kind not handled by the TTP simulator");
+      return;
+  }
+}
+
+Seconds TtpSimulation::frontier_time() const {
+  return token_live_ ? token_at_ : std::numeric_limits<Seconds>::infinity();
+}
+
+void TtpSimulation::advance_frontier() {
+  // Disarm first: if the generation went stale (a fault destroyed the
+  // token) the visit below aborts without re-arming, exactly like a stale
+  // queued hop event popping to a no-op.
+  token_live_ = false;
+  on_token_arrival(token_next_, token_gen_);
+}
+
+void TtpSimulation::pass_token(int next, Seconds delay) {
+  next_station_ = next;
+  if (cfg_.engine == EngineMode::kEager) {
+    Event ev;
+    ev.kind = EventKind::kTtpTokenHop;
+    ev.station = next;
+    ev.gen = token_generation_;
+    sim_.schedule_in(delay, ev);
+    return;
+  }
+  token_live_ = true;
+  token_at_ = sim_.now() + delay;
+  token_next_ = next;
+  token_gen_ = token_generation_;
+
+  // Idle-lap fast-forward: once per lap (at the wrap to station 0), if no
+  // message is queued anywhere, skip whole laps until just before the next
+  // release (or past the horizon). Pending fault events are unaffected —
+  // the engine still fires them first, and their generation bump discards
+  // this frontier.
+  if (hibernate_ok_ && next == 0 && total_queued_ == 0) {
+    Seconds next_wake = std::numeric_limits<Seconds>::infinity();
+    for (const auto& st : stations_) {
+      if (!st.alive) continue;
+      for (const auto& local : st.streams) {
+        next_wake = std::min(next_wake, local.next_release);
+      }
+    }
+    const Seconds lap =
+        static_cast<double>(cfg_.ttp.ring.num_stations) * hop_ + token_time_;
+    if (lap <= 0.0) return;
+    double laps;
+    if (next_wake > cfg_.horizon) {
+      // Nothing left to serve: jump past the horizon and end the run.
+      laps = std::floor((cfg_.horizon - token_at_) / lap) + 1.0;
+    } else {
+      laps = std::floor((next_wake - token_at_) / lap);
+    }
+    if (laps > 0.0) token_at_ += laps * lap;
   }
 }
 
@@ -84,13 +179,11 @@ void TtpSimulation::materialize_arrivals(int station, Station& st,
       if (enqueue) {
         local.queue.push_back(
             PendingMessage{local.next_release, local.spec.payload_bits});
+        ++total_queued_;
         metrics_.on_release(station);
         metrics_.on_queue_depth(local.queue.size());
-        if (cfg_.trace) {
-          cfg_.trace->emit(TraceRecord{local.next_release,
-                                       TraceEventKind::kMessageArrival, station,
-                                       local.spec.payload_bits});
-        }
+        emit(cfg_.trace, local.next_release, TraceEventKind::kMessageArrival,
+             station, local.spec.payload_bits);
       }
       local.next_release += local.spec.period;
       if (cfg_.arrival_jitter > 0.0) {
@@ -133,15 +226,14 @@ Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
       const Seconds deadline = stream.spec.deadline();
       metrics_.on_completion(station, head.arrival, response,
                              stream.spec.period, deadline, kDeadlineSlack);
-      if (cfg_.trace) {
-        cfg_.trace->emit(TraceRecord{
-            completion, TraceEventKind::kMessageComplete, station, response});
-        if (response > deadline + kDeadlineSlack) {
-          cfg_.trace->emit(TraceRecord{
-              completion, TraceEventKind::kDeadlineMiss, station, response});
-        }
+      emit(cfg_.trace, completion, TraceEventKind::kMessageComplete, station,
+           response);
+      if (response > deadline + kDeadlineSlack) {
+        emit(cfg_.trace, completion, TraceEventKind::kDeadlineMiss, station,
+             response);
       }
       stream.queue.pop_front();
+      --total_queued_;
     } else {
       break;  // budget exhausted mid-message
     }
@@ -150,21 +242,16 @@ Seconds TtpSimulation::serve_stream(int station, LocalStream& stream,
 }
 
 void TtpSimulation::ring_outage(fault::FaultKind kind, Seconds outage) {
-  // Destroy the circulating token: stale pass events abort via generation.
+  // Destroy the circulating token: stale pass events (or a stale frontier)
+  // abort via generation.
   ++token_generation_;
   const Seconds now = sim_.now();
   recovering_until_ = std::max(recovering_until_, now + outage);
   metrics_.on_fault(kind, now, now + outage);
-  sim_.schedule_in(outage, [this, gen = token_generation_] {
-    if (gen != token_generation_) return;  // superseded by a newer fault
-    const int resume = first_alive();
-    if (resume < 0) return;  // every station crashed: the ring stays dark
-    // Ring re-initialization: every rotation timer restarts and the claim
-    // winner issues a fresh token.
-    for (auto& st : stations_) st.trt_expiry = sim_.now() + cfg_.ttrt;
-    next_station_ = resume;
-    on_token_arrival(resume, token_generation_);
-  });
+  Event ev;
+  ev.kind = EventKind::kRecovery;
+  ev.gen = token_generation_;
+  sim_.schedule_in(outage, ev);
 }
 
 void TtpSimulation::crash_station(int station) {
@@ -184,13 +271,14 @@ void TtpSimulation::crash_station(int station) {
   // Record the outage before abandoning the queue so those misses
   // attribute to the crash.
   ring_outage(fault::FaultKind::kStationCrash,
-              fault::ttp_reconfiguration_outage(cfg_.params, cfg_.bandwidth));
+              fault::ttp_reconfiguration_outage(cfg_.ttp, cfg_.bandwidth));
   for (auto& local : st.streams) {
     for (const auto& m : local.queue) {
       if (m.arrival + local.spec.deadline() <= cfg_.horizon) {
         metrics_.on_abandoned_miss(station, m.arrival, local.spec.deadline());
       }
     }
+    total_queued_ -= local.queue.size();
     local.queue.clear();
   }
 }
@@ -210,7 +298,7 @@ void TtpSimulation::rejoin_station(int station) {
   update_ring_timing();
   // Ring insertion disrupts the ring like a break: claim recovery again.
   ring_outage(fault::FaultKind::kStationRejoin,
-              fault::ttp_reconfiguration_outage(cfg_.params, cfg_.bandwidth));
+              fault::ttp_reconfiguration_outage(cfg_.ttp, cfg_.bandwidth));
 }
 
 void TtpSimulation::on_fault(const fault::FaultEvent& event) {
@@ -218,17 +306,17 @@ void TtpSimulation::on_fault(const fault::FaultEvent& event) {
   switch (event.kind) {
     case fault::FaultKind::kTokenLoss:
       ring_outage(event.kind, fault::ttp_token_loss_outage(
-                                  cfg_.params, cfg_.bandwidth, cfg_.ttrt));
+                                  cfg_.ttp, cfg_.bandwidth, cfg_.ttrt));
       return;
     case fault::FaultKind::kNoiseBurst:
       // The noise destroys the token (or whatever frame carried it) and
       // jams the medium for its duration before detection can even start.
       ring_outage(event.kind,
                   event.duration + fault::ttp_token_loss_outage(
-                                       cfg_.params, cfg_.bandwidth, cfg_.ttrt));
+                                       cfg_.ttp, cfg_.bandwidth, cfg_.ttrt));
       return;
     case fault::FaultKind::kDuplicateToken:
-      ring_outage(event.kind, fault::ttp_duplicate_outage(cfg_.params,
+      ring_outage(event.kind, fault::ttp_duplicate_outage(cfg_.ttp,
                                                           cfg_.bandwidth));
       return;
     case fault::FaultKind::kFrameCorruption: {
@@ -245,13 +333,13 @@ void TtpSimulation::on_fault(const fault::FaultEvent& event) {
       // retransmission is exactly the wasted slot.
       ++token_generation_;
       const Seconds penalty =
-          fault::ttp_corruption_outage(cfg_.params, cfg_.bandwidth);
+          fault::ttp_corruption_outage(cfg_.ttp, cfg_.bandwidth);
       recovering_until_ = std::max(recovering_until_, now + penalty);
       metrics_.on_fault(event.kind, now, now + penalty);
-      sim_.schedule_in(penalty, [this, gen = token_generation_] {
-        if (gen != token_generation_) return;
-        on_token_arrival(next_station_, token_generation_);
-      });
+      Event ev;
+      ev.kind = EventKind::kCorruptionRetry;
+      ev.gen = token_generation_;
+      sim_.schedule_in(penalty, ev);
       return;
     }
     case fault::FaultKind::kStationCrash:
@@ -267,21 +355,20 @@ void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
   if (generation != token_generation_) return;  // token was destroyed
   auto& st = stations_[static_cast<std::size_t>(station)];
   const Seconds now = sim_.now();
-  const int next = (station + 1) % cfg_.params.ring.num_stations;
+  const int next = (station + 1) % cfg_.ttp.ring.num_stations;
   const Seconds wrap = next == 0 ? token_time_ : 0.0;
 
   // A crashed station is bypassed: the token repeats straight through (its
   // interface delay already left the hop latency via update_ring_timing).
   if (!st.alive) {
-    next_station_ = next;
-    sim_.schedule_in(hop_ + wrap, [this, next, generation] {
-      on_token_arrival(next, generation);
-    });
+    pass_token(next, hop_ + wrap);
     return;
   }
 
-  // Rotation metrics.
-  if (st.last_visit >= 0.0) {
+  // Rotation metrics. Skipping them (collect_rotation_stats = false) is
+  // what licenses the idle-lap fast-forward: a skipped lap can no longer
+  // perturb the recorded gap distribution.
+  if (cfg_.collect_rotation_stats && st.last_visit >= 0.0) {
     const Seconds gap = now - st.last_visit;
     max_intervisit_ = std::max(max_intervisit_, gap);
     if (station == 0) metrics_.token_rotation.add(gap);
@@ -306,7 +393,7 @@ void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
     // claim process would recover the ring; model recovery as a restart.
     if (now >= st.trt_expiry) st.trt_expiry = now + cfg_.ttrt;
   }
-  emit(TraceEventKind::kTokenArrival, station, async_budget);
+  emit(cfg_.trace, now, TraceEventKind::kTokenArrival, station, async_budget);
 
   // Synchronous service: every hosted stream may use its own h_i.
   Seconds sync_used = 0.0;
@@ -331,18 +418,16 @@ void TtpSimulation::on_token_arrival(int station, std::uint64_t generation) {
     }
     async_used = static_cast<double>(frames) * f_async_;
     metrics_.async_frames_sent += static_cast<std::size_t>(frames);
-    if (frames > 0) emit(TraceEventKind::kAsyncFrame, station, async_used);
+    if (frames > 0) {
+      emit(cfg_.trace, now, TraceEventKind::kAsyncFrame, station, async_used);
+    }
   }
 
   // Pass the token downstream. Idle stations just repeat the token (their
   // latency is part of the hop), so a full rotation costs WT plus one token
   // transmission: charge token_time once per lap, at the wrap-around hop.
   // This matches the paper's Theta = WT + token-transmission accounting.
-  const Seconds depart = sync_used + async_used + hop_ + wrap;
-  next_station_ = next;
-  sim_.schedule_in(depart, [this, next, generation] {
-    on_token_arrival(next, generation);
-  });
+  pass_token(next, sync_used + async_used + hop_ + wrap);
 }
 
 SimMetrics TtpSimulation::run() {
@@ -368,16 +453,21 @@ SimMetrics TtpSimulation::run() {
   // All rotation timers start fresh when the ring initializes.
   for (auto& st : stations_) st.trt_expiry = cfg_.ttrt;
 
-  for (const auto& event : cfg_.faults.sorted_events()) {
-    sim_.schedule_at(event.time, [this, event] { on_fault(event); });
+  fault_events_ = cfg_.faults.sorted_events();
+  for (std::size_t i = 0; i < fault_events_.size(); ++i) {
+    Event ev;
+    ev.kind = EventKind::kFault;
+    ev.index = static_cast<std::int32_t>(i);
+    sim_.schedule_at(fault_events_[i].time, ev);
   }
 
   // Initial token at station 0. Faults were scheduled first, so a fault at
   // t=0 fires before this and the generation guard makes recovery, not
   // this kickoff, issue the first token.
-  sim_.schedule_at(0.0, [this, gen = token_generation_] {
-    on_token_arrival(0, gen);
-  });
+  Event kickoff;
+  kickoff.kind = EventKind::kKickoff;
+  kickoff.gen = token_generation_;
+  sim_.schedule_at(0.0, kickoff);
   sim_.run_until(cfg_.horizon);
 
   // Account deadline misses of incomplete or never-served messages. A
@@ -396,24 +486,6 @@ SimMetrics TtpSimulation::run() {
   }
   record_run_observability(metrics_, sim_.events_executed());
   return metrics_;
-}
-
-SimMetrics run_ttp_simulation(const msg::MessageSet& set,
-                              const TtpSimConfig& config) {
-  TtpSimConfig cfg = config;
-  if (cfg.ttrt <= 0.0) {
-    cfg.ttrt = analysis::select_ttrt(set, cfg.params.ring, cfg.bandwidth);
-  }
-  if (cfg.sync_bandwidth_per_stream.empty()) {
-    cfg.sync_bandwidth_per_stream.reserve(set.size());
-    for (const auto& s : set.streams()) {
-      cfg.sync_bandwidth_per_stream.push_back(
-          analysis::ttp_local_bandwidth(s, cfg.params, cfg.bandwidth, cfg.ttrt)
-              .value_or(0.0));
-    }
-  }
-  TtpSimulation sim(set, cfg);
-  return sim.run();
 }
 
 }  // namespace tokenring::sim

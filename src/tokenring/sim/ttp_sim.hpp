@@ -17,6 +17,19 @@
 //    one token transmission is charged per lap, so an idle rotation sums
 //    to Theta, matching the analysis.
 //
+// Engine modes (SimConfig::engine):
+//  * kFrontier (default): the token walk is a FrontierSource — the next
+//    arrival is a (time, station) pair advanced in place, so a hop costs
+//    no queue traffic and no allocation. Every visit performs bit-for-bit
+//    the same arithmetic (and RNG draws) as the eager walk, so metrics and
+//    traces are identical. With rotation statistics disabled
+//    (collect_rotation_stats = false, async kNone, no trace sink) the walk
+//    additionally fast-forwards whole idle laps in O(1) whenever no
+//    message is queued anywhere — the huge-ring/long-horizon mode.
+//  * kEager: every hop is a typed kTtpTokenHop event through the calendar
+//    queue — the original engine's shape, kept as the differential-test
+//    and benchmark reference.
+//
 // The paper's model hosts exactly one stream per station; this simulator
 // generalizes to any number (including zero) of streams per station — the
 // schedulability analyses never depended on the restriction.
@@ -33,71 +46,33 @@
 #include <deque>
 #include <vector>
 
-#include "tokenring/analysis/ttp.hpp"
 #include "tokenring/common/rng.hpp"
 #include "tokenring/fault/plan.hpp"
 #include "tokenring/msg/message_set.hpp"
-#include "tokenring/sim/async.hpp"
-#include "tokenring/sim/metrics.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/simulator.hpp"
-#include "tokenring/sim/trace.hpp"
 
 namespace tokenring::sim {
 
-/// Simulation settings for a TTP run.
-struct TtpSimConfig {
-  analysis::TtpParams params;
-  BitsPerSecond bandwidth = mbps(100);
-  /// Negotiated TTRT [s] (use analysis::select_ttrt for the paper's rule).
-  Seconds ttrt = 0.0;
-  /// Per-stream synchronous bandwidths h_i, aligned with the message set's
-  /// stream order (NOT station-indexed: a station hosting several streams
-  /// owns the sum of their allocations). Unguaranteeable streams carry 0.
-  std::vector<Seconds> sync_bandwidth_per_stream;
-  Seconds horizon = 1.0;
-  /// true: each message arrives just after the token leaves its station
-  /// (maximizes waiting); false: random phases.
-  bool worst_case_phasing = true;
-  /// Asynchronous cross-traffic model. kSaturating matches the analysis'
-  /// worst-case assumption (async consumes every earliness budget).
-  AsyncModel async_model = AsyncModel::kSaturating;
-  /// Per-station Poisson arrival rate [frames/s]; used with kPoisson only.
-  double async_frames_per_second = 0.0;
-  /// Sporadic arrivals: extra uniform delay between releases, as a fraction
-  /// of the period (inter-arrival in [P, (1+jitter)*P]). 0 = strictly
-  /// periodic (the paper's model); the analyses stay valid upper bounds.
-  double arrival_jitter = 0.0;
-  std::uint64_t seed = 1;
-  /// Optional event sink (see trace.hpp); null = no tracing. The sink must
-  /// outlive the run and is invoked synchronously on the simulation thread.
-  TraceSink* trace = nullptr;
-  /// Failure injection: every fault in the plan is applied with the FDDI
-  /// recovery machinery (fault/recovery.hpp). Token loss is detected when a
-  /// rotation timer expires with Late_Ct already set (up to 2*TTRT after
-  /// the loss), then the claim process re-initializes the ring; all TRT
-  /// timers restart when the new token is issued. A corrupted frame's visit
-  /// slot is wasted and retransmitted; a crashed station is bypassed (its
-  /// queue is lost) until its rejoin, each reconfiguration costing one
-  /// claim recovery.
-  fault::FaultPlan faults;
-  /// Abort with EventStormError past this many simulation events; 0 picks
-  /// the generous default guard (kDefaultMaxSimEvents in pdp_sim.hpp).
-  std::size_t max_events = 0;
-};
-
-/// One FDDI timed-token simulation run.
-class TtpSimulation {
+/// One FDDI timed-token simulation run. Built via make_simulator
+/// (config.hpp), which fills unset ttrt/sync_bandwidth_per_stream; uses
+/// config.ttp, ignores config.pdp.
+class TtpSimulation final : public Simulation,
+                            private EventHandler,
+                            private FrontierSource {
  public:
-  TtpSimulation(msg::MessageSet set, TtpSimConfig config);
+  /// Requires ttrt > 0 and sync_bandwidth_per_stream aligned with the
+  /// set's streams (make_simulator guarantees both).
+  TtpSimulation(msg::MessageSet set, SimConfig config);
 
   /// Execute the run and return aggregate metrics. `token_rotation` holds
   /// station-0 inter-visit times; `max_intervisit()` is tracked across all
   /// stations for the Johnson-bound check.
-  SimMetrics run();
+  SimMetrics run() override;
 
   /// Largest token inter-visit time observed at any station (valid after
-  /// run()).
-  Seconds max_intervisit() const { return max_intervisit_; }
+  /// run(); requires collect_rotation_stats, which is the default).
+  Seconds max_intervisit() const override { return max_intervisit_; }
 
  private:
   struct PendingMessage {
@@ -120,7 +95,17 @@ class TtpSimulation {
     bool alive = true;                // false while crashed (bypassed)
   };
 
+  /// Typed-event dispatch (faults, kickoff, recovery, eager token hops).
+  void on_event(const Event& ev) override;
+  /// FrontierSource: the token's next arrival, advanced lazily.
+  Seconds frontier_time() const override;
+  void advance_frontier() override;
+
   void on_token_arrival(int station, std::uint64_t generation);
+  /// Hand the token to `next`, `delay` seconds from now: a queued
+  /// kTtpTokenHop event (eager) or a frontier update (frontier). The
+  /// frontier path may fast-forward whole idle laps (see hibernate_ok_).
+  void pass_token(int next, Seconds delay);
   /// Apply one fault from the plan with the FDDI recovery model.
   void on_fault(const fault::FaultEvent& event);
   /// Kill the ring for `outage`, then re-initialize: every TRT restarts and
@@ -145,14 +130,15 @@ class TtpSimulation {
   /// Serve one stream's queue for at most its per-visit bandwidth, starting
   /// `offset` seconds into the visit; returns time consumed.
   Seconds serve_stream(int station, LocalStream& stream, Seconds offset);
-  void emit(TraceEventKind kind, int station, double detail) const;
 
   msg::MessageSet set_;
-  TtpSimConfig cfg_;
+  SimConfig cfg_;
   Simulator sim_;
   SimMetrics metrics_;
   Rng rng_;
   std::vector<Station> stations_;
+  /// Fault plan expanded once; kFault events carry an index into this.
+  std::vector<fault::FaultEvent> fault_events_;
   int active_count_ = 0;
   Seconds hop_ = 0.0;
   Seconds token_time_ = 0.0;
@@ -166,15 +152,19 @@ class TtpSimulation {
   /// inside it are absorbed (the ring is already down).
   Seconds recovering_until_ = 0.0;
   /// Incremented whenever a fault destroys the circulating token; stale
-  /// in-flight token-pass events compare their captured generation and
-  /// abort.
+  /// in-flight token-pass events (or a stale frontier) compare their
+  /// captured generation and abort.
   std::uint64_t token_generation_ = 0;
+  // Frontier state (engine == kFrontier): the token's next arrival.
+  bool token_live_ = false;
+  Seconds token_at_ = 0.0;
+  int token_next_ = 0;
+  std::uint64_t token_gen_ = 0;
+  /// Idle-lap fast-forward is legal for this run (frontier engine, async
+  /// kNone, no trace sink, rotation stats off).
+  bool hibernate_ok_ = false;
+  /// Synchronous messages queued anywhere on the ring (hibernation gate).
+  std::size_t total_queued_ = 0;
 };
-
-/// Convenience wrapper: selects TTRT by the paper rule and allocates with
-/// the local scheme when the config leaves those fields empty. Streams with
-/// q_i < 2 receive h_i = 0.
-SimMetrics run_ttp_simulation(const msg::MessageSet& set,
-                              const TtpSimConfig& config);
 
 }  // namespace tokenring::sim

@@ -5,13 +5,14 @@
 
 namespace tokenring::sim {
 
-TtpSimConfig make_ttp_sim_config(const msg::MessageSet& set,
-                                 const analysis::TtpParams& params,
-                                 BitsPerSecond bw, double horizon_periods) {
+SimConfig make_sim_config(const msg::MessageSet& set,
+                          const analysis::TtpParams& params, BitsPerSecond bw,
+                          double horizon_periods) {
   TR_EXPECTS(!set.empty());
   TR_EXPECTS(horizon_periods > 0.0);
-  TtpSimConfig cfg;
-  cfg.params = params;
+  SimConfig cfg;
+  cfg.protocol = Protocol::kTtp;
+  cfg.ttp = params;
   cfg.bandwidth = bw;
   cfg.ttrt = analysis::select_ttrt(set, params.ring, bw);
   cfg.horizon = horizon_periods * set.max_period();
@@ -23,13 +24,14 @@ TtpSimConfig make_ttp_sim_config(const msg::MessageSet& set,
   return cfg;
 }
 
-PdpSimConfig make_pdp_sim_config(const msg::MessageSet& set,
-                                 const analysis::PdpParams& params,
-                                 BitsPerSecond bw, double horizon_periods) {
+SimConfig make_sim_config(const msg::MessageSet& set,
+                          const analysis::PdpParams& params, BitsPerSecond bw,
+                          double horizon_periods) {
   TR_EXPECTS(!set.empty());
   TR_EXPECTS(horizon_periods > 0.0);
-  PdpSimConfig cfg;
-  cfg.params = params;
+  SimConfig cfg;
+  cfg.protocol = Protocol::kPdp;
+  cfg.pdp = params;
   cfg.bandwidth = bw;
   cfg.horizon = horizon_periods * set.max_period();
   return cfg;

@@ -5,7 +5,7 @@
 #include "tokenring/analysis/ttrt.hpp"
 #include "tokenring/common/checks.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 namespace tokenring::analysis {
 namespace {
@@ -76,8 +76,9 @@ TEST(TtpAsyncCapacity, MatchesSimulatedThroughput) {
   const double predicted = ttp_async_capacity(set, p, bw, ttrt);
   ASSERT_GT(predicted, 0.1);
 
-  sim::TtpSimConfig cfg;
-  cfg.params = p;
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kTtp;
+  cfg.ttp = p;
   cfg.bandwidth = bw;
   cfg.ttrt = ttrt;
   cfg.horizon = 2.0;
@@ -86,7 +87,7 @@ TEST(TtpAsyncCapacity, MatchesSimulatedThroughput) {
     cfg.sync_bandwidth_per_stream.push_back(
         ttp_local_bandwidth(s, p, bw, ttrt).value());
   }
-  const auto m = sim::run_ttp_simulation(set, cfg);
+  const auto m = sim::run_simulation(set, cfg);
   const double observed = static_cast<double>(m.async_frames_sent) *
                           p.async_frame.frame_time(bw) / cfg.horizon;
   EXPECT_NEAR(observed, predicted, 0.15) << "predicted " << predicted

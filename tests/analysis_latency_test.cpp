@@ -9,7 +9,7 @@
 #include "tokenring/common/rng.hpp"
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 namespace tokenring::analysis {
 namespace {
@@ -145,8 +145,9 @@ TEST(TtpLatency, SimulatedResponsesNeverExceedBound) {
     const auto set = base.scaled(sat.critical_scale * 0.95);
     const Seconds ttrt = select_ttrt(set, p.ring, bw);
 
-    sim::TtpSimConfig cfg;
-    cfg.params = p;
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kTtp;
+    cfg.ttp = p;
     cfg.bandwidth = bw;
     cfg.ttrt = ttrt;
     cfg.horizon = 4.0 * set.max_period();
@@ -156,8 +157,7 @@ TEST(TtpLatency, SimulatedResponsesNeverExceedBound) {
       cfg.sync_bandwidth_per_stream.push_back(
           ttp_local_bandwidth(s, p, bw, ttrt).value());
     }
-    sim::TtpSimulation simulation(set, cfg);
-    const auto metrics = simulation.run();
+    const auto metrics = sim::run_simulation(set, cfg);
 
     for (const auto& s : set.streams()) {
       const auto bound = ttp_response_bound(s, p, bw, ttrt);

@@ -15,8 +15,7 @@
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/msg/io.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace tokenring {
@@ -198,19 +197,20 @@ TEST(Deadline, PdpSimDetectsMissAgainstConstrainedDeadline) {
   // A message whose response (~0.9 ms) beats P = 100 ms comfortably but
   // violates D = 0.5 ms.
   const BitsPerSecond bw = mbps(1);
-  sim::PdpSimConfig cfg;
-  cfg.params = pdp_params(2);
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kPdp;
+  cfg.pdp = pdp_params(2);
   cfg.bandwidth = bw;
   cfg.horizon = milliseconds(50);
   cfg.async_model = sim::AsyncModel::kNone;
 
   msg::MessageSet loose;
   loose.add(stream(milliseconds(100), 512.0, 0));
-  EXPECT_EQ(sim::run_pdp_simulation(loose, cfg).deadline_misses, 0u);
+  EXPECT_EQ(sim::run_simulation(loose, cfg).deadline_misses, 0u);
 
   msg::MessageSet tight;
   tight.add(stream(milliseconds(100), 512.0, 0, milliseconds(0.5)));
-  const auto m = sim::run_pdp_simulation(tight, cfg);
+  const auto m = sim::run_simulation(tight, cfg);
   EXPECT_GT(m.deadline_misses, 0u);
 }
 
@@ -219,8 +219,9 @@ TEST(Deadline, PdpSimPrefersTighterDeadlineAtEqualPeriods) {
   // the D = 5 ms stream — it must never miss even though its station index
   // is higher.
   const BitsPerSecond bw = mbps(4);
-  sim::PdpSimConfig cfg;
-  cfg.params = pdp_params(4);
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kPdp;
+  cfg.pdp = pdp_params(4);
   cfg.bandwidth = bw;
   cfg.horizon = milliseconds(200);
   cfg.async_model = sim::AsyncModel::kNone;
@@ -228,7 +229,7 @@ TEST(Deadline, PdpSimPrefersTighterDeadlineAtEqualPeriods) {
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 8'192.0, 0));                    // D = 50
   set.add(stream(milliseconds(50), 2'048.0, 3, milliseconds(5)));   // D = 5
-  const auto m = sim::run_pdp_simulation(set, cfg);
+  const auto m = sim::run_simulation(set, cfg);
   ASSERT_TRUE(m.per_station.count(3));
   EXPECT_EQ(m.per_station.at(3).misses, 0u);
   // The tight stream's responses stay within its 5 ms deadline.
@@ -252,10 +253,9 @@ TEST(Deadline, TtpGuaranteeHoldsForConstrainedDeadlineSets) {
     auto set = gen.generate(rng).scaled(10.0);
     // Shrink until feasible under the constrained deadlines.
     while (!analysis::ttp_feasible(set, p, bw)) set = set.scaled(0.5);
-    auto cfg = sim::make_ttp_sim_config(set, p, bw, 4.0);
+    auto cfg = sim::make_sim_config(set, p, bw, 4.0);
     cfg.async_model = sim::AsyncModel::kSaturating;
-    sim::TtpSimulation sim(set, cfg);
-    const auto m = sim.run();
+    const auto m = sim::run_simulation(set, cfg);
     EXPECT_EQ(m.deadline_misses, 0u) << "trial " << trial;
     EXPECT_GT(m.messages_completed, 0u);
     ++validated;

@@ -15,8 +15,7 @@
 #include "tokenring/fault/plan.hpp"
 #include "tokenring/fault/recovery.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace tokenring::fault {
@@ -277,12 +276,12 @@ TEST(FaultMarginIntegration, PdpMarginIsConservativeInSimulation) {
   const Seconds r = report.recovery_per_fault;
 
   const auto run_with_burst = [&](int k) {
-    auto cfg = sim::make_pdp_sim_config(set, p, bw, 6.0);
+    auto cfg = sim::make_sim_config(set, p, bw, 6.0);
     const Seconds t0 = milliseconds(80) + 0.1 * r;
     for (int i = 0; i < k; ++i) {
       cfg.faults.add_token_loss(t0 + static_cast<double>(i) * r);
     }
-    return sim::PdpSimulation(set, cfg).run();
+    return sim::run_simulation(set, cfg);
   };
 
   // At the predicted margin the burst is absorbed: no deadline misses.
@@ -334,8 +333,9 @@ TEST(FaultMarginIntegration, TtpMarginIsConservativeInSimulation) {
   };
 
   const auto run_with_burst = [&](int k) {
-    sim::TtpSimConfig cfg;
-    cfg.params = p;
+    sim::SimConfig cfg;
+    cfg.protocol = sim::Protocol::kTtp;
+    cfg.ttp = p;
     cfg.bandwidth = bw;
     cfg.ttrt = ttrt;
     for (const auto& s : set.streams()) {
@@ -346,7 +346,7 @@ TEST(FaultMarginIntegration, TtpMarginIsConservativeInSimulation) {
     for (int i = 0; i < k; ++i) {
       cfg.faults.add_token_loss(t0 + static_cast<double>(i) * r);
     }
-    return sim::TtpSimulation(set, cfg).run();
+    return sim::run_simulation(set, cfg);
   };
 
   const auto at_margin = run_with_burst(report.margin);

@@ -19,8 +19,7 @@
 #include "tokenring/common/rng.hpp"
 #include "tokenring/msg/generator.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 namespace tokenring {
 namespace {
@@ -63,13 +62,14 @@ TEST_P(TtpAgreement, SchedulableSetsNeverMissDeadlines) {
   const auto set = base.scaled(sat.critical_scale * 0.99);
   ASSERT_TRUE(analysis::ttp_feasible(set, params, bw));
 
-  sim::TtpSimConfig cfg;
-  cfg.params = params;
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kTtp;
+  cfg.ttp = params;
   cfg.bandwidth = bw;
   cfg.horizon = 4.0 * set.max_period();
   cfg.worst_case_phasing = true;
   cfg.async_model = sim::AsyncModel::kSaturating;
-  const auto metrics = sim::run_ttp_simulation(set, cfg);
+  const auto metrics = sim::run_simulation(set, cfg);
 
   EXPECT_GT(metrics.messages_completed, 0u);
   EXPECT_EQ(metrics.deadline_misses, 0u)
@@ -100,15 +100,16 @@ TEST_P(TtpAgreement, GrosslyOversaturatedSetsMiss) {
   const auto set = base.scaled(sat.critical_scale * 3.0);
   ASSERT_FALSE(analysis::ttp_feasible(set, params, bw));
 
-  sim::TtpSimConfig cfg;
-  cfg.params = params;
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kTtp;
+  cfg.ttp = params;
   cfg.bandwidth = bw;
   cfg.horizon = 6.0 * set.max_period();
   cfg.worst_case_phasing = true;
   cfg.async_model = sim::AsyncModel::kSaturating;
   // Allocate with the (now infeasible) local rule anyway: rotations blow
   // past TTRT and deadlines fall.
-  const auto metrics = sim::run_ttp_simulation(set, cfg);
+  const auto metrics = sim::run_simulation(set, cfg);
   EXPECT_GT(metrics.deadline_misses, 0u);
 }
 
@@ -145,13 +146,14 @@ TEST_P(PdpAgreement, ComfortablyScheduledSetsAreClean) {
   const auto set = base.scaled(sat.critical_scale * 0.6);
   ASSERT_TRUE(analysis::pdp_feasible(set, params, bw));
 
-  sim::PdpSimConfig cfg;
-  cfg.params = params;
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kPdp;
+  cfg.pdp = params;
   cfg.bandwidth = bw;
   cfg.horizon = 4.0 * set.max_period();
   cfg.worst_case_phasing = true;
   cfg.async_model = sim::AsyncModel::kSaturating;
-  const auto metrics = sim::run_pdp_simulation(set, cfg);
+  const auto metrics = sim::run_simulation(set, cfg);
 
   EXPECT_GT(metrics.messages_completed, 0u);
   EXPECT_EQ(metrics.deadline_misses, 0u);
@@ -179,13 +181,14 @@ TEST_P(PdpAgreement, GrosslyOverloadedSetsMiss) {
   const auto set = base.scaled(sat.critical_scale * 3.0);
   ASSERT_FALSE(analysis::pdp_feasible(set, params, bw));
 
-  sim::PdpSimConfig cfg;
-  cfg.params = params;
+  sim::SimConfig cfg;
+  cfg.protocol = sim::Protocol::kPdp;
+  cfg.pdp = params;
   cfg.bandwidth = bw;
   cfg.horizon = 6.0 * set.max_period();
   cfg.worst_case_phasing = true;
   cfg.async_model = sim::AsyncModel::kSaturating;
-  const auto metrics = sim::run_pdp_simulation(set, cfg);
+  const auto metrics = sim::run_simulation(set, cfg);
   EXPECT_GT(metrics.deadline_misses, 0u);
 }
 

@@ -8,8 +8,8 @@
 #include "tokenring/common/checks.hpp"
 #include "tokenring/fault/recovery.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
+#include "tokenring/sim/simulator.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace tokenring::sim {
@@ -46,10 +46,9 @@ analysis::PdpParams pdp_params() {
 
 TEST(TtpFault, LossIsCountedAndRingRecovers) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults.add_token_loss(milliseconds(50));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 1u);
   EXPECT_EQ(m.faults_injected(), 1u);
   EXPECT_GT(m.total_outage(), 0.0);
@@ -60,9 +59,8 @@ TEST(TtpFault, LossIsCountedAndRingRecovers) {
 
 TEST(TtpFault, NoFaultsMeansCountersStayZero) {
   const BitsPerSecond bw = mbps(100);
-  const auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 5.0);
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto cfg = make_sim_config(light_set(), ttp_params(), bw, 5.0);
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 0u);
   EXPECT_EQ(m.faults_injected(), 0u);
   EXPECT_EQ(m.total_outage(), 0.0);
@@ -70,26 +68,25 @@ TEST(TtpFault, NoFaultsMeansCountersStayZero) {
 
 TEST(TtpFault, OutageShowsUpAsInterVisitGap) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   const Seconds outage =
-      fault::ttp_token_loss_outage(cfg.params, bw, cfg.ttrt);
+      fault::ttp_token_loss_outage(cfg.ttp, bw, cfg.ttrt);
   cfg.faults.add_token_loss(milliseconds(50));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto sim = make_simulator(light_set(), cfg);
+  const auto m = sim->run();
   // The recovery gap dominates every normal rotation, and the accounted
   // outage matches the recovery model.
-  EXPECT_GE(sim.max_intervisit(), outage - 1e-9);
+  EXPECT_GE(sim->max_intervisit(), outage - 1e-9);
   EXPECT_NEAR(m.total_outage(), outage, 1e-9);
 }
 
 TEST(TtpFault, RepeatedLossesAllRecovered) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 15.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 15.0);
   cfg.faults.add_token_loss(milliseconds(30));
   cfg.faults.add_token_loss(milliseconds(120));
   cfg.faults.add_token_loss(milliseconds(250));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 3u);
   EXPECT_GT(m.messages_completed, 20u);
 }
@@ -97,11 +94,10 @@ TEST(TtpFault, RepeatedLossesAllRecovered) {
 TEST(TtpFault, BackToBackLossesSupersedeCleanly) {
   // A second loss during the first recovery must not spawn two tokens.
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults.add_token_loss(milliseconds(50));
   cfg.faults.add_token_loss(milliseconds(50.1));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 2u);
   // Ring still alive at the end (steady completions).
   EXPECT_GT(m.messages_completed, 10u);
@@ -115,13 +111,12 @@ TEST(TtpFault, LossBurstCausesAttributedMissesForTightStreams) {
   analysis::TtpParams p = ttp_params();
   msg::MessageSet set;
   set.add(stream(milliseconds(2), 20'000.0, 0));
-  auto cfg = make_ttp_sim_config(set, p, bw, 40.0);
+  auto cfg = make_sim_config(set, p, bw, 40.0);
   ASSERT_GT(cfg.sync_bandwidth_per_stream[0], 0.0);
   cfg.faults.add_token_loss(milliseconds(20));
   cfg.faults.add_token_loss(milliseconds(20.3));
   cfg.faults.add_token_loss(milliseconds(20.6));
-  TtpSimulation with_loss(set, cfg);
-  const auto m = with_loss.run();
+  const auto m = run_simulation(set, cfg);
   EXPECT_EQ(m.token_losses, 3u);
   EXPECT_GT(m.deadline_misses, 0u);
   EXPECT_GT(m.fault_attributed_misses(), 0u);
@@ -130,38 +125,36 @@ TEST(TtpFault, LossBurstCausesAttributedMissesForTightStreams) {
             0u);
 
   cfg.faults = {};
-  TtpSimulation clean(set, cfg);
-  EXPECT_EQ(clean.run().deadline_misses, 0u);
+  EXPECT_EQ(run_simulation(set, cfg).deadline_misses, 0u);
 }
 
 TEST(TtpFault, CorruptionWastesOneSlotNotAClaimRecovery) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults.add_frame_corruption(milliseconds(50));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   const auto& acct = m.per_fault.at(fault::FaultKind::kFrameCorruption);
   EXPECT_EQ(acct.injected, 1u);
   // Retransmission costs at most one max-size frame — far below the claim
   // recovery a token loss would trigger.
-  EXPECT_LE(acct.outage, fault::ttp_corruption_outage(cfg.params, bw) + 1e-12);
+  EXPECT_LE(acct.outage, fault::ttp_corruption_outage(cfg.ttp, bw) + 1e-12);
   EXPECT_LT(acct.outage,
-            fault::ttp_token_loss_outage(cfg.params, bw, cfg.ttrt));
+            fault::ttp_token_loss_outage(cfg.ttp, bw, cfg.ttrt));
   EXPECT_EQ(m.token_losses, 0u);
   EXPECT_GT(m.messages_completed, 15u);
 }
 
 TEST(TtpFault, NoiseBurstOutlastsPlainTokenLoss) {
   const BitsPerSecond bw = mbps(100);
-  auto base = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto base = make_sim_config(light_set(), ttp_params(), bw, 10.0);
 
   auto loss_cfg = base;
   loss_cfg.faults.add_token_loss(milliseconds(50));
-  const auto loss_m = TtpSimulation(light_set(), loss_cfg).run();
+  const auto loss_m = run_simulation(light_set(), loss_cfg);
 
   auto noise_cfg = base;
   noise_cfg.faults.add_noise_burst(milliseconds(50), milliseconds(3));
-  const auto noise_m = TtpSimulation(light_set(), noise_cfg).run();
+  const auto noise_m = run_simulation(light_set(), noise_cfg);
 
   EXPECT_NEAR(noise_m.total_outage() - loss_m.total_outage(), milliseconds(3),
               1e-9);
@@ -169,11 +162,10 @@ TEST(TtpFault, NoiseBurstOutlastsPlainTokenLoss) {
 
 TEST(TtpFault, CrashedStationLosesQueueAndRingRunsOn) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   // Station 2 (the P=40ms stream's host) dies mid-run and never returns.
   cfg.faults.add_station_crash(milliseconds(100), 2);
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.per_fault.at(fault::FaultKind::kStationCrash).injected, 1u);
   // Station 0 keeps completing messages on the reconfigured ring.
   ASSERT_TRUE(m.per_station.count(0));
@@ -186,10 +178,9 @@ TEST(TtpFault, CrashedStationLosesQueueAndRingRunsOn) {
 
 TEST(TtpFault, CrashAndRejoinReconfigureTwiceAndTrafficResumes) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults.add_station_crash(milliseconds(60), 2, milliseconds(80));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.per_fault.at(fault::FaultKind::kStationCrash).injected, 1u);
   EXPECT_EQ(m.per_fault.at(fault::FaultKind::kStationRejoin).injected, 1u);
   // After the rejoin station 2 releases and completes messages again:
@@ -200,39 +191,37 @@ TEST(TtpFault, CrashAndRejoinReconfigureTwiceAndTrafficResumes) {
 
 TEST(TtpFault, DuplicateTokenResolvedWithShortOutage) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults.add_duplicate_token(milliseconds(50));
-  TtpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   const auto& acct = m.per_fault.at(fault::FaultKind::kDuplicateToken);
   EXPECT_EQ(acct.injected, 1u);
   EXPECT_LT(acct.outage,
-            fault::ttp_token_loss_outage(cfg.params, bw, cfg.ttrt));
+            fault::ttp_token_loss_outage(cfg.ttp, bw, cfg.ttrt));
   EXPECT_GT(m.messages_completed, 15u);
 }
 
 TEST(TtpFault, InvalidPlanRejected) {
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), mbps(100), 5.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), mbps(100), 5.0);
   cfg.faults.add_token_loss(milliseconds(1));
   cfg.faults.add(fault::FaultEvent{-1.0, fault::FaultKind::kTokenLoss});
-  EXPECT_THROW(TtpSimulation(light_set(), cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(light_set(), cfg), PreconditionError);
 
-  auto bad_station = make_ttp_sim_config(light_set(), ttp_params(), mbps(100),
+  auto bad_station = make_sim_config(light_set(), ttp_params(), mbps(100),
                                          5.0);
   bad_station.faults.add_station_crash(milliseconds(1), 99);
-  EXPECT_THROW(TtpSimulation(light_set(), bad_station), PreconditionError);
+  EXPECT_THROW(make_simulator(light_set(), bad_station), PreconditionError);
 }
 
 // ---- PDP --------------------------------------------------------------------
 
 TEST(PdpFault, LossIsCountedAndRingRecovers) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 10.0);
   cfg.faults.add_token_loss(milliseconds(50));
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 1u);
-  EXPECT_NEAR(m.total_outage(), fault::pdp_monitor_outage(cfg.params, bw),
+  EXPECT_NEAR(m.total_outage(), fault::pdp_monitor_outage(cfg.pdp, bw),
               1e-9);
   EXPECT_GT(m.messages_completed, 15u);
 }
@@ -241,21 +230,19 @@ TEST(PdpFault, AbortedFrameIsRetransmitted) {
   // Kill the token right in the middle of the only message's transmission:
   // the payload must still arrive (later), not be silently lost.
   const BitsPerSecond bw = mbps(1);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 1.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 1.0);
   cfg.async_model = AsyncModel::kNone;
   msg::MessageSet set;
   set.add(stream(milliseconds(100), 5'000.0, 0));  // ~10 frames, ~6 ms
   cfg.horizon = milliseconds(99);
   cfg.faults.add_token_loss(milliseconds(3));  // mid-message
-  PdpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   EXPECT_EQ(m.token_losses, 1u);
   ASSERT_EQ(m.messages_completed, 1u);
   EXPECT_EQ(m.deadline_misses, 0u);
   // The outage pushed the completion later than the clean run.
   cfg.faults = {};
-  PdpSimulation clean(set, cfg);
-  const auto mc = clean.run();
+  const auto mc = run_simulation(set, cfg);
   EXPECT_GT(m.response_time.mean(), mc.response_time.mean());
 }
 
@@ -263,10 +250,9 @@ TEST(PdpFault, RecoveryRestartsArbitrationByPriority) {
   // Two messages pending during the outage: after recovery the
   // shorter-period one transmits first (no misses for it).
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 5.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 5.0);
   cfg.faults.add_token_loss(milliseconds(1));
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 1u);
   ASSERT_TRUE(m.per_station.count(0));
   EXPECT_EQ(m.per_station.at(0).misses, 0u);  // P=20ms stream unharmed
@@ -274,12 +260,11 @@ TEST(PdpFault, RecoveryRestartsArbitrationByPriority) {
 
 TEST(PdpFault, ManyLossesDegradeButNeverWedge) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 20.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 20.0);
   for (int i = 1; i <= 20; ++i) {
     cfg.faults.add_token_loss(milliseconds(18.0 * i));
   }
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.token_losses, 20u);
   // Ring keeps making progress between losses.
   EXPECT_GT(m.messages_completed, 20u);
@@ -287,23 +272,21 @@ TEST(PdpFault, ManyLossesDegradeButNeverWedge) {
 
 TEST(PdpFault, CorruptionRetransmitsWithinOneSlot) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 10.0);
   cfg.faults.add_frame_corruption(milliseconds(50));
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   const auto& acct = m.per_fault.at(fault::FaultKind::kFrameCorruption);
   EXPECT_EQ(acct.injected, 1u);
-  EXPECT_LE(acct.outage, fault::pdp_corruption_outage(cfg.params, bw) + 1e-12);
+  EXPECT_LE(acct.outage, fault::pdp_corruption_outage(cfg.pdp, bw) + 1e-12);
   EXPECT_EQ(m.token_losses, 0u);
   EXPECT_GT(m.messages_completed, 15u);
 }
 
 TEST(PdpFault, CrashShrinksThetaAndRejoinRestoresService) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 10.0);
   cfg.faults.add_station_crash(milliseconds(60), 2, milliseconds(60));
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   EXPECT_EQ(m.per_fault.at(fault::FaultKind::kStationCrash).injected, 1u);
   EXPECT_EQ(m.per_fault.at(fault::FaultKind::kStationRejoin).injected, 1u);
   // Station 0 rides through both reconfigurations; station 2 resumes after
@@ -316,13 +299,12 @@ TEST(PdpFault, CrashShrinksThetaAndRejoinRestoresService) {
 
 TEST(PdpFault, DuplicateTokenCheaperThanMonitorRecovery) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 10.0);
   cfg.faults.add_duplicate_token(milliseconds(50));
-  PdpSimulation sim(light_set(), cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(light_set(), cfg);
   const auto& acct = m.per_fault.at(fault::FaultKind::kDuplicateToken);
   EXPECT_EQ(acct.injected, 1u);
-  EXPECT_LT(acct.outage, fault::pdp_monitor_outage(cfg.params, bw));
+  EXPECT_LT(acct.outage, fault::pdp_monitor_outage(cfg.pdp, bw));
   EXPECT_GT(m.messages_completed, 15u);
 }
 
@@ -339,12 +321,12 @@ TEST(FaultDeterminism, RandomPlanRunsAreBitIdentical) {
   rates.crash_downtime = milliseconds(20);
   rates.duplicate_token = 10.0;
 
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.faults = fault::FaultPlan::random(rates, cfg.horizon, 1234,
-                                        cfg.params.ring.num_stations);
+                                        cfg.ttp.ring.num_stations);
   ASSERT_FALSE(cfg.faults.empty());
-  const auto a = TtpSimulation(light_set(), cfg).run();
-  const auto b = TtpSimulation(light_set(), cfg).run();
+  const auto a = run_simulation(light_set(), cfg);
+  const auto b = run_simulation(light_set(), cfg);
   EXPECT_EQ(a.deadline_misses, b.deadline_misses);
   EXPECT_EQ(a.messages_completed, b.messages_completed);
   EXPECT_EQ(a.faults_injected(), b.faults_injected());
@@ -353,28 +335,26 @@ TEST(FaultDeterminism, RandomPlanRunsAreBitIdentical) {
 
   // Same seed regenerates the same plan; a different seed does not.
   const auto again = fault::FaultPlan::random(rates, cfg.horizon, 1234,
-                                              cfg.params.ring.num_stations);
+                                              cfg.ttp.ring.num_stations);
   EXPECT_EQ(again.size(), cfg.faults.size());
   const auto other = fault::FaultPlan::random(rates, cfg.horizon, 99,
-                                              cfg.params.ring.num_stations);
+                                              cfg.ttp.ring.num_stations);
   EXPECT_NE(other.sorted_events().front().time,
             cfg.faults.sorted_events().front().time);
 }
 
 TEST(EventStormGuard, TinyEventBudgetAborts) {
   const BitsPerSecond bw = mbps(100);
-  auto cfg = make_ttp_sim_config(light_set(), ttp_params(), bw, 10.0);
+  auto cfg = make_sim_config(light_set(), ttp_params(), bw, 10.0);
   cfg.max_events = 50;  // a real run takes many thousands
-  TtpSimulation sim(light_set(), cfg);
-  EXPECT_THROW(sim.run(), EventStormError);
+  EXPECT_THROW(run_simulation(light_set(), cfg), EventStormError);
 }
 
 TEST(EventStormGuard, DefaultBudgetDoesNotTripNormalRuns) {
   const BitsPerSecond bw = mbps(16);
-  auto cfg = make_pdp_sim_config(light_set(), pdp_params(), bw, 5.0);
+  auto cfg = make_sim_config(light_set(), pdp_params(), bw, 5.0);
   cfg.faults.add_token_loss(milliseconds(10));
-  PdpSimulation sim(light_set(), cfg);
-  EXPECT_NO_THROW(sim.run());
+  EXPECT_NO_THROW(run_simulation(light_set(), cfg));
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,12 +10,13 @@
 namespace tokenring::sim {
 namespace {
 
-PdpSimConfig base_config(int stations, analysis::PdpVariant variant,
-                         BitsPerSecond bw) {
-  PdpSimConfig cfg;
-  cfg.params.ring = net::ieee8025_ring(stations);
-  cfg.params.frame = net::paper_frame_format();
-  cfg.params.variant = variant;
+SimConfig base_config(int stations, analysis::PdpVariant variant,
+                      BitsPerSecond bw) {
+  SimConfig cfg;
+  cfg.protocol = Protocol::kPdp;
+  cfg.pdp.ring = net::ieee8025_ring(stations);
+  cfg.pdp.frame = net::paper_frame_format();
+  cfg.pdp.variant = variant;
   cfg.bandwidth = bw;
   cfg.horizon = 0.5;
   cfg.worst_case_phasing = true;
@@ -37,12 +38,12 @@ TEST(PdpSim, SingleStreamSingleFrameTiming) {
 
   msg::MessageSet set;
   set.add(stream(milliseconds(100), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
 
   const Seconds walk =
-      cfg.params.ring.hop_latency(bw) + cfg.params.ring.token_time(bw);
-  const Seconds frame = cfg.params.frame.frame_time(bw);
-  const Seconds theta = cfg.params.ring.theta(bw);
+      cfg.pdp.ring.hop_latency(bw) + cfg.pdp.ring.token_time(bw);
+  const Seconds frame = cfg.pdp.frame.frame_time(bw);
+  const Seconds theta = cfg.pdp.ring.theta(bw);
   const Seconds expected = walk + std::max(frame, theta);
 
   EXPECT_EQ(m.messages_completed, 1u);
@@ -60,12 +61,12 @@ TEST(PdpSim, HighBandwidthFrameOccupiesTheta) {
 
   msg::MessageSet set;
   set.add(stream(milliseconds(100), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
 
   const Seconds walk =
-      cfg.params.ring.hop_latency(bw) + cfg.params.ring.token_time(bw);
-  const Seconds theta = cfg.params.ring.theta(bw);
-  ASSERT_GT(theta, cfg.params.frame.frame_time(bw));
+      cfg.pdp.ring.hop_latency(bw) + cfg.pdp.ring.token_time(bw);
+  const Seconds theta = cfg.pdp.ring.theta(bw);
+  ASSERT_GT(theta, cfg.pdp.frame.frame_time(bw));
   ASSERT_EQ(m.messages_completed, 1u);
   EXPECT_NEAR(m.response_time.mean(), walk + theta, 1e-12);
 }
@@ -84,8 +85,8 @@ TEST(PdpSim, ModifiedSendsBackToBackFrames) {
   cfg_std.horizon = milliseconds(50);
   auto cfg_mod = base_config(2, analysis::PdpVariant::kModified8025, bw);
   cfg_mod.horizon = milliseconds(50);
-  const auto m_std = run_pdp_simulation(set, cfg_std);
-  const auto m_mod = run_pdp_simulation(set, cfg_mod);
+  const auto m_std = run_simulation(set, cfg_std);
+  const auto m_mod = run_simulation(set, cfg_mod);
 
   ASSERT_EQ(m_std.messages_completed, m_mod.messages_completed);
   ASSERT_GT(m_std.messages_completed, 0u);
@@ -93,9 +94,9 @@ TEST(PdpSim, ModifiedSendsBackToBackFrames) {
 
   // Modified timing by hand: walk + 3 * max(F, Theta).
   const Seconds walk =
-      cfg_mod.params.ring.hop_latency(bw) + cfg_mod.params.ring.token_time(bw);
-  const Seconds slot = std::max(cfg_mod.params.frame.frame_time(bw),
-                                cfg_mod.params.ring.theta(bw));
+      cfg_mod.pdp.ring.hop_latency(bw) + cfg_mod.pdp.ring.token_time(bw);
+  const Seconds slot = std::max(cfg_mod.pdp.frame.frame_time(bw),
+                                cfg_mod.pdp.ring.theta(bw));
   EXPECT_NEAR(m_mod.response_time.min(), walk + 3.0 * slot, 1e-12);
 }
 
@@ -109,7 +110,7 @@ TEST(PdpSim, RateMonotonicPriorityWins) {
   msg::MessageSet set;
   set.add(stream(milliseconds(100), 512.0, 0));  // low priority
   set.add(stream(milliseconds(10), 512.0, 3));   // high priority
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
 
   ASSERT_GE(m.messages_completed, 2u);
   // The high-priority stream's normalized response must be small; the
@@ -128,7 +129,7 @@ TEST(PdpSim, OverloadedStreamMissesDeadlines) {
   cfg.horizon = milliseconds(200);
   msg::MessageSet set;
   set.add(stream(milliseconds(10), 15'000.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   EXPECT_GT(m.deadline_misses, 0u);
 }
 
@@ -142,10 +143,10 @@ TEST(PdpSim, SaturatingAsyncBlocksFirstSyncFrame) {
 
   msg::MessageSet set;
   set.add(stream(milliseconds(100), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
 
-  const Seconds async_slot = std::max(cfg.params.frame.frame_time(bw),
-                                      cfg.params.ring.theta(bw));
+  const Seconds async_slot = std::max(cfg.pdp.frame.frame_time(bw),
+                                      cfg.pdp.ring.theta(bw));
   ASSERT_EQ(m.messages_completed, 1u);
   EXPECT_GT(m.response_time.mean(), async_slot);
   EXPECT_GT(m.async_frames_sent, 0u);
@@ -156,7 +157,7 @@ TEST(PdpSim, NoAsyncWithoutSaturation) {
   auto cfg = base_config(2, analysis::PdpVariant::kStandard8025, bw);
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   EXPECT_EQ(m.async_frames_sent, 0u);
 }
 
@@ -166,7 +167,7 @@ TEST(PdpSim, ArrivalCountMatchesPeriods) {
   cfg.horizon = milliseconds(100);
   msg::MessageSet set;
   set.add(stream(milliseconds(10), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   // Arrivals at 0, 10, ..., 100 ms inclusive = 11 releases.
   EXPECT_EQ(m.messages_released, 11u);
   EXPECT_EQ(m.deadline_misses, 0u);
@@ -183,7 +184,7 @@ TEST(PdpSim, IdleTokenCaptureAfterQuietPeriod) {
   msg::MessageSet set;
   set.add(stream(milliseconds(40), 512.0, 0));
   set.add(stream(milliseconds(70), 1'024.0, 2));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   EXPECT_GT(m.messages_completed, 10u);
   EXPECT_EQ(m.deadline_misses, 0u);
 }
@@ -201,8 +202,8 @@ TEST(PdpSim, WorstCaseVsRandomPhasing) {
   auto rnd = wc;
   rnd.worst_case_phasing = false;
   rnd.seed = 11;
-  const auto m_wc = run_pdp_simulation(set, wc);
-  const auto m_rnd = run_pdp_simulation(set, rnd);
+  const auto m_wc = run_simulation(set, wc);
+  const auto m_rnd = run_simulation(set, rnd);
   ASSERT_GT(m_wc.messages_completed, 0u);
   ASSERT_GT(m_rnd.messages_completed, 0u);
   EXPECT_GE(m_wc.response_time.max() + 1e-9, m_rnd.response_time.max() * 0.5)
@@ -213,7 +214,7 @@ TEST(PdpSim, StationValidation) {
   auto cfg = base_config(2, analysis::PdpVariant::kStandard8025, mbps(10));
   msg::MessageSet bad;
   bad.add(stream(milliseconds(10), 512.0, 7));  // station out of range
-  EXPECT_THROW(PdpSimulation(bad, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(bad, cfg), PreconditionError);
 }
 
 TEST(PdpSim, MultipleStreamsPerStationSupported) {
@@ -226,7 +227,7 @@ TEST(PdpSim, MultipleStreamsPerStationSupported) {
   set.add(stream(milliseconds(20), 2'048.0, 1));
   set.add(stream(milliseconds(50), 4'096.0, 1));  // same station
   set.add(stream(milliseconds(40), 2'048.0, 3));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   // 11 + 5 + 6 releases by t = 200 ms inclusive.
   EXPECT_EQ(m.messages_released, 22u);
   EXPECT_EQ(m.deadline_misses, 0u);
@@ -240,10 +241,10 @@ TEST(PdpSim, ConfigValidation) {
   set.add(stream(milliseconds(10), 512.0, 0));
   auto cfg = base_config(2, analysis::PdpVariant::kStandard8025, mbps(10));
   cfg.bandwidth = 0.0;
-  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
   cfg = base_config(2, analysis::PdpVariant::kStandard8025, mbps(10));
   cfg.horizon = 0.0;
-  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
 }
 
 TEST(PdpSim, MetricsSummaryMentionsCounts) {
@@ -251,7 +252,7 @@ TEST(PdpSim, MetricsSummaryMentionsCounts) {
   auto cfg = base_config(2, analysis::PdpVariant::kStandard8025, bw);
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 512.0, 0));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   const std::string s = m.summary();
   EXPECT_NE(s.find("released="), std::string::npos);
   EXPECT_NE(s.find("misses="), std::string::npos);

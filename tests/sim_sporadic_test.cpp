@@ -7,8 +7,7 @@
 
 #include "tokenring/common/checks.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 namespace tokenring::sim {
@@ -39,10 +38,10 @@ analysis::PdpParams pdp_params() {
 
 TEST(Sporadic, JitterSlowsReleases) {
   const auto set = demo_set();
-  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 20.0);
-  const auto periodic = run_pdp_simulation(set, cfg);
+  auto cfg = make_sim_config(set, pdp_params(), mbps(16), 20.0);
+  const auto periodic = run_simulation(set, cfg);
   cfg.arrival_jitter = 0.5;  // inter-arrival in [P, 1.5P]
-  const auto sporadic = run_pdp_simulation(set, cfg);
+  const auto sporadic = run_simulation(set, cfg);
   EXPECT_LT(sporadic.messages_released, periodic.messages_released);
   // Expected slowdown ~ 1/1.25; allow a wide band.
   EXPECT_GT(sporadic.messages_released,
@@ -54,10 +53,10 @@ TEST(Sporadic, GuaranteesSurviveJitterPdp) {
   // demand in every window) must be clean too.
   const auto set = demo_set();
   ASSERT_TRUE(analysis::pdp_feasible(set, pdp_params(), mbps(16)));
-  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 20.0);
+  auto cfg = make_sim_config(set, pdp_params(), mbps(16), 20.0);
   cfg.arrival_jitter = 0.8;
   cfg.seed = 5;
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
   EXPECT_GT(m.messages_completed, 10u);
   EXPECT_EQ(m.deadline_misses, 0u);
 }
@@ -66,33 +65,32 @@ TEST(Sporadic, GuaranteesSurviveJitterTtp) {
   const auto set = demo_set();
   const auto p = ttp_params();
   ASSERT_TRUE(analysis::ttp_feasible(set, p, mbps(100)));
-  auto cfg = make_ttp_sim_config(set, p, mbps(100), 20.0);
+  auto cfg = make_sim_config(set, p, mbps(100), 20.0);
   cfg.arrival_jitter = 0.8;
   cfg.seed = 5;
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   EXPECT_GT(m.messages_completed, 10u);
   EXPECT_EQ(m.deadline_misses, 0u);
 }
 
 TEST(Sporadic, ZeroJitterIsExactlyPeriodic) {
   const auto set = demo_set();
-  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16), 10.0);
+  auto cfg = make_sim_config(set, pdp_params(), mbps(16), 10.0);
   cfg.arrival_jitter = 0.0;
-  const auto a = run_pdp_simulation(set, cfg);
-  const auto b = run_pdp_simulation(set, cfg);
+  const auto a = run_simulation(set, cfg);
+  const auto b = run_simulation(set, cfg);
   EXPECT_EQ(a.messages_released, b.messages_released);
   EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
 }
 
 TEST(Sporadic, NegativeJitterRejected) {
   const auto set = demo_set();
-  auto cfg = make_pdp_sim_config(set, pdp_params(), mbps(16));
+  auto cfg = make_sim_config(set, pdp_params(), mbps(16));
   cfg.arrival_jitter = -0.1;
-  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
-  auto tcfg = make_ttp_sim_config(set, ttp_params(), mbps(100));
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
+  auto tcfg = make_sim_config(set, ttp_params(), mbps(100));
   tcfg.arrival_jitter = -0.1;
-  EXPECT_THROW(TtpSimulation(set, tcfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, tcfg), PreconditionError);
 }
 
 }  // namespace

@@ -8,9 +8,8 @@
 
 #include "tokenring/common/checks.hpp"
 #include "tokenring/net/standards.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/trace.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
 
 namespace tokenring::sim {
 namespace {
@@ -19,22 +18,24 @@ msg::SyncStream stream(Seconds period, Bits payload, int station) {
   return msg::SyncStream{period, payload, station};
 }
 
-PdpSimConfig pdp_config(int stations, BitsPerSecond bw) {
-  PdpSimConfig cfg;
-  cfg.params.ring = net::ieee8025_ring(stations);
-  cfg.params.frame = net::paper_frame_format();
-  cfg.params.variant = analysis::PdpVariant::kModified8025;
+SimConfig pdp_config(int stations, BitsPerSecond bw) {
+  SimConfig cfg;
+  cfg.protocol = Protocol::kPdp;
+  cfg.pdp.ring = net::ieee8025_ring(stations);
+  cfg.pdp.frame = net::paper_frame_format();
+  cfg.pdp.variant = analysis::PdpVariant::kModified8025;
   cfg.bandwidth = bw;
   cfg.horizon = milliseconds(200);
   cfg.async_model = AsyncModel::kNone;
   return cfg;
 }
 
-TtpSimConfig ttp_config(int stations, BitsPerSecond bw, Seconds ttrt) {
-  TtpSimConfig cfg;
-  cfg.params.ring = net::fddi_ring(stations);
-  cfg.params.frame = net::paper_frame_format();
-  cfg.params.async_frame = net::paper_frame_format();
+SimConfig ttp_config(int stations, BitsPerSecond bw, Seconds ttrt) {
+  SimConfig cfg;
+  cfg.protocol = Protocol::kTtp;
+  cfg.ttp.ring = net::fddi_ring(stations);
+  cfg.ttp.frame = net::paper_frame_format();
+  cfg.ttp.async_frame = net::paper_frame_format();
   cfg.bandwidth = bw;
   cfg.ttrt = ttrt;
   cfg.horizon = milliseconds(200);
@@ -51,7 +52,7 @@ TEST(Trace, PdpEmitsLifecycleEvents) {
   cfg.trace = &sink;
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 1'024.0, 0));
-  run_pdp_simulation(set, cfg);
+  run_simulation(set, cfg);
 
   const auto count = [&](TraceEventKind kind) {
     return std::count_if(records.begin(), records.end(),
@@ -76,8 +77,7 @@ TEST(Trace, TtpEmitsTokenArrivals) {
   std::vector<TraceRecord> records;
   CallbackSink sink([&](const TraceRecord& r) { records.push_back(r); });
   cfg.trace = &sink;
-  TtpSimulation sim(msg::MessageSet{}, cfg);
-  sim.run();
+  run_simulation(msg::MessageSet{}, cfg);
   const auto tokens = std::count_if(
       records.begin(), records.end(), [](const TraceRecord& r) {
         return r.kind == TraceEventKind::kTokenArrival;
@@ -115,7 +115,7 @@ TEST(PerStation, PdpSplitsByStation) {
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 512.0, 1));
   set.add(stream(milliseconds(100), 1'024.0, 3));
-  const auto m = run_pdp_simulation(set, cfg);
+  const auto m = run_simulation(set, cfg);
 
   ASSERT_EQ(m.per_station.size(), 2u);
   ASSERT_TRUE(m.per_station.count(1));
@@ -135,8 +135,7 @@ TEST(PerStation, TtpAttributesMissesToStarvedStation) {
   msg::MessageSet set;
   set.add(stream(milliseconds(20), 10'000.0, 0));
   cfg.sync_bandwidth_per_stream.push_back(0.0);  // h = 0: starved
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   ASSERT_TRUE(m.per_station.count(0));
   EXPECT_GT(m.per_station.at(0).misses, 0u);
   EXPECT_EQ(m.per_station.at(0).completed, 0u);
@@ -150,7 +149,7 @@ TEST(PoissonAsync, PdpSendsRoughlyRateTimesHorizon) {
   cfg.async_frames_per_second = 500.0;  // per station
   cfg.horizon = 1.0;
   cfg.seed = 9;
-  const auto m = run_pdp_simulation(msg::MessageSet{}, cfg);
+  const auto m = run_simulation(msg::MessageSet{}, cfg);
   // 4 stations * 500 fps * 1 s = 2000 expected; allow generous slack.
   EXPECT_GT(m.async_frames_sent, 1'600u);
   EXPECT_LT(m.async_frames_sent, 2'400u);
@@ -163,10 +162,10 @@ TEST(PoissonAsync, PdpPoissonLighterThanSaturating) {
   cfg.horizon = milliseconds(500);
 
   cfg.async_model = AsyncModel::kSaturating;
-  const auto sat = run_pdp_simulation(set, cfg);
+  const auto sat = run_simulation(set, cfg);
   cfg.async_model = AsyncModel::kPoisson;
   cfg.async_frames_per_second = 100.0;
-  const auto poi = run_pdp_simulation(set, cfg);
+  const auto poi = run_simulation(set, cfg);
 
   EXPECT_GT(sat.async_frames_sent, poi.async_frames_sent);
   // Lighter cross-traffic => no worse sync response.
@@ -179,8 +178,7 @@ TEST(PoissonAsync, TtpConsumesOnlyQueuedFrames) {
   cfg.async_frames_per_second = 200.0;
   cfg.horizon = 1.0;
   cfg.seed = 4;
-  TtpSimulation sim(msg::MessageSet{}, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(msg::MessageSet{}, cfg);
   // Expected arrivals: 4 * 200 = 800. All should eventually be served
   // (plenty of earliness on an idle ring), never more than arrived.
   EXPECT_GT(m.async_frames_sent, 600u);
@@ -193,11 +191,11 @@ TEST(PoissonAsync, RateRequiredWhenModelIsPoisson) {
   cfg.async_frames_per_second = 0.0;
   msg::MessageSet set;
   set.add(stream(milliseconds(50), 512.0, 0));
-  EXPECT_THROW(PdpSimulation(set, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
 
   auto tcfg = ttp_config(2, mbps(100), milliseconds(2));
   tcfg.async_model = AsyncModel::kPoisson;
-  EXPECT_THROW(TtpSimulation(set, tcfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, tcfg), PreconditionError);
 }
 
 TEST(PoissonAsync, ModelNames) {

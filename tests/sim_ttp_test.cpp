@@ -1,4 +1,4 @@
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 
 #include <gtest/gtest.h>
 
@@ -13,11 +13,12 @@
 namespace tokenring::sim {
 namespace {
 
-TtpSimConfig base_config(int stations, BitsPerSecond bw, Seconds ttrt) {
-  TtpSimConfig cfg;
-  cfg.params.ring = net::fddi_ring(stations);
-  cfg.params.frame = net::paper_frame_format();
-  cfg.params.async_frame = net::paper_frame_format();
+SimConfig base_config(int stations, BitsPerSecond bw, Seconds ttrt) {
+  SimConfig cfg;
+  cfg.protocol = Protocol::kTtp;
+  cfg.ttp.ring = net::fddi_ring(stations);
+  cfg.ttp.frame = net::paper_frame_format();
+  cfg.ttp.async_frame = net::paper_frame_format();
   cfg.bandwidth = bw;
   cfg.ttrt = ttrt;
   cfg.horizon = 0.5;
@@ -35,11 +36,10 @@ TEST(TtpSim, IdleRotationTakesTheta) {
   const BitsPerSecond bw = mbps(100);
   auto cfg = base_config(10, bw, milliseconds(5));
   cfg.horizon = milliseconds(50);
-  TtpSimulation sim(msg::MessageSet{}, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(msg::MessageSet{}, cfg);
   ASSERT_GT(m.token_rotation.count(), 10u);
-  EXPECT_NEAR(m.token_rotation.mean(), cfg.params.ring.theta(bw), 1e-12);
-  EXPECT_NEAR(m.token_rotation.max(), cfg.params.ring.theta(bw), 1e-12);
+  EXPECT_NEAR(m.token_rotation.mean(), cfg.ttp.ring.theta(bw), 1e-12);
+  EXPECT_NEAR(m.token_rotation.max(), cfg.ttp.ring.theta(bw), 1e-12);
 }
 
 TEST(TtpSim, AsyncFundedByEarlinessOnly) {
@@ -49,16 +49,15 @@ TEST(TtpSim, AsyncFundedByEarlinessOnly) {
   auto cfg = base_config(4, bw, milliseconds(2));
   cfg.async_model = AsyncModel::kSaturating;
   cfg.horizon = milliseconds(200);
-  TtpSimulation sim(msg::MessageSet{}, cfg);
-  const auto m = sim.run();
+  const auto sim = make_simulator(msg::MessageSet{}, cfg);
+  const auto m = sim->run();
   EXPECT_GT(m.async_frames_sent, 0u);
-  EXPECT_LE(sim.max_intervisit(), 2.0 * cfg.ttrt + 1e-9);
+  EXPECT_LE(sim->max_intervisit(), 2.0 * cfg.ttrt + 1e-9);
 }
 
 TEST(TtpSim, NoAsyncWithoutSaturation) {
   auto cfg = base_config(4, mbps(100), milliseconds(2));
-  TtpSimulation sim(msg::MessageSet{}, cfg);
-  EXPECT_EQ(sim.run().async_frames_sent, 0u);
+  EXPECT_EQ(run_simulation(msg::MessageSet{}, cfg).async_frames_sent, 0u);
 }
 
 TEST(TtpSim, SingleStreamServedWithinAllocation) {
@@ -71,16 +70,16 @@ TEST(TtpSim, SingleStreamServedWithinAllocation) {
 
   msg::MessageSet set;
   set.add(stream(milliseconds(20), 100'000.0, 1));  // 1 ms of payload
-  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.params, bw, ttrt);
+  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.ttp, bw, ttrt);
   ASSERT_TRUE(h.has_value());
   cfg.sync_bandwidth_per_stream.push_back(*h);
 
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto sim = make_simulator(set, cfg);
+  const auto m = sim->run();
   EXPECT_GT(m.messages_completed, 10u);
   EXPECT_EQ(m.deadline_misses, 0u);
   // Johnson's bound holds throughout.
-  EXPECT_LE(sim.max_intervisit(), 2.0 * ttrt + 1e-9);
+  EXPECT_LE(sim->max_intervisit(), 2.0 * ttrt + 1e-9);
 }
 
 TEST(TtpSim, MultiVisitServiceTakesQMinusOneVisits) {
@@ -93,12 +92,11 @@ TEST(TtpSim, MultiVisitServiceTakesQMinusOneVisits) {
 
   msg::MessageSet set;
   set.add(stream(milliseconds(20), 450'000.0, 0));  // 4.5 ms payload, q=10
-  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.params, bw, ttrt);
+  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.ttp, bw, ttrt);
   ASSERT_TRUE(h.has_value());
   cfg.sync_bandwidth_per_stream.push_back(*h);
 
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   ASSERT_GT(m.messages_completed, 0u);
   EXPECT_EQ(m.deadline_misses, 0u);
   // Needs multiple token visits: response well above one rotation.
@@ -119,12 +117,11 @@ TEST(TtpSim, HundredsOfExactChunksDoNotAccumulateRounding) {
   msg::MessageSet set;
   // P just above 139*TTRT -> q = 139, 138 usable visits.
   set.add(stream(139.3 * ttrt, 843'013.9, 11));
-  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.params, bw, ttrt);
+  const auto h = analysis::ttp_local_bandwidth(set[0], cfg.ttp, bw, ttrt);
   ASSERT_TRUE(h.has_value());
   cfg.sync_bandwidth_per_stream.push_back(*h);
 
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   ASSERT_GT(m.messages_completed, 2u);
   EXPECT_EQ(m.deadline_misses, 0u);
   // Every response fits the Johnson bound (q visits' worth of rotations).
@@ -145,19 +142,19 @@ TEST(TtpSim, MultipleStreamsPerStationEachGetTheirBandwidth) {
   set.add(stream(milliseconds(20), 100'000.0, 2));
   set.add(stream(milliseconds(40), 200'000.0, 2));  // same station
   set.add(stream(milliseconds(30), 50'000.0, 0));
-  ASSERT_TRUE(analysis::ttp_feasible_at(set, cfg.params, bw, ttrt));
+  ASSERT_TRUE(analysis::ttp_feasible_at(set, cfg.ttp, bw, ttrt));
   for (const auto& s : set.streams()) {
     cfg.sync_bandwidth_per_stream.push_back(
-        analysis::ttp_local_bandwidth(s, cfg.params, bw, ttrt).value());
+        analysis::ttp_local_bandwidth(s, cfg.ttp, bw, ttrt).value());
   }
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto sim = make_simulator(set, cfg);
+  const auto m = sim->run();
   EXPECT_GT(m.messages_completed, 30u);
   EXPECT_EQ(m.deadline_misses, 0u);
   // Station 2 hosts two streams: 21 + 11 releases by t = 400 ms.
   ASSERT_TRUE(m.per_station.count(2));
   EXPECT_GE(m.per_station.at(2).released, 30u);
-  EXPECT_LE(sim.max_intervisit(), 2.0 * ttrt + 1e-9);
+  EXPECT_LE(sim->max_intervisit(), 2.0 * ttrt + 1e-9);
 }
 
 TEST(TtpSim, ZeroAllocationStarvesStream) {
@@ -167,8 +164,7 @@ TEST(TtpSim, ZeroAllocationStarvesStream) {
   msg::MessageSet set;
   set.add(stream(milliseconds(20), 10'000.0, 0));
   cfg.sync_bandwidth_per_stream.push_back(0.0);  // starved on purpose
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  const auto m = run_simulation(set, cfg);
   EXPECT_EQ(m.messages_completed, 0u);
   EXPECT_GT(m.deadline_misses, 0u);
 }
@@ -186,21 +182,22 @@ TEST(TtpSim, JohnsonBoundAcrossRandomFeasibleSets) {
   int tested = 0;
   for (int trial = 0; trial < 8; ++trial) {
     const auto base = gen.generate(rng).scaled(rng.uniform(10.0, 200.0));
-    TtpSimConfig cfg = base_config(12, bw, 0.0);
-    cfg.ttrt = analysis::select_ttrt(base, cfg.params.ring, bw);
+    SimConfig cfg = base_config(12, bw, 0.0);
+    cfg.ttrt = analysis::select_ttrt(base, cfg.ttp.ring, bw);
     cfg.async_model = AsyncModel::kSaturating;
     cfg.horizon = milliseconds(300);
     cfg.seed = static_cast<std::uint64_t>(trial);
 
-    analysis::TtpParams p = cfg.params;
+    const analysis::TtpParams p = cfg.ttp;
     if (!analysis::ttp_feasible_at(base, p, bw, cfg.ttrt)) continue;
     for (const auto& s : base.streams()) {
       cfg.sync_bandwidth_per_stream.push_back(
           analysis::ttp_local_bandwidth(s, p, bw, cfg.ttrt).value());
     }
-    TtpSimulation sim(base, cfg);
-    sim.run();
-    EXPECT_LE(sim.max_intervisit(), 2.0 * cfg.ttrt + 1e-9) << "trial " << trial;
+    const auto sim = make_simulator(base, cfg);
+    sim->run();
+    EXPECT_LE(sim->max_intervisit(), 2.0 * cfg.ttrt + 1e-9)
+        << "trial " << trial;
     ++tested;
   }
   EXPECT_GT(tested, 0);
@@ -212,14 +209,15 @@ TEST(TtpSim, WrapperFillsTtrtAndAllocation) {
   set.add(stream(milliseconds(20), 50'000.0, 0));
   set.add(stream(milliseconds(40), 50'000.0, 1));
 
-  TtpSimConfig cfg;
-  cfg.params.ring = net::fddi_ring(4);
-  cfg.params.frame = net::paper_frame_format();
-  cfg.params.async_frame = net::paper_frame_format();
+  SimConfig cfg;
+  cfg.protocol = Protocol::kTtp;
+  cfg.ttp.ring = net::fddi_ring(4);
+  cfg.ttp.frame = net::paper_frame_format();
+  cfg.ttp.async_frame = net::paper_frame_format();
   cfg.bandwidth = bw;
   cfg.horizon = milliseconds(200);
-  // ttrt and sync_bandwidth left empty: wrapper must fill both.
-  const auto m = run_ttp_simulation(set, cfg);
+  // ttrt and sync_bandwidth left empty: the factory must fill both.
+  const auto m = run_simulation(set, cfg);
   EXPECT_GT(m.messages_completed, 0u);
   EXPECT_EQ(m.deadline_misses, 0u);
 }
@@ -232,9 +230,8 @@ TEST(TtpSim, ReleasedCountMatchesPeriods) {
   cfg.seed = 3;
   msg::MessageSet set;
   set.add(stream(milliseconds(10), 1'000.0, 0));
-  cfg.sync_bandwidth_per_stream.push_back(analysis::ttp_local_bandwidth(set[0], cfg.params, bw, cfg.ttrt).value());
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
+  cfg.sync_bandwidth_per_stream.push_back(analysis::ttp_local_bandwidth(set[0], cfg.ttp, bw, cfg.ttrt).value());
+  const auto m = run_simulation(set, cfg);
   // phase in [0,10ms): 10 or 11 releases by t=100ms.
   EXPECT_GE(m.messages_released, 10u);
   EXPECT_LE(m.messages_released, 11u);
@@ -245,16 +242,16 @@ TEST(TtpSim, ConfigValidation) {
   set.add(stream(milliseconds(10), 1'000.0, 0));
   auto cfg = base_config(2, mbps(100), milliseconds(2));
   cfg.sync_bandwidth_per_stream = {1e-4, 1e-4};  // wrong size (set has 1)
-  EXPECT_THROW(TtpSimulation(set, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
 
   cfg = base_config(2, mbps(100), milliseconds(2));
-  cfg.ttrt = 0.0;
-  EXPECT_THROW(TtpSimulation(set, cfg), PreconditionError);
+  cfg.horizon = 0.0;
+  EXPECT_THROW(make_simulator(set, cfg), PreconditionError);
 
   cfg = base_config(2, mbps(100), milliseconds(2));
   msg::MessageSet bad;
   bad.add(stream(milliseconds(10), 1'000.0, 5));
-  EXPECT_THROW(TtpSimulation(bad, cfg), PreconditionError);
+  EXPECT_THROW(make_simulator(bad, cfg), PreconditionError);
 }
 
 TEST(TtpSim, RotationUnderLoadStaysAboveTheta) {
@@ -264,10 +261,9 @@ TEST(TtpSim, RotationUnderLoadStaysAboveTheta) {
   cfg.horizon = milliseconds(200);
   msg::MessageSet set;
   set.add(stream(milliseconds(20), 100'000.0, 0));
-  cfg.sync_bandwidth_per_stream.push_back(analysis::ttp_local_bandwidth(set[0], cfg.params, bw, cfg.ttrt).value());
-  TtpSimulation sim(set, cfg);
-  const auto m = sim.run();
-  EXPECT_GE(m.token_rotation.max(), cfg.params.ring.theta(bw) - 1e-12);
+  cfg.sync_bandwidth_per_stream.push_back(analysis::ttp_local_bandwidth(set[0], cfg.ttp, bw, cfg.ttrt).value());
+  const auto m = run_simulation(set, cfg);
+  EXPECT_GE(m.token_rotation.max(), cfg.ttp.ring.theta(bw) - 1e-12);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(Workload, TtpConfigUsesPaperTtrtRule) {
   const auto set = demo_set();
   const auto p = ttp_params();
   const BitsPerSecond bw = mbps(100);
-  const auto cfg = make_ttp_sim_config(set, p, bw);
+  const auto cfg = make_sim_config(set, p, bw);
   EXPECT_DOUBLE_EQ(cfg.ttrt, analysis::select_ttrt(set, p.ring, bw));
   EXPECT_DOUBLE_EQ(cfg.bandwidth, bw);
 }
@@ -37,7 +37,7 @@ TEST(Workload, TtpConfigAllocatesPerStreamWithLocalScheme) {
   const auto set = demo_set();
   const auto p = ttp_params();
   const BitsPerSecond bw = mbps(100);
-  const auto cfg = make_ttp_sim_config(set, p, bw);
+  const auto cfg = make_sim_config(set, p, bw);
   ASSERT_EQ(cfg.sync_bandwidth_per_stream.size(), set.size());
   for (std::size_t i = 0; i < set.size(); ++i) {
     EXPECT_DOUBLE_EQ(
@@ -55,7 +55,7 @@ TEST(Workload, TtpConfigZeroesUnguaranteeableStreams) {
   set.add(tight);
   const auto p = ttp_params();
   const BitsPerSecond bw = mbps(10);
-  const auto cfg = make_ttp_sim_config(set, p, bw);
+  const auto cfg = make_sim_config(set, p, bw);
   // TTRT is re-selected from the tight deadline, so check via q directly.
   const auto q = static_cast<int>(tight.deadline() / cfg.ttrt);
   if (q < 2) {
@@ -65,35 +65,45 @@ TEST(Workload, TtpConfigZeroesUnguaranteeableStreams) {
 
 TEST(Workload, HorizonScalesWithMaxPeriod) {
   const auto set = demo_set();
-  const auto cfg = make_ttp_sim_config(set, ttp_params(), mbps(100), 6.0);
+  const auto cfg = make_sim_config(set, ttp_params(), mbps(100), 6.0);
   EXPECT_DOUBLE_EQ(cfg.horizon, 6.0 * milliseconds(50));
 
   analysis::PdpParams pdp;
   pdp.ring = net::ieee8025_ring(6);
   pdp.frame = net::paper_frame_format();
-  const auto pcfg = make_pdp_sim_config(set, pdp, mbps(16), 3.0);
+  const auto pcfg = make_sim_config(set, pdp, mbps(16), 3.0);
   EXPECT_DOUBLE_EQ(pcfg.horizon, 3.0 * milliseconds(50));
   EXPECT_DOUBLE_EQ(pcfg.bandwidth, mbps(16));
 }
 
 TEST(Workload, BuiltConfigsRunImmediately) {
   const auto set = demo_set();
-  const auto tcfg = make_ttp_sim_config(set, ttp_params(), mbps(100));
-  EXPECT_EQ(run_ttp_simulation(set, tcfg).deadline_misses, 0u);
+  const auto tcfg = make_sim_config(set, ttp_params(), mbps(100));
+  EXPECT_EQ(run_simulation(set, tcfg).deadline_misses, 0u);
 
   analysis::PdpParams pdp;
   pdp.ring = net::ieee8025_ring(6);
   pdp.frame = net::paper_frame_format();
   pdp.variant = analysis::PdpVariant::kModified8025;
-  const auto pcfg = make_pdp_sim_config(set, pdp, mbps(16));
-  EXPECT_EQ(run_pdp_simulation(set, pcfg).deadline_misses, 0u);
+  const auto pcfg = make_sim_config(set, pdp, mbps(16));
+  EXPECT_EQ(run_simulation(set, pcfg).deadline_misses, 0u);
+}
+
+TEST(Workload, OverloadsTagProtocol) {
+  const auto set = demo_set();
+  EXPECT_EQ(make_sim_config(set, ttp_params(), mbps(100)).protocol,
+            Protocol::kTtp);
+  analysis::PdpParams pdp;
+  pdp.ring = net::ieee8025_ring(6);
+  pdp.frame = net::paper_frame_format();
+  EXPECT_EQ(make_sim_config(set, pdp, mbps(16)).protocol, Protocol::kPdp);
 }
 
 TEST(Workload, Preconditions) {
   msg::MessageSet empty;
-  EXPECT_THROW(make_ttp_sim_config(empty, ttp_params(), mbps(100)),
+  EXPECT_THROW(make_sim_config(empty, ttp_params(), mbps(100)),
                PreconditionError);
-  EXPECT_THROW(make_ttp_sim_config(demo_set(), ttp_params(), mbps(100), 0.0),
+  EXPECT_THROW(make_sim_config(demo_set(), ttp_params(), mbps(100), 0.0),
                PreconditionError);
 }
 

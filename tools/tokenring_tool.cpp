@@ -43,8 +43,7 @@
 #include "tokenring/obs/trace_sinks.hpp"
 #include "tokenring/planner/advisor.hpp"
 #include "tokenring/serve/server.hpp"
-#include "tokenring/sim/pdp_sim.hpp"
-#include "tokenring/sim/ttp_sim.hpp"
+#include "tokenring/sim/config.hpp"
 #include "tokenring/sim/workload.hpp"
 
 using namespace tokenring;
@@ -306,25 +305,25 @@ int cmd_simulate(const CliFlags& flags, obs::RunReport& report) {
     analysis::TtpParams p;
     p.ring = net::fddi_ring(n);
     p.frame = p.async_frame = net::paper_frame_format();
-    auto cfg = sim::make_ttp_sim_config(set, p, bw);
+    auto cfg = sim::make_sim_config(set, p, bw);
     cfg.horizon = milliseconds(flags.get_double("horizon-ms"));
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.trace = trace.get();
-    m = sim::run_ttp_simulation(set, cfg);
+    m = sim::run_simulation(set, cfg);
   } else {
     analysis::PdpParams p;
     p.ring = net::ieee8025_ring(n);
     p.frame = net::paper_frame_format();
     p.variant = proto.variant;
-    auto cfg = sim::make_pdp_sim_config(set, p, bw);
+    auto cfg = sim::make_sim_config(set, p, bw);
     cfg.horizon = milliseconds(flags.get_double("horizon-ms"));
     cfg.async_model = async_model;
     cfg.async_frames_per_second = flags.get_double("async-fps");
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.trace = trace.get();
-    m = sim::run_pdp_simulation(set, cfg);
+    m = sim::run_simulation(set, cfg);
   }
   report.note("%s", m.summary().c_str());
 
