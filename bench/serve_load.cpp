@@ -19,14 +19,31 @@
 //   BM_ServeOverload          ns per structured refusal on a saturated
 //                             server (the 503 shed fast path: parse,
 //                             watermark check, envelope — no compute)
+//   BM_ServeManyConnsReactor  ns per connection to open, serve, and park
+//   BM_ServeManyConnsThreaded --connections mostly-idle peers on each
+//                             front end (the pair the reactor's >= 5x
+//                             per-connection win is gated on; resident
+//                             memory per mode is reported alongside)
+// A "connection_sweep" table records client-observed p50/p99/p99.9 for
+// the pipelined hot mix while 64..--connections idle peers are parked on
+// the same server (the scaling curve in EXPERIMENTS.md).
 // --min-qps turns the throughput target into a hard failure (CI smoke
 // runs use a modest floor; the tentpole claim is >= 100k queries/s on a
 // development machine). --deadline-ms attaches a per-request deadline to
 // every hot-set query; shed/timeout totals are reported either way.
+//
+// All client connects are nonblocking with bounded retries, and the
+// parked pool opens in waves smaller than the listen backlog: a naive
+// connect() flood at --connections=4096 overruns the accept queue, the
+// kernel drops SYNs, and the bench ends up timing 1 s SYN-retransmit
+// stalls instead of the server.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -86,21 +103,250 @@ std::string cold_check_line(int slot) {
          ",\"payload_bits\":10000}]}";
 }
 
-int connect_loopback(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+/// Start a nonblocking connect to 127.0.0.1:port. Returns the fd with the
+/// connect in flight (or already established), -1 on immediate failure.
+int begin_connect(int port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+          0 ||
+      errno == EINPROGRESS) {
+    return fd;
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  ::close(fd);
+  return -1;
+}
+
+/// Wait for an in-flight nonblocking connect to resolve; true only when
+/// the socket connected cleanly (SO_ERROR == 0) within the timeout.
+bool finish_connect(int fd, int timeout_ms) {
+  pollfd p{fd, POLLOUT, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc <= 0) return false;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
+bool set_blocking(int fd, bool blocking) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0) return false;
+  const int want = blocking ? (fl & ~O_NONBLOCK) : (fl | O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+/// Nonblocking connect with bounded retries, handed back in blocking mode
+/// for the closed-loop clients. Refused or stalled attempts back off
+/// briefly instead of failing the whole run.
+int connect_loopback(int port) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int fd = begin_connect(port);
+    if (fd >= 0) {
+      if (finish_connect(fd, 2000) && set_blocking(fd, true)) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return fd;
+      }
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  }
+  return -1;
+}
+
+/// Current resident set size, from /proc/self/status (0 if unreadable).
+std::uint64_t vm_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Lift the soft fd limit toward the hard limit when a run needs more
+/// descriptors than the default soft cap allows (2 per parked connection
+/// plus slack for the servers and clients).
+void raise_fd_limit(std::size_t needed) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur >= needed) return;
+  rl.rlim_cur = std::min<rlim_t>(rl.rlim_max,
+                                 std::max<rlim_t>(needed, rl.rlim_cur));
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+/// A pool of parked, mostly-idle connections. Grown in waves well under
+/// the listen backlog, and each wave is pinged (and the responses read)
+/// before the next wave connects — so connections sitting established but
+/// un-accepted never pile up to the backlog limit, and the kernel never
+/// silently drops SYNs into 1 s retransmit stalls. What the growth time
+/// measures is the server's real per-connection cost: accept, front-end
+/// registration (thread spawn vs epoll add), and one served request.
+class ParkedPool {
+ public:
+  static constexpr std::size_t kWave = 256;
+
+  ~ParkedPool() { close_all(); }
+
+  std::size_t size() const { return fds_.size(); }
+
+  /// Grow to `target` parked connections; each new connection has served
+  /// exactly one ping before this returns. False on connect/ping failure.
+  bool grow(int port, std::size_t target) {
+    std::vector<int> wave;
+    while (fds_.size() < target) {
+      const std::size_t want = std::min(kWave, target - fds_.size());
+      wave.clear();
+      for (std::size_t i = 0; i < want; ++i) {
+        const int fd = begin_connect(port);
+        if (fd < 0) {
+          for (int open : wave) ::close(open);
+          return false;
+        }
+        wave.push_back(fd);
+      }
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        int fd = wave[i];
+        for (int attempt = 0; !finish_connect(fd, 2000); ++attempt) {
+          ::close(fd);
+          fd = -1;
+          if (attempt >= 8) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+          fd = begin_connect(port);
+          if (fd < 0) break;
+        }
+        wave[i] = fd;
+        if (fd < 0) {
+          for (int open : wave) {
+            if (open >= 0) ::close(open);
+          }
+          return false;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      if (!ping_wave(wave)) {
+        for (int open : wave) ::close(open);
+        return false;
+      }
+      fds_.insert(fds_.end(), wave.begin(), wave.end());
+    }
+    return true;
+  }
+
+  void close_all() {
+    for (int fd : fds_) ::close(fd);
+    fds_.clear();
+  }
+
+ private:
+  /// One ping per connection, then wait until every connection has
+  /// answered with a full response line.
+  bool ping_wave(const std::vector<int>& wave) {
+    static const std::string ping = "{\"type\":\"ping\",\"id\":0}\n";
+    for (int fd : wave) {
+      // The line is a fraction of the send buffer on a fresh socket, so a
+      // short write here means the connection is already broken.
+      if (::send(fd, ping.data(), ping.size(), MSG_NOSIGNAL) !=
+          static_cast<ssize_t>(ping.size())) {
+        return false;
+      }
+    }
+    struct Waiting {
+      int fd;
+      std::string buf;
+    };
+    std::vector<Waiting> waiting;
+    waiting.reserve(wave.size());
+    for (int fd : wave) waiting.push_back({fd, {}});
+    std::vector<pollfd> pfds;
+    char chunk[4096];
+    while (!waiting.empty()) {
+      pfds.clear();
+      for (const Waiting& w : waiting) pfds.push_back({w.fd, POLLIN, 0});
+      const int rc =
+          ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 10000);
+      if (rc <= 0 && errno != EINTR) return false;
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < waiting.size(); ++i) {
+        bool done = false;
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+          const ssize_t n = ::recv(waiting[i].fd, chunk, sizeof(chunk), 0);
+          if (n <= 0) {
+            if (n == 0 || (errno != EAGAIN && errno != EINTR)) return false;
+          } else {
+            waiting[i].buf.append(chunk, static_cast<std::size_t>(n));
+            done = waiting[i].buf.find('\n') != std::string::npos;
+          }
+        }
+        if (!done) {
+          if (kept != i) waiting[kept] = std::move(waiting[i]);
+          ++kept;
+        }
+      }
+      waiting.resize(kept);
+    }
+    return true;
+  }
+
+  std::vector<int> fds_;
+};
+
+/// Open, serve one request, and park `n` connections against a dedicated
+/// server in the given front-end mode; reports the per-connection cost
+/// (accept + front-end registration + one served ping — a thread spawn per
+/// peer for the threaded loop, an epoll add for the reactor) and the
+/// process RSS growth while all `n` sit parked.
+struct ManyConnsResult {
+  bool ok = false;
+  double per_conn_ns = 0.0;
+  std::uint64_t rss_delta = 0;
+};
+
+ManyConnsResult run_many_conns(serve::Server::FrontEnd mode, std::size_t n,
+                               std::size_t jobs) {
+  ManyConnsResult out;
+  serve::Server::Options opt;
+  opt.engine.jobs = jobs;
+  opt.front_end = mode;
+  serve::Server server(opt);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "many-conns server: %s\n", error.c_str());
+    return out;
+  }
+  ParkedPool pool;
+  const std::uint64_t rss_before = vm_rss_bytes();
+  const std::uint64_t t0 = now_ns();
+  if (!pool.grow(server.port(), n)) {
+    std::fprintf(stderr, "many-conns: failed to park %zu connections\n", n);
+    server.request_stop();
+    server.wait();
+    return out;
+  }
+  const std::uint64_t t1 = now_ns();
+  const std::uint64_t rss_parked = vm_rss_bytes();
+  out.per_conn_ns =
+      static_cast<double>(t1 - t0) / static_cast<double>(n);
+  out.rss_delta = rss_parked > rss_before ? rss_parked - rss_before : 0;
+  out.ok = true;
+  pool.close_all();
+  server.request_stop();
+  server.wait();
+  return out;
 }
 
 bool send_all(int fd, const char* data, std::size_t size) {
@@ -289,6 +535,9 @@ int main(int argc, char** argv) {
                 "fail unless aggregate throughput reaches this [queries/s]");
   flags.declare("deadline-ms", "0",
                 "attach this deadline to every hot-set query [ms]; 0 = none");
+  flags.declare("connections", "1024",
+                "parked-connection count for the sweep and the "
+                "BM_ServeManyConns pair (0 = skip both)");
   obs::RunReport report("serve_load");
   if (auto rc = obs::bootstrap_run(report, flags, argc, argv,
                                    {.batch = false})) {
@@ -312,6 +561,12 @@ int main(int argc, char** argv) {
       1, static_cast<std::size_t>(flags.get_int("hot-set")));
   const int sets = static_cast<int>(flags.get_int("sets"));
   const double deadline_ms = flags.get_double("deadline-ms");
+  const auto connections =
+      static_cast<std::size_t>(flags.get_int("connections"));
+
+  // 2 fds per parked connection (client + server side) plus slack for the
+  // servers, clients, and engine plumbing.
+  raise_fd_limit(2 * connections + 256);
 
   // Deadlines are not part of the cache identity, so warming without one
   // still turns the measured phase into cache hits even when --deadline-ms
@@ -375,6 +630,43 @@ int main(int argc, char** argv) {
   const std::uint64_t p90 = percentile(latencies, 0.90);
   const std::uint64_t p99 = percentile(latencies, 0.99);
   const std::uint64_t p999 = percentile(latencies, 0.999);
+
+  // Connection-count sweep: park growing tiers of idle connections on the
+  // still-warm server and re-measure the pipelined hot mix at each tier.
+  // The tier rows go in their own manifest table (not "benchmarks"): they
+  // are the EXPERIMENTS.md scaling curve, not baseline-gated timings.
+  Table sweep({"connections", "qps", "p50_us", "p99_us", "p999_us"});
+  if (connections > 0) {
+    ParkedPool parked;
+    const std::size_t sweep_requests = std::min<std::size_t>(requests, 10000);
+    std::vector<std::size_t> tiers;
+    for (std::size_t tier = 64; tier < connections; tier *= 4) {
+      tiers.push_back(tier);
+    }
+    tiers.push_back(connections);
+    for (const std::size_t tier : tiers) {
+      if (!parked.grow(server.port(), tier)) {
+        std::fprintf(stderr, "sweep: failed to park %zu connections\n", tier);
+        return 1;
+      }
+      ClientResult r;
+      run_client(server.port(), lines, sweep_requests, depth, r);
+      if (!r.ok) {
+        std::fprintf(stderr, "sweep: client lost its connection at %zu "
+                             "parked\n", tier);
+        return 1;
+      }
+      const double tier_wall = static_cast<double>(r.end_ns - r.start_ns);
+      const double tier_qps =
+          1e9 * static_cast<double>(sweep_requests) / tier_wall;
+      sweep.add_row(
+          {fmt(static_cast<long long>(tier)), fmt(tier_qps, 0),
+           fmt(static_cast<double>(percentile(r.latencies_ns, 0.50)) * 1e-3, 1),
+           fmt(static_cast<double>(percentile(r.latencies_ns, 0.99)) * 1e-3, 1),
+           fmt(static_cast<double>(percentile(r.latencies_ns, 0.999)) * 1e-3,
+               1)});
+    }
+  }
 
   server.request_stop();
   server.wait();
@@ -445,6 +737,34 @@ int main(int argc, char** argv) {
         1e9 / overload_ns);
   }
 
+  // Many-connections pair: the same park-N-idle-peers workload against
+  // each front end on its own server. Reactor first, so its RSS delta is
+  // not flattered by allocator pages the threaded phase already faulted
+  // in.
+  ManyConnsResult reactor_conns;
+  ManyConnsResult threaded_conns;
+  if (connections > 0) {
+    reactor_conns = run_many_conns(serve::Server::FrontEnd::kReactor,
+                                   connections, get_jobs(flags));
+    threaded_conns = run_many_conns(serve::Server::FrontEnd::kThreaded,
+                                    connections, get_jobs(flags));
+    if (!reactor_conns.ok || !threaded_conns.ok) return 1;
+    const double rss_ratio =
+        threaded_conns.rss_delta > 0
+            ? static_cast<double>(reactor_conns.rss_delta) /
+                  static_cast<double>(threaded_conns.rss_delta)
+            : 0.0;
+    report.note(
+        "%zu parked connections: reactor %.1f us/conn, %.1f MiB resident; "
+        "threaded %.1f us/conn, %.1f MiB resident (reactor uses %.0f%% of "
+        "threaded memory)\n",
+        connections, reactor_conns.per_conn_ns * 1e-3,
+        static_cast<double>(reactor_conns.rss_delta) / (1024.0 * 1024.0),
+        threaded_conns.per_conn_ns * 1e-3,
+        static_cast<double>(threaded_conns.rss_delta) / (1024.0 * 1024.0),
+        rss_ratio * 100.0);
+  }
+
   Table table({"name", "iterations", "real_time", "cpu_time", "time_unit"});
   const auto add_row = [&](const std::string& name, double ns,
                            std::size_t iterations) {
@@ -461,6 +781,13 @@ int main(int argc, char** argv) {
   add_row("BM_ServeAdviseLatencyP999", static_cast<double>(p999),
           latencies.size());
   add_row("BM_ServeOverload", overload_ns, overload_requests);
+  if (connections > 0) {
+    add_row("BM_ServeManyConnsReactor", reactor_conns.per_conn_ns,
+            connections);
+    add_row("BM_ServeManyConnsThreaded", threaded_conns.per_conn_ns,
+            connections);
+    report.record_table("connection_sweep", sweep);
+  }
   report.record_table("benchmarks", table);
   if (report.verbose()) table.print(std::cout);
   if (report.format() == obs::OutputFormat::kCsv) table.print_csv(std::cout);

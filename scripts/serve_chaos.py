@@ -199,8 +199,18 @@ def scenario_deadlines(server):
 
 
 def scenario_sigterm_drain(server):
-    """SIGTERM with a pipelined burst in flight: every request already on
-    the wire is answered, then exit 0."""
+    """SIGTERM with a pipelined burst in flight AND 100+ idle connections
+    parked on the reactor: every request already on the wire is answered,
+    every parked peer sees EOF, then exit 0."""
+    parked = []
+    ping = json.dumps({"type": "ping", "id": "park"}).encode() + b"\n"
+    for _ in range(120):
+        sock = raw_connection(server.port)
+        sock.sendall(ping)  # proven accepted and served before the SIGTERM
+        if json.loads(sock.makefile("rb").readline()).get("status") != 200:
+            sys.exit("error: parked chaos connection was not served")
+        parked.append(sock)
+
     sock = raw_connection(server.port)
     reader = sock.makefile("rb")
     burst = 8
@@ -216,6 +226,19 @@ def scenario_sigterm_drain(server):
     expect(reader.readline() == b"", "SIGTERM drain: connection then closed")
     reader.close()
     sock.close()
+
+    closed = 0
+    for s in parked:
+        s.settimeout(10)
+        try:
+            if s.recv(64) == b"":
+                closed += 1
+        except socket.timeout:
+            pass
+        s.close()
+    expect(closed == len(parked),
+           f"SIGTERM drain: all {len(parked)} parked connections closed "
+           f"({closed} saw EOF)")
 
 
 def main():

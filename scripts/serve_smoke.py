@@ -7,12 +7,19 @@ validates every response line as JSON against the tokenring.serve/1
 envelope, and asserts a clean SIGTERM drain (exit code 0).
 
 Usage:
-  serve_smoke.py [path/to/tokenring_tool]    # default ./build/tools/tokenring_tool
+  serve_smoke.py [path/to/tokenring_tool] [--connections N]
+
+--connections N adds an fd-pressure phase: N concurrent idle connections
+parked on the reactor (opened in waves, each proven served), the full
+request mix driven underneath them, and a SIGTERM drain with everything
+still parked. The soft fd limit is raised toward the hard limit first.
 
 Exit code 0 when every check passes, 1 otherwise. Stdlib only.
 """
 
+import argparse
 import json
+import resource
 import signal
 import socket
 import subprocess
@@ -91,8 +98,82 @@ def ask(sock, reader, request):
     return doc
 
 
+def raise_fd_limit(needed):
+    """Lift the soft RLIMIT_NOFILE toward the hard limit if necessary."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < needed:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(needed, hard), hard))
+
+
+def fd_pressure_phase(tool, connections):
+    """Park `connections` idle peers, then prove the server still serves
+    the full mix underneath them and drains cleanly on SIGTERM."""
+    print(f"== fd pressure ({connections} parked connections) ==")
+    raise_fd_limit(connections + 64)
+    server = ServeProcess(tool)
+
+    # Waves below the listen backlog, each connection proven accepted and
+    # served (one answered ping) before the next wave -- so the parked
+    # count is real, not a pile of un-accepted SYNs.
+    parked = []
+    ping = json.dumps({"type": "ping", "id": "park"}).encode() + b"\n"
+    while len(parked) < connections:
+        wave = []
+        for _ in range(min(256, connections - len(parked))):
+            wave.append(socket.create_connection(("127.0.0.1", server.port),
+                                                 timeout=10))
+        for s in wave:
+            s.sendall(ping)
+        for s in wave:
+            reader = s.makefile("rb")
+            doc = json.loads(reader.readline())
+            if doc.get("status") != 200:
+                sys.exit("error: parked connection was not served")
+        parked.extend(wave)
+    expect(len(parked) == connections,
+           f"{connections} connections parked and served")
+
+    # The full request mix still flows with everything parked.
+    sock, reader = server.connect()
+    doc = ask(sock, reader, {"type": "ping", "id": "under-pressure"})
+    expect(doc["status"] == 200, "ping served under fd pressure")
+    doc = ask(sock, reader, CHECK_QUERY)
+    expect(doc["status"] == 200, "check served under fd pressure")
+    doc = ask(sock, reader, {"type": "stats"})
+    counters = doc["result"]["counters"]
+    expect(counters.get("serve.conn.opened", 0) >= connections,
+           "stats counts the parked connections")
+    gauges = doc["result"].get("gauges", {})
+    expect(gauges.get("serve.reactor.peak_conns", 0) >= connections / 2,
+           "stats reports the reactor peak-connection gauge")
+    sock.close()
+
+    # SIGTERM with everything parked: exit 0 and every peer sees EOF.
+    code = server.terminate()
+    expect(code == 0, "SIGTERM drain with parked connections exits 0")
+    closed = 0
+    for s in parked:
+        s.settimeout(10)
+        try:
+            if s.recv(64) == b"":
+                closed += 1
+        except socket.timeout:
+            pass
+        s.close()
+    expect(closed == connections,
+           f"all {connections} parked connections closed on drain "
+           f"({closed} saw EOF)")
+
+
 def main():
-    tool = sys.argv[1] if len(sys.argv) > 1 else "./build/tools/tokenring_tool"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("tool", nargs="?",
+                        default="./build/tools/tokenring_tool")
+    parser.add_argument("--connections", type=int, default=0,
+                        help="also run the fd-pressure phase with this many "
+                             "parked connections")
+    args = parser.parse_args()
+    tool = args.tool
 
     print("== request mix (no rate limit, 4 KiB request cap) ==")
     server = ServeProcess(tool, ["--max-request-bytes=4096"])
@@ -186,6 +267,9 @@ def main():
     client.close()
     code = server.terminate()
     expect(code == 0, "rate-limited server drains cleanly too")
+
+    if args.connections > 0:
+        fd_pressure_phase(tool, args.connections)
 
     if failures:
         print(f"serve smoke: FAIL ({len(failures)} checks)")

@@ -80,6 +80,17 @@ ResultCache::Outcome ResultCache::get_or_compute(
   return {std::move(value), false};
 }
 
+std::optional<std::string> ResultCache::try_get(const std::string& key) {
+  static const obs::Counter hits("serve.cache.hits");
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || !it->second.ready) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  hits.add();
+  return it->second.value;
+}
+
 bool ResultCache::likely_present(const std::string& key) const {
   const Shard& shard =
       *shards_[std::hash<std::string>{}(key) % shards_.size()];

@@ -25,6 +25,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,14 @@ class ResultCache {
   /// throws; a failed compute leaves the cache unchanged.
   Outcome get_or_compute(const std::string& key,
                          const std::function<std::string()>& compute);
+
+  /// Non-blocking probe: the value if `key` is ready (bumping the hit
+  /// counter and LRU position exactly like a get_or_compute hit), nullopt
+  /// when missing or still in flight. The reactor path answers ready hits
+  /// inline on the event-loop thread and routes everything else through
+  /// the batcher, so an event-loop thread never blocks on a single-flight
+  /// wait.
+  std::optional<std::string> try_get(const std::string& key);
 
   /// Ready entries across all shards (approximate under concurrency).
   std::size_t size() const;

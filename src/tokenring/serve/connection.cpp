@@ -25,9 +25,7 @@ const char* to_string(ConnectionEnd end) {
   return "?";
 }
 
-namespace {
-
-ConnectionEnd finish(Transport& transport, ConnectionEnd end) {
+void note_connection_end(ConnectionEnd end) {
   static const obs::Counter idle("serve.conn.idle_timeouts");
   static const obs::Counter oversized("serve.conn.oversized");
   static const obs::Counter read_errors("serve.conn.read_errors");
@@ -52,6 +50,12 @@ ConnectionEnd finish(Transport& transport, ConnectionEnd end) {
     case ConnectionEnd::kPeerClosed:
       break;
   }
+}
+
+namespace {
+
+ConnectionEnd finish(Transport& transport, ConnectionEnd end) {
+  note_connection_end(end);
   transport.shutdown_both();
   return end;
 }

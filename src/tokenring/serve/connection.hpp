@@ -57,6 +57,11 @@ enum class ConnectionEnd {
 
 const char* to_string(ConnectionEnd end);
 
+/// Bump the serve.conn.* counter for a finished connection. Shared by the
+/// blocking loop below and the reactor's ConnFsm so both front ends feed
+/// the same metrics.
+void note_connection_end(ConnectionEnd end);
+
 /// Serve one connection to completion. Never throws; every exit path
 /// shuts the transport down (idempotent) and bumps a serve.conn.*
 /// counter.

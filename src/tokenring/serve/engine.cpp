@@ -1,7 +1,9 @@
 #include "tokenring/serve/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -25,11 +27,6 @@ namespace {
 struct DeadlineExceeded {
   double elapsed_ms = 0.0;
 };
-
-/// Thrown inside get_or_compute when the batcher refused admission
-/// (queue at capacity between the watermark check and the submit);
-/// dispatch turns it into a 503.
-struct ShedByBatcher {};
 
 /// Same protocol split as tokenring_tool's parse_protocol (names are
 /// validated at parse time, so no error path here).
@@ -85,35 +82,58 @@ void Engine::drain() { batcher_.drain(); }
 
 std::string Engine::handle_line(std::string_view line,
                                 const std::string& fallback_client) {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::string response;
+  bool done = false;
+  handle_line_async(line, fallback_client, [&](std::string&& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    response = std::move(r);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+void Engine::handle_line_async(std::string_view line,
+                               const std::string& fallback_client,
+                               Completion done) {
   static const obs::Counter requests("serve.requests");
-  static const obs::Histogram latency("serve.request_us",
-                                      latency_bounds_us());
   requests.add();
   const std::uint64_t start_ns = clock_();
 
-  std::string response;
+  // Every exit path reports its latency at completion time, wherever the
+  // response was produced (inline refusal or pool-thread compute).
+  Completion finish = [this, start_ns,
+                       done = std::move(done)](std::string&& response) {
+    static const obs::Histogram latency("serve.request_us",
+                                        latency_bounds_us());
+    latency.observe(static_cast<double>(clock_() - start_ns) * 1e-3);
+    done(std::move(response));
+  };
+
   if (line.size() > options_.max_request_bytes) {
-    response = error_response(
+    finish(error_response(
         "", 413,
         "request exceeds " + std::to_string(options_.max_request_bytes) +
-            " bytes");
-  } else {
-    const obs::JsonParseResult parsed = obs::parse_json(line);
-    if (!parsed.ok) {
-      response = parse_error_response(parsed.error_offset, parsed.error);
-    } else {
-      Request request;
-      std::string error;
-      if (!parse_request(parsed.value, request, error)) {
-        response = error_response(request.id_token, 400, error);
-      } else {
-        response = dispatch(request, fallback_client, start_ns);
-      }
-    }
+            " bytes"));
+    return;
   }
-
-  latency.observe(static_cast<double>(clock_() - start_ns) * 1e-3);
-  return response;
+  const obs::JsonParseResult parsed = obs::parse_json(line);
+  if (!parsed.ok) {
+    finish(parse_error_response(parsed.error_offset, parsed.error));
+    return;
+  }
+  Request request;
+  std::string error;
+  if (!parse_request(parsed.value, request, error)) {
+    finish(error_response(request.id_token, 400, error));
+    return;
+  }
+  dispatch_async(std::move(request), fallback_client, start_ns,
+                 std::move(finish));
 }
 
 std::uint64_t Engine::shed_retry_after_ns() const {
@@ -128,18 +148,19 @@ std::uint64_t Engine::shed_retry_after_ns() const {
   return std::max(kFloorNs, backlog_ns);
 }
 
-std::string Engine::dispatch(const Request& request,
-                             const std::string& fallback_client,
-                             std::uint64_t start_ns) {
+void Engine::dispatch_async(Request request, const std::string& fallback_client,
+                            std::uint64_t start_ns, Completion done) {
   // ping and stats are control-plane traffic: answered inline, never rate
   // limited, never shed, never cached.
   if (request.type == RequestType::kPing) {
-    return success_response(request.id_token, request.type, false,
-                            "{\"message\":\"pong\"}");
+    done(success_response(request.id_token, request.type, false,
+                          "{\"message\":\"pong\"}"));
+    return;
   }
   if (request.type == RequestType::kStats) {
-    return success_response(request.id_token, request.type, false,
-                            render_stats());
+    done(success_response(request.id_token, request.type, false,
+                          render_stats()));
+    return;
   }
 
   static const obs::Counter deadline_expired("serve.deadline_expired");
@@ -154,76 +175,98 @@ std::string Engine::dispatch(const Request& request,
     const std::uint64_t elapsed = clock_() - start_ns;
     if (elapsed >= deadline_ns) {
       deadline_expired.add();
-      return timeout_response(request.id_token,
-                              static_cast<double>(elapsed) * 1e-6);
+      done(timeout_response(request.id_token,
+                            static_cast<double>(elapsed) * 1e-6));
+      return;
     }
   }
 
-  const std::string key = cache_key(request);
+  std::string key = cache_key(request);
   if (batcher_.depth() >= options_.high_water && !cache_.likely_present(key)) {
     // The watermark only refuses work that would *add* compute: cached
     // (or already-in-flight) answers keep flowing under overload.
     shed.add();
-    return shed_response(request.id_token, shed_retry_after_ns());
+    done(shed_response(request.id_token, shed_retry_after_ns()));
+    return;
   }
 
   const std::string& client =
       request.client.empty() ? fallback_client : request.client;
   const RateLimiter::Verdict verdict = limiter_.check(client, clock_());
   if (!verdict.allowed) {
-    return rate_limited_response(request.id_token, verdict.retry_after_ns);
+    done(rate_limited_response(request.id_token, verdict.retry_after_ns));
+    return;
   }
 
-  try {
-    const ResultCache::Outcome outcome = cache_.get_or_compute(
-        key, [this, &request, start_ns, deadline_ns] {
-          auto future =
-              batcher_.try_submit([this, &request, start_ns, deadline_ns] {
-                // The queue wait may have consumed the whole budget; skip
-                // the compute rather than produce an answer nobody reads.
-                const std::uint64_t begun = clock_();
-                if (deadline_ns > 0 && begun - start_ns >= deadline_ns) {
-                  throw DeadlineExceeded{
-                      static_cast<double>(begun - start_ns) * 1e-6};
-                }
-                std::string value;
-                switch (request.type) {
-                  case RequestType::kCheck:
-                    value = compute_check(request.check);
-                    break;
-                  case RequestType::kFaultcheck:
-                    value = compute_faultcheck(request.check);
-                    break;
-                  default:
-                    value = compute_advise(request.advise);
-                    break;
-                }
-                // EWMA (alpha 1/8) of job cost feeds the shed back-off
-                // hint; relaxed is fine, it is an estimate.
-                const std::uint64_t took = clock_() - begun;
-                const std::uint64_t old =
-                    job_ewma_ns_.load(std::memory_order_relaxed);
-                job_ewma_ns_.store(old == 0 ? took : old - old / 8 + took / 8,
-                                   std::memory_order_relaxed);
-                return value;
-              });
-          // Admission can race: the watermark passed above, but the queue
-          // filled before this submit. Shed instead of blocking.
-          if (!future) throw ShedByBatcher{};
-          return future->get();
-        });
-    return success_response(request.id_token, request.type, outcome.hit,
-                            outcome.value);
-  } catch (const DeadlineExceeded& e) {
-    deadline_expired.add();
-    return timeout_response(request.id_token, e.elapsed_ms);
-  } catch (const ShedByBatcher&) {
+  // Ready hits are answered on the calling thread: no queueing, no copy
+  // of the compute pipeline, and — for the reactor — no thread hop.
+  if (std::optional<std::string> hit = cache_.try_get(key)) {
+    done(success_response(request.id_token, request.type, true,
+                          std::move(*hit)));
+    return;
+  }
+
+  // Miss or in-flight: the batcher job owns the request and the
+  // completion. The single-flight join happens inside the job, so a
+  // reactor thread never waits on another request's compute; if the
+  // computing job fails, a waiting joiner wakes and retries the compute
+  // itself under its own deadline (cache.hpp semantics).
+  const std::string id_token = request.id_token;
+  Completion done_if_refused = done;  // survives the job being rejected
+  auto job = [this, request = std::move(request), key = std::move(key),
+              start_ns, deadline_ns, done = std::move(done)]() -> std::string {
+    std::string response;
+    try {
+      const ResultCache::Outcome outcome = cache_.get_or_compute(
+          key, [this, &request, start_ns, deadline_ns] {
+            // The queue wait may have consumed the whole budget; skip
+            // the compute rather than produce an answer nobody reads.
+            const std::uint64_t begun = clock_();
+            if (deadline_ns > 0 && begun - start_ns >= deadline_ns) {
+              throw DeadlineExceeded{
+                  static_cast<double>(begun - start_ns) * 1e-6};
+            }
+            std::string value;
+            switch (request.type) {
+              case RequestType::kCheck:
+                value = compute_check(request.check);
+                break;
+              case RequestType::kFaultcheck:
+                value = compute_faultcheck(request.check);
+                break;
+              default:
+                value = compute_advise(request.advise);
+                break;
+            }
+            // EWMA (alpha 1/8) of job cost feeds the shed back-off
+            // hint; relaxed is fine, it is an estimate.
+            const std::uint64_t took = clock_() - begun;
+            const std::uint64_t old =
+                job_ewma_ns_.load(std::memory_order_relaxed);
+            job_ewma_ns_.store(old == 0 ? took : old - old / 8 + took / 8,
+                               std::memory_order_relaxed);
+            return value;
+          });
+      response = success_response(request.id_token, request.type, outcome.hit,
+                                  outcome.value);
+    } catch (const DeadlineExceeded& e) {
+      deadline_expired.add();
+      response = timeout_response(request.id_token, e.elapsed_ms);
+    } catch (const std::exception& e) {
+      static const obs::Counter failures("serve.compute_failures");
+      failures.add();
+      response = error_response(request.id_token, 500, e.what());
+    }
+    done(std::move(response));
+    return std::string();  // the future's value is unused; done() is the
+                           // delivery path
+  };
+  // Admission can race: the watermark passed above, but the queue filled
+  // before this submit. Shed instead of blocking.
+  if (!batcher_.try_submit(std::move(job))) {
     shed.add();
-    return shed_response(request.id_token, shed_retry_after_ns());
-  } catch (const std::exception& e) {
-    static const obs::Counter failures("serve.compute_failures");
-    failures.add();
-    return error_response(request.id_token, 500, e.what());
+    done_if_refused(shed_response(id_token, shed_retry_after_ns()));
+    return;
   }
 }
 

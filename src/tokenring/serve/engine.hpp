@@ -1,13 +1,21 @@
 // Request engine of the admission-control service.
 //
-// handle_line() is the whole per-request pipeline, transport-free so tests
-// drive it without sockets:
+// handle_line_async() is the whole per-request pipeline, transport-free so
+// tests drive it without sockets:
 //
 //   size gate (413) -> parse_json (400 + byte offset) -> parse_request
 //   (400 naming the field) -> ping/stats answered inline -> deadline
 //   pre-check (504) -> load shed (503, cache hits exempt) -> rate limit
-//   (429 + retry hint) -> result cache -> batcher (deadline re-check,
-//   504) -> compute.
+//   (429 + retry hint) -> ready cache hits inline -> batcher job
+//   (single-flight cache, deadline re-check 504) -> compute.
+//
+// Everything up to and including the ready-hit probe runs on the calling
+// thread and never blocks, which is what lets a reactor thread multiplex
+// thousands of connections through here. The batcher job owns a copy of
+// the request and the completion callback: pool threads call `done`, and
+// the reactor posts the response back to the connection's owning shard.
+// handle_line() is a blocking wrapper over the same pipeline for the
+// thread-per-connection front end and the tests.
 //
 // Overload policy (see DESIGN.md §4h): a request that cannot be answered
 // usefully is refused as early and as cheaply as possible. Expired
@@ -73,12 +81,30 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Invoked exactly once with the finished response line. May run inline
+  /// on the calling thread (refusals, ping/stats, cache hits) or later on
+  /// a batcher pool thread (compute); callers that need thread affinity
+  /// (the reactor) re-route from inside the callback.
+  using Completion = std::function<void(std::string&&)>;
+
   /// Process one request line (no trailing newline) and return the
   /// response line. Never throws: every failure becomes a structured
   /// error response. `fallback_client` is the rate-limit key for requests
   /// without a "client" field (the server passes the peer address).
+  /// Blocking wrapper over handle_line_async — one pipeline, two calling
+  /// conventions.
   std::string handle_line(std::string_view line,
                           const std::string& fallback_client);
+
+  /// Asynchronous form for the reactor front end: the event-loop thread
+  /// runs only the cheap gates (size/parse, ping/stats, deadline
+  /// pre-check, load shed, rate limit, ready cache hits) and never blocks;
+  /// anything needing compute — including single-flight joins on an
+  /// in-flight key — is handed to the batcher, whose pool thread invokes
+  /// `done`. The request is copied into the job, so the caller's line
+  /// buffer may be reused the moment this returns.
+  void handle_line_async(std::string_view line,
+                         const std::string& fallback_client, Completion done);
 
   /// Block until every accepted compute job has finished (graceful
   /// shutdown: the server stops reading first, then drains).
@@ -99,9 +125,8 @@ class Engine {
   static std::string compute_advise(const AdviseQuery& query);
 
  private:
-  std::string dispatch(const Request& request,
-                       const std::string& fallback_client,
-                       std::uint64_t start_ns);
+  void dispatch_async(Request request, const std::string& fallback_client,
+                      std::uint64_t start_ns, Completion done);
   std::string render_stats();
   /// Back-off hint for a shed response: EWMA job cost scaled by the
   /// backlog ahead of the request, floored so a cold server still hints

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <utility>
 
+#include "tokenring/exec/executor.hpp"
 #include "tokenring/obs/registry.hpp"
 #include "tokenring/serve/connection.hpp"
 #include "tokenring/serve/transport.hpp"
@@ -83,6 +84,28 @@ bool Server::start(std::string& error) {
     close_quietly(listen_fd_);
     return false;
   }
+
+  if (options_.front_end == FrontEnd::kReactor) {
+    static const obs::Gauge shard_count("serve.reactor.count");
+    const std::size_t n =
+        options_.reactors > 0 ? options_.reactors : exec::default_jobs();
+    Reactor::Options ropts;
+    ropts.idle_timeout_ms = options_.idle_timeout_ms;
+    ropts.write_timeout_ms = options_.write_timeout_ms;
+    ropts.max_line = options_.engine.max_request_bytes;
+    for (std::size_t i = 0; i < n; ++i) {
+      reactors_.push_back(std::make_unique<Reactor>(*engine_, ropts));
+      if (!reactors_.back()->start(error)) {
+        reactors_.clear();
+        close_quietly(listen_fd_);
+        close_quietly(stop_pipe_[0]);
+        close_quietly(stop_pipe_[1]);
+        return false;
+      }
+    }
+    shard_count.record(n);
+  }
+
   accept_thread_ = std::thread([this] { accept_loop(); });
   started_ = true;
   return true;
@@ -98,8 +121,14 @@ void Server::request_stop() {
 void Server::wait() {
   if (!started_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Half-close every connection: readers see EOF once they have consumed
-  // what the client already sent, answer it, and exit.
+  if (!reactors_.empty()) {
+    // Each shard half-closes its connections, answers what was buffered
+    // or in flight, and exits once empty.
+    for (auto& reactor : reactors_) reactor->begin_drain();
+    for (auto& reactor : reactors_) reactor->join();
+  }
+  // Threaded mode: half-close every connection so readers see EOF once
+  // they have consumed what the client already sent, answer it, and exit.
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (Connection& c : connections_) {
@@ -122,7 +151,6 @@ void Server::wait() {
 }
 
 void Server::accept_loop() {
-  static const obs::Counter accepted("serve.connections");
   for (;;) {
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
@@ -132,33 +160,66 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;
     }
-    if (fds[1].revents != 0) return;  // request_stop()
+    if (fds[1].revents != 0) {
+      // request_stop(). The kernel may hold handshakes no accept() has
+      // collected yet; that peer's requests are already on the wire, and
+      // closing the listen socket would RST them unanswered. Adopt the
+      // queue (nonblocking, bounded by the backlog so a client that keeps
+      // connecting cannot hold shutdown open) and let the drain answer.
+      const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+      for (int i = 0; i < options_.backlog; ++i) {
+        if (!accept_and_dispatch()) break;
+      }
+      return;
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
-
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
-                            &peer_len);
-    // accept() failures never kill the listener: EINTR (stray signal)
-    // and ECONNABORTED (peer vanished between SYN and accept) are
-    // routine, and anything else is at worst a transient resource limit
-    // that the next poll round retries.
-    if (fd < 0) continue;
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    accepted.add();
-
-    char ip[INET_ADDRSTRLEN] = "?";
-    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
-    const std::string peer_id = ip;  // one rate-limit bucket per peer host
-
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    Connection c;
-    c.fd = fd;
-    c.thread = std::thread(
-        [this, fd, peer_id] { serve_connection(fd, peer_id); });
-    connections_.push_back(std::move(c));
+    accept_and_dispatch();
   }
+}
+
+bool Server::accept_and_dispatch() {
+  static const obs::Counter accepted("serve.connections");
+  static const obs::Counter overflows("serve.accept.overflows");
+  sockaddr_in peer{};
+  socklen_t peer_len = sizeof(peer);
+  const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                          &peer_len);
+  // accept() failures never kill the listener: EINTR (stray signal)
+  // and ECONNABORTED (peer vanished between SYN and accept) are
+  // routine, and anything else is at worst a transient resource limit
+  // that the next poll round retries.
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // fd or buffer exhaustion: the burst outran our limits. Counted
+      // so operators can see refused accepts in stats.
+      overflows.add();
+    }
+    return true;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  accepted.add();
+
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+  const std::string peer_id = ip;  // one rate-limit bucket per peer host
+
+  if (!reactors_.empty()) {
+    reactors_[next_reactor_]->add_connection(fd, peer_id);
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+    return true;
+  }
+
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  Connection c;
+  c.fd = fd;
+  c.thread = std::thread(
+      [this, fd, peer_id] { serve_connection(fd, peer_id); });
+  connections_.push_back(std::move(c));
+  return true;
 }
 
 void Server::serve_connection(int fd, const std::string& peer) {

@@ -1,18 +1,31 @@
 // Line-delimited-JSON TCP front end for the request Engine.
 //
-// Plain POSIX sockets, thread-per-connection: admission queries are small
-// and the compute is what costs, so connection threads only frame lines
-// and block on the Engine (which batches across connections). Each
-// connection runs the shared run_connection() loop over a SocketIo
-// transport, which is where the idle/write timeouts, EINTR retries, and
-// 413-then-close policy live (see connection.hpp). The accept loop polls
-// the listen socket alongside a self-pipe; request_stop() is a single
-// write() to that pipe, making it safe to call from a signal handler.
-// Shutdown is graceful by construction:
+// Two front ends share one accept loop and one Engine:
+//
+//   * kReactor (default): a sharded, edge-triggered epoll reactor. N
+//     reactor threads (default exec::default_jobs()) each own an epoll
+//     instance and a shard of nonblocking connections; the accept loop
+//     hands new fds out round-robin through eventfd-signalled inboxes.
+//     Per-connection framing/overload state machines (ConnFsm) carry the
+//     same rules as the blocking loop, with idle/write deadlines on a
+//     per-reactor timer wheel; compute flows through the Engine's
+//     batcher and completes back onto the owning reactor's wakeup queue,
+//     so a reactor thread never blocks on a future. Cost per connection
+//     is a table entry + epoll registration, so thousands of mostly-idle
+//     peers are cheap (DESIGN.md §4j).
+//   * kThreaded: the original thread-per-connection loop (SocketIo +
+//     Transport + run_connection). Kept as the semantic reference the
+//     reactor is golden-tested against, and as the baseline the
+//     BM_ServeManyConns benchmark pair quantifies the reactor's win over.
+//
+// The accept loop polls the listen socket alongside a self-pipe;
+// request_stop() is a single write() to that pipe, making it safe to call
+// from a signal handler. Shutdown is graceful by construction in both
+// modes:
 //
 //   request_stop() -> accept loop exits -> every connection gets
-//   shutdown(SHUT_RD) -> readers drain their buffered lines, write the
-//   responses, and exit -> Engine::drain() waits out the batcher.
+//   shutdown(SHUT_RD) -> buffered lines are answered and flushed ->
+//   Engine::drain() waits out the batcher.
 //
 // Bind to port 0 to get an ephemeral port (tests, CI); port() reports the
 // bound port after start().
@@ -27,22 +40,33 @@
 #include <vector>
 
 #include "tokenring/serve/engine.hpp"
+#include "tokenring/serve/reactor.hpp"
 
 namespace tokenring::serve {
 
 class Server {
  public:
+  enum class FrontEnd {
+    kReactor,   // sharded epoll event loops (production default)
+    kThreaded,  // one blocking thread per connection (reference baseline)
+  };
+
   struct Options {
     std::string host = "127.0.0.1";
     /// 0 binds an ephemeral port; read it back with port().
     int port = 0;
-    int backlog = 128;
+    /// Listen backlog: bursts of connect()s beyond this are queued by the
+    /// kernel or refused. 1024 rides out chaos-harness accept floods.
+    int backlog = 1024;
     /// Longest silence tolerated while waiting for request bytes before
     /// the connection is dropped (slow-loris guard); <= 0 waits forever.
     int idle_timeout_ms = 30000;
     /// Budget for writing one response to a peer that stopped reading;
     /// <= 0 waits forever.
     int write_timeout_ms = 10000;
+    FrontEnd front_end = FrontEnd::kReactor;
+    /// Reactor shards (kReactor only); 0 picks exec::default_jobs().
+    std::size_t reactors = 0;
     Engine::Options engine;
   };
 
@@ -62,9 +86,9 @@ class Server {
   /// Begin shutdown. Async-signal-safe: one write() on the self-pipe.
   void request_stop();
 
-  /// Block until the accept loop and every connection thread have exited
-  /// and the engine has drained. Call after request_stop(), or to park
-  /// the calling thread until a signal handler stops the server.
+  /// Block until the accept loop and every connection have finished and
+  /// the engine has drained. Call after request_stop(), or to park the
+  /// calling thread until a signal handler stops the server.
   void wait();
 
   Engine& engine() { return *engine_; }
@@ -76,10 +100,16 @@ class Server {
   };
 
   void accept_loop();
+  /// One accept() + dispatch to a reactor shard or connection thread.
+  /// False when the queue is empty (EAGAIN) -- only possible once the
+  /// stop path has made the listen socket nonblocking.
+  bool accept_and_dispatch();
   void serve_connection(int fd, const std::string& peer);
 
   Options options_;
   std::unique_ptr<Engine> engine_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  // round-robin cursor (accept thread only)
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
   int port_ = 0;

@@ -1,0 +1,90 @@
+#include "tokenring/serve/timer_wheel.hpp"
+
+#include <algorithm>
+
+#include "tokenring/common/checks.hpp"
+#include "tokenring/obs/registry.hpp"
+
+namespace tokenring::serve {
+
+TimerWheel::TimerWheel(std::uint64_t tick_ns, std::size_t slots)
+    : tick_ns_(tick_ns) {
+  TR_EXPECTS_MSG(tick_ns > 0, "timer wheel tick must be positive");
+  slots_.resize(std::max<std::size_t>(1, slots));
+}
+
+TimerWheel::Id TimerWheel::arm(std::uint64_t deadline_ns,
+                               std::uint64_t payload) {
+  const Id id = next_id_++;
+  // Deadlines at or behind the sweep cursor go into the next slot the
+  // cursor will visit; their own slot was already passed this lap and
+  // would not be swept again for a full rotation.
+  const std::uint64_t cursor_tick = last_sweep_ns_ / tick_ns_;
+  const std::uint64_t due_tick = deadline_ns / tick_ns_;
+  const std::uint64_t placed_tick = std::max(due_tick, cursor_tick + 1);
+  slots_[static_cast<std::size_t>(placed_tick % slots_.size())].push_back(
+      {id, deadline_ns, payload});
+  live_.emplace(id, deadline_ns);
+  return id;
+}
+
+void TimerWheel::cancel(Id id) { live_.erase(id); }
+
+void TimerWheel::expire(std::uint64_t now_ns, std::vector<Expired>& fired) {
+  static const obs::Counter expirations("serve.timer.expirations");
+  if (live_.empty()) {
+    // Nothing armed: fast-forward so a long idle stretch does not cost a
+    // slot-by-slot catch-up sweep later.
+    last_sweep_ns_ = now_ns;
+    return;
+  }
+  if (now_ns < last_sweep_ns_) return;  // monotonic clock hiccup: no-op
+
+  // Sweep each slot the tick cursor passes, at most one full lap (beyond
+  // a lap every slot has been visited once already).
+  const std::uint64_t first_tick = last_sweep_ns_ / tick_ns_;
+  const std::uint64_t last_tick = now_ns / tick_ns_;
+  const std::uint64_t laps = last_tick - first_tick;
+  const std::uint64_t ticks =
+      std::min<std::uint64_t>(laps, slots_.size());
+  std::vector<Entry> displaced;
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    auto& slot = slots_[static_cast<std::size_t>((first_tick + 1 + t) %
+                                                 slots_.size())];
+    std::size_t keep = 0;
+    for (Entry& entry : slot) {
+      const auto it = live_.find(entry.id);
+      if (it == live_.end()) continue;  // cancelled: drop the tombstone
+      if (entry.deadline_ns <= now_ns) {
+        fired.push_back({entry.id, entry.payload});
+        expirations.add();
+        live_.erase(it);
+        continue;
+      }
+      if (entry.deadline_ns / tick_ns_ <= last_tick) {
+        // Due later within a tick the cursor has now passed: left here it
+        // would wait a full lap for the next visit. Migrate to the slot
+        // the cursor visits next so it fires on the following sweep.
+        displaced.push_back(entry);
+        continue;
+      }
+      slot[keep++] = entry;  // future lap: stays armed
+    }
+    slot.resize(keep);
+  }
+  if (!displaced.empty()) {
+    auto& next_slot =
+        slots_[static_cast<std::size_t>((last_tick + 1) % slots_.size())];
+    next_slot.insert(next_slot.end(), displaced.begin(), displaced.end());
+  }
+  last_sweep_ns_ = now_ns;
+}
+
+int TimerWheel::poll_timeout_ms() const {
+  if (live_.empty()) return -1;
+  // One tick is the firing granularity; rounding up avoids a busy loop
+  // when tick_ns_ < 1 ms.
+  return static_cast<int>((tick_ns_ + 999'999) / 1'000'000);
+}
+
+}  // namespace tokenring::serve

@@ -106,6 +106,10 @@ ssize_t FaultyIo::recv_some(char* data, std::size_t size, int& err) {
     return -1;
   }
   pending_recv_eintr_ = plan_.eintr_per_op;
+  if (plan_.eagain_every > 0 && ++recvs_called_ % plan_.eagain_every == 0) {
+    err = EAGAIN;
+    return -1;
+  }
   if (shutdown_ || read_pos_ >= plan_.reset_read_after) {
     err = ECONNRESET;
     return -1;
@@ -129,6 +133,10 @@ ssize_t FaultyIo::send_some(const char* data, std::size_t size, int& err) {
     return -1;
   }
   pending_send_eintr_ = plan_.eintr_per_op;
+  if (plan_.eagain_every > 0 && ++sends_called_ % plan_.eagain_every == 0) {
+    err = EAGAIN;
+    return -1;
+  }
   if (shutdown_ || output_.size() >= plan_.reset_write_after) {
     err = EPIPE;
     return -1;

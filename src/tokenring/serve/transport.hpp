@@ -100,6 +100,11 @@ struct TransportFaultPlan {
   /// Every Nth read-side wait() reports a timeout instead of readiness
   /// (a stalled peer; 0 = never stalls).
   std::uint32_t stall_every = 0;
+  /// Every Nth recv/send call fails with EAGAIN (0 = never). To the
+  /// blocking Transport loops this is a spurious wakeup; to the reactor's
+  /// ConnFsm it ends the current readiness edge, so tests can slice one
+  /// frame across many on_readable()/on_writable() pumps.
+  std::uint32_t eagain_every = 0;
   /// Seed for per-call chunk-size draws; 0 = use the caps verbatim.
   std::uint64_t seed = 0;
 
@@ -142,6 +147,8 @@ class FaultyIo final : public ByteIo {
   std::uint32_t pending_send_eintr_ = 0;
   std::uint32_t pending_wait_eintr_ = 0;
   std::uint32_t reads_waited_ = 0;
+  std::uint32_t recvs_called_ = 0;
+  std::uint32_t sends_called_ = 0;
   std::uint64_t eintr_injected_ = 0;
   bool shutdown_ = false;
 };
